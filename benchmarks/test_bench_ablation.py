@@ -1,0 +1,81 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* observation model: Student-t (paper) vs plain Gaussian;
+* schedule: overlap-aware (paper) vs round-robin;
+* temporal chaining: with vs without the §3 cross-slice intensity chain.
+"""
+
+import pytest
+
+from repro.baselines import LinuxScaling
+from repro.core.engine import BayesPerfEngine
+from repro.events import catalog_for
+from repro.events.profiles import standard_profiling_events
+from repro.metrics import trace_error
+from repro.pmu import MultiplexedSampler, PollingReader
+from repro.scheduling import overlap_schedule, round_robin_schedule
+from repro.uarch import Machine, MachineConfig
+from repro.workloads import get_workload
+
+
+def _pipeline(schedule_builder, n_ticks=110, seed=2):
+    catalog = catalog_for("x86")
+    events = standard_profiling_events(catalog)
+    schedule = schedule_builder(catalog, events)
+    trace = Machine(MachineConfig(), get_workload("KMeans"), seed=seed).run(n_ticks)
+    sampled = MultiplexedSampler(catalog, schedule, seed=seed + 1).sample(trace)
+    polled = PollingReader(catalog, sampled.events, seed=seed + 2).read(trace)
+    return catalog, events, schedule, sampled, polled
+
+
+def _error(catalog, events, schedule, sampled, polled, **engine_kwargs):
+    engine = BayesPerfEngine(catalog, events, **engine_kwargs)
+    estimates = engine.correct(sampled)
+    report = trace_error(
+        estimates, polled, events=events, skip_ticks=schedule.rotation_ticks, aggregate_ticks=8
+    )
+    return report.mean_error_percent
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bench_ablation_observation_model(benchmark):
+    catalog, events, schedule, sampled, polled = _pipeline(overlap_schedule)
+
+    def run():
+        student = _error(catalog, events, schedule, sampled, polled, observation_model="student_t")
+        gaussian = _error(catalog, events, schedule, sampled, polled, observation_model="gaussian")
+        return student, gaussian
+
+    student, gaussian = benchmark.pedantic(run, iterations=1, rounds=1)
+    print(f"\nAblation — observation model: Student-t {student:.1f}% vs Gaussian {gaussian:.1f}%")
+    assert student < 15.0 and gaussian < 20.0
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_bench_ablation_schedule_and_chaining(benchmark):
+    def run():
+        results = {}
+        for label, builder in (("overlap", overlap_schedule), ("round-robin", round_robin_schedule)):
+            catalog, events, schedule, sampled, polled = _pipeline(builder)
+            results[label] = _error(catalog, events, schedule, sampled, polled)
+        catalog, events, schedule, sampled, polled = _pipeline(overlap_schedule)
+        results["no-chaining"] = _error(
+            catalog, events, schedule, sampled, polled, use_intensity_chain=False
+        )
+        results["linux"] = trace_error(
+            LinuxScaling().correct(sampled),
+            polled,
+            events=events,
+            skip_ticks=schedule.rotation_ticks,
+            aggregate_ticks=8,
+        ).mean_error_percent
+        return results
+
+    results = benchmark.pedantic(run, iterations=1, rounds=1)
+    print("\nAblation — scheduling and temporal chaining (mean error %):")
+    for label, value in results.items():
+        print(f"  {label:12s} {value:.1f}%")
+    # The full BayesPerf configuration is the most accurate; disabling the
+    # cross-slice chain costs accuracy, and every variant beats plain Linux.
+    assert results["overlap"] <= results["no-chaining"]
+    assert results["overlap"] < results["linux"]

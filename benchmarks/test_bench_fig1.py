@@ -1,0 +1,20 @@
+"""Benchmark regenerating Fig. 1: error versus number of multiplexed events."""
+
+import pytest
+
+from repro.experiments import fig1_multiplexing_error
+
+
+@pytest.mark.benchmark(group="fig1")
+def test_bench_fig1_multiplexing_error(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig1_multiplexing_error.run(
+            counter_counts=(10, 15, 20, 25, 30, 35), n_ticks=100, n_runs=2
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    print("\nFig. 1 — errors due to event multiplexing")
+    print(result.to_table())
+    assert result.is_monotonically_increasing()
+    assert result.error_percent[35] > result.error_percent[10]

@@ -1,0 +1,48 @@
+"""Benchmarks regenerating Fig. 10 (training time) and the §6.3 decision-quality study."""
+
+import os
+
+import pytest
+
+from repro.experiments import casestudy, fig10_training
+
+_FULL = bool(os.environ.get("REPRO_FULL", ""))
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_bench_fig10_training_time(benchmark):
+    iterations = 2500 if _FULL else 1500
+    result = benchmark.pedantic(
+        lambda: fig10_training.run(iterations=iterations, seed=1), iterations=1, rounds=1
+    )
+    print("\nFig. 10 — decrease in training time due to BayesPerf")
+    print(result.to_table())
+    # Better (and fresher) inputs never converge later than the Linux baseline.
+    assert result.reduction_vs_linux("bayesperf-acc") >= -0.05
+    assert all(len(curve) == iterations for curve in result.curves.values())
+
+
+@pytest.mark.benchmark(group="casestudy")
+def test_bench_casestudy_decision_quality(benchmark):
+    result = benchmark.pedantic(
+        lambda: casestudy.run(
+            train_iterations=800 if _FULL else 500,
+            cf_observations=400 if _FULL else 250,
+            episodes=200 if _FULL else 120,
+            seed=1,
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    print("\n§6.3 — decision quality of the ML-based IO schedulers")
+    print(result.to_table())
+    # The RL scheduler beats random NIC placement when fed BayesPerf-corrected
+    # counters, and BayesPerf inputs never make its decisions worse than
+    # Linux-scaled inputs.
+    rl = result.results["reinforcement-learning"]
+    assert result.scheduler_improvement("reinforcement-learning") > 0.0
+    assert rl.mean_regret["bayesperf-acc"] <= rl.mean_regret["linux"] + 1e-9
+    # The collaborative-filtering scheduler is evaluated at the paper's 75%
+    # sparsity; at this reduced scale it only has to stay within a few points
+    # of random placement (see EXPERIMENTS.md).
+    assert result.scheduler_improvement("collaborative-filtering") > -0.15

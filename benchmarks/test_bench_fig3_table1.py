@@ -1,0 +1,25 @@
+"""Benchmarks regenerating Fig. 3 (read latency) and Table 1 (area/power)."""
+
+import pytest
+
+from repro.experiments import fig3_read_latency, table1_area_power
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_bench_fig3_read_latency(benchmark):
+    result = benchmark(fig3_read_latency.run)
+    print("\nFig. 3 — counter read latency (host cycles)")
+    print(result.to_table())
+    assert result.overhead_vs_linux("ppc64", "bayesperf-accelerator") < 0.02
+    ratio = result.cycles["x86"]["bayesperf-cpu"] / result.cycles["x86"]["linux"]
+    assert 6.0 < ratio < 12.0
+
+
+@pytest.mark.benchmark(group="table1")
+def test_bench_table1_area_power(benchmark):
+    result = benchmark(table1_area_power.run)
+    print("\nTable 1 — area & power of the BayesPerf FPGA")
+    print(result.to_table())
+    efficiency = result.power_efficiency()
+    print(f"power efficiency vs host CPU TDP: {efficiency}")
+    assert efficiency["ppc64-CAPI"] > efficiency["x86-PCIe"] > 4.0

@@ -1,0 +1,31 @@
+"""Benchmark regenerating Fig. 8: error scaling with the number of events."""
+
+import os
+
+import pytest
+
+from repro.experiments import fig8_scaling
+
+_FULL = bool(os.environ.get("REPRO_FULL", ""))
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_bench_fig8_scaling(benchmark):
+    counter_counts = (10, 15, 20, 25, 30, 35) if _FULL else (10, 20, 35)
+    arches = ("x86", "ppc64") if _FULL else ("x86",)
+    result = benchmark.pedantic(
+        lambda: fig8_scaling.run(
+            arches=arches, counter_counts=counter_counts, n_ticks=100, seed=0
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    print(f"\nFig. 8 — scaling errors with the number of events ({result.workload})")
+    print(result.to_table())
+    for arch in result.error_percent:
+        series = result.error_percent[arch]
+        largest = max(counter_counts)
+        # BayesPerf is the most accurate method at the largest sweep point and
+        # grows much more slowly than the Linux baseline.
+        assert series["bayesperf"][largest] == min(m[largest] for m in series.values())
+        assert result.error_growth(arch, "bayesperf") < result.error_growth(arch, "linux")

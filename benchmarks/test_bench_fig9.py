@@ -1,0 +1,17 @@
+"""Benchmark regenerating Fig. 9: PCIe bandwidth under isolation vs contention."""
+
+import pytest
+
+from repro.experiments import fig9_pcie_contention
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_bench_fig9_pcie_contention(benchmark):
+    result = benchmark(fig9_pcie_contention.run)
+    print("\nFig. 9 — PCIe bandwidth: isolated vs contention")
+    print(result.to_table())
+    # Contention hurts large transfers (up to ~1.8x in the paper) and barely
+    # affects small, latency-bound ones.
+    assert result.max_slowdown() > 0.8
+    assert result.slowdown(256) < 0.2
+    assert result.isolated_gbps[2**22] > 10.0

@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make ``src/`` importable without an installed package.
+
+The library is normally installed with ``pip install -e .``; this fallback
+keeps the test and benchmark suites runnable in sandboxes where editable
+installs are unavailable (e.g. offline build environments).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,42 @@
+"""HiBench error sweep: reproduce a slice of Fig. 6 from the public API.
+
+Runs one representative workload per HiBench category on both simulated
+microarchitectures and prints the per-workload error of each correction
+method, plus the aggregate reduction factor (the paper's headline result).
+
+Run with:  python examples/hibench_error_sweep.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.experiments import fig6_hibench_error, fig7_improvement
+
+
+def main() -> None:
+    result = fig6_hibench_error.run(
+        arches=("x86", "ppc64"),
+        workloads=("Sort", "KMeans", "Join", "PageRank", "NWeight", "FixWindow"),
+        n_ticks=110,
+        seed=11,
+    )
+    print("Per-workload measurement error (percent):\n")
+    print(result.to_table())
+
+    print()
+    for arch in result.error_percent:
+        print(
+            f"{arch}: Linux {result.average(arch, 'linux'):.1f}% -> "
+            f"BayesPerf {result.average(arch, 'bayesperf'):.1f}%  "
+            f"({result.reduction_factor(arch):.2f}x error reduction)"
+        )
+
+    improvement = fig7_improvement.from_fig6(result)
+    print("\nNormalized improvement of BayesPerf (Fig. 7 style):\n")
+    print(improvement.to_table())
+
+
+if __name__ == "__main__":
+    main()

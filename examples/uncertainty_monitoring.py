@@ -1,0 +1,64 @@
+"""Streaming monitoring through the perf-like shim, with uncertainty.
+
+Uses the ``perf_event_open``-style API of the BayesPerf shim (§5): register
+events, attach to a workload, step the target forward and poll posterior
+estimates with credible intervals — the interface a userspace monitoring tool
+would use in place of the Linux perf syscalls.
+
+Run with:  python examples/uncertainty_monitoring.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core import BayesPerfShim
+
+
+def main() -> None:
+    shim = BayesPerfShim("x86", seed=3)
+
+    # Register the events a memory-subsystem monitor would care about.
+    handles = {
+        name: shim.perf_event_open(name)
+        for name in (
+            "LONGEST_LAT_CACHE.MISS",
+            "LONGEST_LAT_CACHE.REFERENCE",
+            "L2_RQSTS.MISS",
+            "UNC_IIO_DMA_TXN.ALL",
+            "CYCLE_ACTIVITY.STALLS_MEM_ANY",
+        )
+    }
+
+    shim.attach("TeraSort", n_ticks=60)
+    shim.enable()
+    print("tick  event                              estimate        95% credible interval")
+    print("-" * 86)
+
+    tick = 0
+    while shim.remaining_ticks > 0:
+        processed = shim.step(10)
+        tick += processed
+        estimate = shim.read(handles["LONGEST_LAT_CACHE.MISS"])
+        low, high = estimate.interval(0.95)
+        print(
+            f"{tick:4d}  LONGEST_LAT_CACHE.MISS            {estimate.mean:12.0f}"
+            f"    [{low:12.0f}, {high:12.0f}]"
+        )
+
+    print("\nFinal posterior for every registered event:")
+    for name, handle in handles.items():
+        estimate = shim.read(handle)
+        print(
+            f"  {name:35s} {estimate.mean:14.1f}  "
+            f"+/- {100 * estimate.relative_uncertainty:4.1f}%"
+        )
+
+    dropped = shim.user_buffer.dropped
+    print(f"\nRing-buffer statistics: {shim.user_buffer.total_pushed} reports pushed, {dropped} dropped")
+    shim.close()
+
+
+if __name__ == "__main__":
+    main()

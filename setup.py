@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that the package can be installed in
+environments without network access to build backends (``pip install -e .
+--no-use-pep517 --no-build-isolation`` or ``python setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

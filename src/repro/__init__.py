@@ -1,0 +1,17 @@
+"""BayesPerf reproduction library.
+
+This package reproduces the system described in *BayesPerf: Minimizing
+Performance Monitoring Errors Using Bayesian Statistics* (ASPLOS 2021).
+
+The public API is intentionally small; most users only need:
+
+* :class:`repro.core.BayesPerf` — the correction engine.
+* :class:`repro.core.PerfSession` — a perf-like monitoring session that ties
+  a workload, a PMU and a correction method together.
+* :func:`repro.events.catalog_for` — per-microarchitecture event catalogs.
+* :mod:`repro.experiments` — one module per table/figure in the paper.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

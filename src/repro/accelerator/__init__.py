@@ -1,0 +1,28 @@
+"""BayesPerf accelerator model (§5).
+
+The paper prototypes the accelerator on a Xilinx Virtex UltraScale+ FPGA with
+four EP execution engines and twelve MCMC sampler IPs connected by a
+16-port butterfly NoC, reached over CAPI 2.0 (Power9) or PCIe+XDMA (x86).
+No FPGA is available here, so this package provides cycle- and
+resource-accurate *models* of the same architecture: an EP-engine/sampler
+pipeline model, a butterfly NoC model, transport models for CAPI and PCIe,
+a read-latency model (Fig. 3) and an area/power model (Table 1).
+"""
+
+from repro.accelerator.noc import ButterflyNoC
+from repro.accelerator.ep_engine import EPEngineUnit, MCMCSamplerIP
+from repro.accelerator.device import AcceleratorConfig, AcceleratorModel
+from repro.accelerator.latency import ReadLatencyModel, ReadPath
+from repro.accelerator.power import FPGAResourceModel, ResourceReport
+
+__all__ = [
+    "ButterflyNoC",
+    "EPEngineUnit",
+    "MCMCSamplerIP",
+    "AcceleratorConfig",
+    "AcceleratorModel",
+    "ReadLatencyModel",
+    "ReadPath",
+    "FPGAResourceModel",
+    "ResourceReport",
+]

@@ -1,0 +1,163 @@
+"""The accelerator device model: EP engines + samplers + NoC + host transport."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.accelerator.ep_engine import EPEngineUnit, MCMCSamplerIP
+from repro.accelerator.noc import ButterflyNoC
+
+#: Host transport protocols supported by the prototype (§5 / §6.1).
+TRANSPORTS = ("capi", "pcie")
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Static configuration of the BayesPerf accelerator.
+
+    The defaults follow the prototype: a 250 MHz Virtex UltraScale+ design
+    with 4 EP engines and 12 MCMC samplers on a 16-port butterfly NoC,
+    attached over CAPI 2.0 on Power9 or PCIe3 x16 + XDMA on x86.
+    """
+
+    transport: str = "capi"
+    clock_mhz: float = 250.0
+    n_ep_engines: int = 4
+    n_samplers: int = 12
+    noc_ports: int = 16
+    dram_channels: int = 4
+    dram_channel_gb: int = 16
+
+    def __post_init__(self) -> None:
+        if self.transport not in TRANSPORTS:
+            raise ValueError(f"transport must be one of {TRANSPORTS}")
+        if self.clock_mhz <= 0:
+            raise ValueError("clock_mhz must be positive")
+        if self.n_ep_engines <= 0 or self.n_samplers <= 0:
+            raise ValueError("engine and sampler counts must be positive")
+        if self.n_ep_engines + self.n_samplers > self.noc_ports:
+            raise ValueError("EP engines plus samplers cannot exceed the NoC port count")
+
+    @property
+    def samplers_per_engine(self) -> int:
+        return max(1, self.n_samplers // self.n_ep_engines)
+
+    @property
+    def cycle_ns(self) -> float:
+        return 1e3 / self.clock_mhz
+
+
+#: Host-side transport latencies in host-CPU cycles (order-of-magnitude
+#: values for a 2-ish GHz host).  CAPI snoops the ring-buffer cache lines, so
+#: the host never initiates DMA; PCIe needs the userspace driver to kick DMA
+#: transfers and poll for completion (§5, "Interfacing with the Accelerator").
+_TRANSPORT_HOST_CYCLES: Dict[str, float] = {"capi": 35.0, "pcie": 330.0}
+
+
+@dataclass
+class InferenceLatency:
+    """Breakdown of one inference pass on the accelerator."""
+
+    compute_cycles: float
+    noc_cycles: float
+    transport_host_cycles: float
+    clock_mhz: float
+
+    @property
+    def total_cycles(self) -> float:
+        return self.compute_cycles + self.noc_cycles
+
+    @property
+    def microseconds(self) -> float:
+        return self.total_cycles * (1e3 / self.clock_mhz) / 1e3
+
+
+class AcceleratorModel:
+    """Latency/throughput model of the BayesPerf accelerator.
+
+    Parameters
+    ----------
+    config:
+        Static accelerator configuration.
+    ep_engine, sampler, noc:
+        Component models; defaults mirror the prototype.
+    """
+
+    def __init__(
+        self,
+        config: Optional[AcceleratorConfig] = None,
+        *,
+        ep_engine: Optional[EPEngineUnit] = None,
+        sampler: Optional[MCMCSamplerIP] = None,
+        noc: Optional[ButterflyNoC] = None,
+    ) -> None:
+        self.config = config if config is not None else AcceleratorConfig()
+        self.ep_engine = ep_engine if ep_engine is not None else EPEngineUnit()
+        self.sampler = sampler if sampler is not None else MCMCSamplerIP()
+        self.noc = noc if noc is not None else ButterflyNoC(self.config.noc_ports)
+
+    def inference_latency(
+        self,
+        n_sites: int,
+        factors_per_site: int,
+        variables_per_site: int,
+        *,
+        mcmc_samples: int = 256,
+        ep_iterations: int = 2,
+    ) -> InferenceLatency:
+        """Latency of one full EP inference pass over *n_sites* sites.
+
+        Sites are distributed across the EP engines and processed in parallel
+        waves; each site update also pays NoC traffic between its engine and
+        its samplers plus a global-update exchange with the controller.
+        """
+        if n_sites <= 0 or factors_per_site <= 0 or variables_per_site <= 0:
+            raise ValueError("site dimensions must be positive")
+        if mcmc_samples <= 0 or ep_iterations <= 0:
+            raise ValueError("mcmc_samples and ep_iterations must be positive")
+
+        site_cycles = self.ep_engine.site_update_cycles(
+            factors_per_site,
+            variables_per_site,
+            self.sampler,
+            mcmc_samples,
+            samplers_per_engine=self.config.samplers_per_engine,
+        )
+        waves = math.ceil(n_sites / self.config.n_ep_engines)
+        compute_cycles = site_cycles * waves * ep_iterations
+
+        # NoC traffic: each site update ships its state to the samplers and
+        # the global approximation back to the controller.
+        payload = 8 * variables_per_site * (variables_per_site + 1)
+        per_site_noc = (
+            self.noc.transfer(0, self.noc.n_ports - 1, payload).cycles
+            + self.noc.transfer(self.noc.n_ports - 1, 0, payload).cycles
+        )
+        noc_cycles = per_site_noc * n_sites * ep_iterations
+
+        return InferenceLatency(
+            compute_cycles=compute_cycles,
+            noc_cycles=noc_cycles,
+            transport_host_cycles=_TRANSPORT_HOST_CYCLES[self.config.transport],
+            clock_mhz=self.config.clock_mhz,
+        )
+
+    def sustained_inferences_per_second(
+        self, n_sites: int, factors_per_site: int, variables_per_site: int, **kwargs
+    ) -> float:
+        """How many inference passes per second the device sustains."""
+        latency = self.inference_latency(n_sites, factors_per_site, variables_per_site, **kwargs)
+        seconds = latency.total_cycles / (self.config.clock_mhz * 1e6)
+        return 1.0 / seconds if seconds > 0 else float("inf")
+
+    def host_read_overhead_cycles(self) -> float:
+        """Host cycles added to a counter read when results are polled.
+
+        Because results are written into host memory ring buffers ahead of
+        time (CAPI) or via completed DMA (PCIe), the monitoring application
+        only pays a small polling cost — this is what keeps the accelerated
+        read within ~2% of a native read (Fig. 3).
+        """
+        return _TRANSPORT_HOST_CYCLES[self.config.transport]

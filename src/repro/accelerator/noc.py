@@ -1,0 +1,92 @@
+"""Butterfly network-on-chip model.
+
+The accelerator's EP engines and MCMC samplers communicate over a butterfly
+NoC generated with CONNECT (§5).  The model captures what matters for the
+latency estimates: the number of ports, the hop count between any two ports,
+and the per-hop/per-flit cycle costs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+@dataclass(frozen=True)
+class NoCLatency:
+    """Latency breakdown of one NoC transfer."""
+
+    hops: int
+    cycles: float
+
+
+class ButterflyNoC:
+    """A k-ary butterfly NoC with a power-of-two number of ports.
+
+    Parameters
+    ----------
+    n_ports:
+        Number of endpoints (the paper uses 16: 4 EP engines + 12 samplers).
+    cycles_per_hop:
+        Router traversal latency in cycles.
+    cycles_per_flit:
+        Serialisation cost per payload flit.
+    flit_bytes:
+        Payload bytes per flit.
+    """
+
+    def __init__(
+        self,
+        n_ports: int = 16,
+        *,
+        cycles_per_hop: float = 2.0,
+        cycles_per_flit: float = 1.0,
+        flit_bytes: int = 16,
+    ) -> None:
+        if n_ports < 2 or (n_ports & (n_ports - 1)) != 0:
+            raise ValueError("n_ports must be a power of two >= 2")
+        if cycles_per_hop <= 0 or cycles_per_flit <= 0 or flit_bytes <= 0:
+            raise ValueError("latency parameters must be positive")
+        self.n_ports = n_ports
+        self.cycles_per_hop = cycles_per_hop
+        self.cycles_per_flit = cycles_per_flit
+        self.flit_bytes = flit_bytes
+
+    @property
+    def stages(self) -> int:
+        """Number of switching stages between any pair of ports."""
+        return int(math.log2(self.n_ports))
+
+    def hops(self, source: int, destination: int) -> int:
+        """Router hops between two ports (uniform in a butterfly)."""
+        self._validate_port(source)
+        self._validate_port(destination)
+        if source == destination:
+            return 0
+        return self.stages
+
+    def transfer(self, source: int, destination: int, payload_bytes: int) -> NoCLatency:
+        """Latency of moving *payload_bytes* from one port to another."""
+        if payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        hop_count = self.hops(source, destination)
+        flits = max(1, math.ceil(payload_bytes / self.flit_bytes))
+        cycles = hop_count * self.cycles_per_hop + flits * self.cycles_per_flit
+        return NoCLatency(hops=hop_count, cycles=float(cycles))
+
+    def broadcast_cycles(self, source: int, payload_bytes: int) -> float:
+        """Cycles to send the same payload from one port to all others."""
+        total = 0.0
+        for destination in range(self.n_ports):
+            if destination != source:
+                total += self.transfer(source, destination, payload_bytes).cycles
+        return total
+
+    def bisection_links(self) -> int:
+        """Number of links crossing the bisection (used by the area model)."""
+        return self.n_ports // 2 * self.stages
+
+    def _validate_port(self, port: int) -> None:
+        if not 0 <= port < self.n_ports:
+            raise ValueError(f"port {port} out of range [0, {self.n_ports})")

@@ -1,0 +1,125 @@
+"""FPGA area and power model (Table 1).
+
+Table 1 reports FPGA resource utilisation (BRAM/DSP/FF/LUT/URAM) and power
+(Vivado estimate and measured) for the x86-PCIe and ppc64-CAPI builds of the
+accelerator, and the text compares the measured power against the host CPU
+TDPs (5.8x / 11.8x better).  The model composes per-component resource and
+power costs (EP engines, MCMC samplers, NoC routers, transport IP, DRAM
+controllers) into device-level totals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.accelerator.device import AcceleratorConfig
+
+#: Total resources of the target device (Xilinx Virtex UltraScale+ VU3P).
+VU3P_RESOURCES: Dict[str, float] = {
+    "BRAM": 720.0,
+    "DSP": 2280.0,
+    "FF": 788160.0,
+    "LUT": 394080.0,
+    "URAM": 320.0,
+}
+
+#: Per-component resource usage (absolute units of the device resources).
+_COMPONENT_RESOURCES: Dict[str, Dict[str, float]] = {
+    "ep_engine": {"BRAM": 48.0, "DSP": 250.0, "FF": 52000.0, "LUT": 36000.0, "URAM": 22.0},
+    "mcmc_sampler": {"BRAM": 15.0, "DSP": 55.0, "FF": 9500.0, "LUT": 8000.0, "URAM": 5.5},
+    "noc_router": {"BRAM": 1.5, "DSP": 0.0, "FF": 2200.0, "LUT": 1800.0, "URAM": 0.0},
+    "dram_controller": {"BRAM": 16.0, "DSP": 6.0, "FF": 12000.0, "LUT": 8000.0, "URAM": 12.0},
+    "transport_pcie": {"BRAM": 40.0, "DSP": 12.0, "FF": 30000.0, "LUT": 28000.0, "URAM": 4.0},
+    "transport_capi": {"BRAM": 60.0, "DSP": 8.0, "FF": 24000.0, "LUT": 22000.0, "URAM": 4.0},
+}
+
+#: Static + per-component dynamic power in watts (Vivado-style estimates).
+_COMPONENT_POWER_W: Dict[str, float] = {
+    "static": 2.0,
+    "ep_engine": 0.85,
+    "mcmc_sampler": 0.27,
+    "noc_router": 0.04,
+    "dram_controller": 0.3,
+    "transport_pcie": 1.0,
+    "transport_capi": 0.35,
+}
+
+#: Ratio between bench-measured board power and the Vivado estimate (board
+#: regulators, DRAM devices and I/O are not part of the FPGA power report).
+_MEASURED_OVER_ESTIMATE = 1.5
+
+
+@dataclass
+class ResourceReport:
+    """Utilisation and power summary for one accelerator build."""
+
+    name: str
+    utilization_percent: Dict[str, float] = field(default_factory=dict)
+    vivado_power_w: float = 0.0
+    measured_power_w: float = 0.0
+
+    def over_budget(self) -> Dict[str, float]:
+        """Resources exceeding 100% utilisation (empty when the design fits)."""
+        return {k: v for k, v in self.utilization_percent.items() if v > 100.0}
+
+    def power_efficiency_vs(self, cpu_tdp_watts: float) -> float:
+        """How many times less power the accelerator draws than the CPU."""
+        if self.measured_power_w <= 0:
+            return float("inf")
+        return cpu_tdp_watts / self.measured_power_w
+
+
+class FPGAResourceModel:
+    """Compose per-component costs into a device-level area/power report."""
+
+    def __init__(
+        self,
+        config: AcceleratorConfig,
+        *,
+        device_resources: Mapping[str, float] = None,
+    ) -> None:
+        self.config = config
+        self.device_resources = dict(device_resources or VU3P_RESOURCES)
+
+    def _component_counts(self) -> Dict[str, int]:
+        transport = "transport_capi" if self.config.transport == "capi" else "transport_pcie"
+        return {
+            "ep_engine": self.config.n_ep_engines,
+            "mcmc_sampler": self.config.n_samplers,
+            "noc_router": self.config.noc_ports,
+            "dram_controller": self.config.dram_channels,
+            transport: 1,
+        }
+
+    def utilization(self) -> Dict[str, float]:
+        """Percent utilisation of each device resource."""
+        totals = {resource: 0.0 for resource in self.device_resources}
+        for component, count in self._component_counts().items():
+            usage = _COMPONENT_RESOURCES[component]
+            for resource in totals:
+                totals[resource] += usage.get(resource, 0.0) * count
+        return {
+            resource: 100.0 * totals[resource] / self.device_resources[resource]
+            for resource in totals
+        }
+
+    def vivado_power_w(self) -> float:
+        """Vivado-style power estimate (static + dynamic per component)."""
+        power = _COMPONENT_POWER_W["static"]
+        for component, count in self._component_counts().items():
+            power += _COMPONENT_POWER_W[component] * count
+        return power
+
+    def measured_power_w(self) -> float:
+        """Bench-measured board power (regulators, DRAM and I/O included)."""
+        return self.vivado_power_w() * _MEASURED_OVER_ESTIMATE
+
+    def report(self, name: str) -> ResourceReport:
+        """Full area/power report for this configuration."""
+        return ResourceReport(
+            name=name,
+            utilization_percent=self.utilization(),
+            vivado_power_w=self.vivado_power_w(),
+            measured_power_w=self.measured_power_w(),
+        )

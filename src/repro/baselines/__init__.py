@@ -1,0 +1,18 @@
+"""Baseline correction methods the paper compares against (§6.2).
+
+* :class:`LinuxScaling` — the kernel's built-in ``t_enabled/t_running``
+  extrapolation of multiplexed counts.
+* :class:`CounterMiner` — outlier dropping over recent samples (Lv et al.,
+  MICRO'18), an offline variance-reduction technique used online here exactly
+  as the paper does.
+* :class:`WeaverPin` — the Weaver & McKee instruction-count correction
+  ("WM+Pin"), which fixes instruction counts through binary instrumentation
+  but leaves every other event uncorrected and perturbs the application.
+"""
+
+from repro.baselines.base import CorrectionMethod
+from repro.baselines.linux_scaling import LinuxScaling
+from repro.baselines.counterminer import CounterMiner
+from repro.baselines.weaver import WeaverPin
+
+__all__ = ["CorrectionMethod", "LinuxScaling", "CounterMiner", "WeaverPin"]

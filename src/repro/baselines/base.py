@@ -1,0 +1,19 @@
+"""Common interface for correction methods."""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.pmu.sampling import SampledTrace
+from repro.pmu.traces import EstimateTrace
+
+
+class CorrectionMethod(Protocol):
+    """Anything that turns a multiplexed sample trace into per-tick estimates."""
+
+    #: Human-readable method name used in reports.
+    name: str
+
+    def correct(self, sampled: SampledTrace) -> EstimateTrace:
+        """Produce per-tick estimates for every monitored event."""
+        ...

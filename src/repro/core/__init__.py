@@ -1,0 +1,26 @@
+"""BayesPerf core: the correction engine and the perf-like user API.
+
+* :class:`BayesPerfEngine` — turns multiplexed samples into per-tick posterior
+  estimates using the invariant factor graph and Expectation Propagation.
+* :class:`PerfSession` — one-call orchestration of workload, PMU sampling,
+  scheduling and correction (what the examples and experiments use).
+* :class:`BayesPerfShim` — a ``perf_event_open``-style streaming API backed by
+  ring buffers, mirroring the userspace shim of §5.
+"""
+
+from repro.core.posterior import EventEstimate, PosteriorReport
+from repro.core.engine import BayesPerfEngine
+from repro.core.ringbuffer import RingBuffer
+from repro.core.session import PerfSession, SessionResult
+from repro.core.shim import BayesPerfShim, PerfEventHandle
+
+__all__ = [
+    "EventEstimate",
+    "PosteriorReport",
+    "BayesPerfEngine",
+    "RingBuffer",
+    "PerfSession",
+    "SessionResult",
+    "BayesPerfShim",
+    "PerfEventHandle",
+]

@@ -1,0 +1,371 @@
+"""The BayesPerf correction engine.
+
+For every scheduler time slice the engine assembles a factor graph over the
+monitored events:
+
+* a **Student-t observation factor** per event measured in the slice, built
+  from that slice's PMI sub-samples (§4.2);
+* a **soft linear-constraint factor** per microarchitectural invariant
+  relating the monitored events (§4, "Statistical Dependencies");
+* a **temporal prior** carrying the previous slice's posterior forward — the
+  ``Pr(e_b^t | e_b^{t-1}, e_a^t)`` chaining of §3.
+
+Inference runs Expectation Propagation (Alg. 1) with the slice's observation
+factors and each connected group of constraints as EP sites; tilted moments
+are computed analytically by default or by MCMC (the accelerator's workload)
+when ``moment_estimator="mcmc"``.  All inference happens in a per-event
+normalised space so that counts spanning many orders of magnitude stay well
+conditioned.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.events.catalog import EventCatalog
+from repro.fg.distributions import StudentT
+from repro.fg.ep import EPSite, ExpectationPropagation
+from repro.fg.factors import (
+    Factor,
+    GaussianObservation,
+    LinearConstraintFactor,
+    StudentTObservation,
+)
+from repro.fg.gaussian import GaussianDensity
+from repro.fg.graph import FactorGraph
+from repro.invariants.library import InvariantLibrary, standard_invariants
+from repro.core.posterior import EventEstimate, PosteriorReport
+from repro.pmu.sampling import SampledTrace, SamplingRecord
+from repro.pmu.traces import EstimateTrace
+
+
+class BayesPerfEngine:
+    """Turns multiplexed counter samples into posterior event estimates.
+
+    Parameters
+    ----------
+    catalog:
+        Event catalog of the monitored CPU.
+    events:
+        Events the monitoring application registered.  The catalog's fixed
+        events are always added (they are measured for free).
+    library:
+        Invariant library; defaults to the standard one.
+    observation_model:
+        ``"student_t"`` (paper, §4.2) or ``"gaussian"`` (ablation).
+    moment_estimator:
+        ``"analytic"`` or ``"mcmc"`` tilted-moment computation inside EP.
+    drift:
+        Relative standard deviation of the temporal prior: how much an event
+        is expected to change between consecutive slices.
+    min_relative_sigma:
+        Floor on the relative uncertainty assigned to an observation.
+    relation_tolerance_scale:
+        Multiplier on every relation's tolerance (ablation knob).
+    ep_max_iterations, ep_damping, mcmc_samples, seed:
+        EP and MCMC controls.
+    """
+
+    def __init__(
+        self,
+        catalog: EventCatalog,
+        events: Sequence[str],
+        *,
+        library: Optional[InvariantLibrary] = None,
+        observation_model: str = "student_t",
+        moment_estimator: str = "analytic",
+        drift: float = 0.25,
+        min_relative_sigma: float = 0.02,
+        relation_tolerance_scale: float = 1.0,
+        ep_max_iterations: int = 8,
+        ep_damping: float = 1.0,
+        mcmc_samples: int = 300,
+        use_intensity_chain: bool = True,
+        seed: int = 0,
+    ) -> None:
+        if observation_model not in ("student_t", "gaussian"):
+            raise ValueError(f"unknown observation model {observation_model!r}")
+        if drift <= 0:
+            raise ValueError("drift must be positive")
+        if min_relative_sigma <= 0:
+            raise ValueError("min_relative_sigma must be positive")
+        if relation_tolerance_scale <= 0:
+            raise ValueError("relation_tolerance_scale must be positive")
+
+        self.catalog = catalog
+        monitored = list(dict.fromkeys(events))
+        fixed = [spec.name for spec in catalog.fixed_events]
+        #: Events reported to the user: the registered ones plus fixed counters.
+        self.monitored_events: Tuple[str, ...] = tuple(
+            monitored + [f for f in fixed if f not in monitored]
+        )
+        self.library = library if library is not None else standard_invariants()
+        # The model reasons over every event any catalog invariant touches;
+        # events that are never measured become latent variables whose values
+        # are inferred jointly with the monitored ones.
+        self.relations = self.library.for_catalog(catalog)
+        latent: List[str] = []
+        for relation in self.relations:
+            for event in relation.events:
+                if event not in self.monitored_events and event not in latent:
+                    latent.append(event)
+        self.events: Tuple[str, ...] = tuple(self.monitored_events) + tuple(latent)
+        self.observation_model = observation_model
+        self.moment_estimator = moment_estimator
+        self.drift = drift
+        self.min_relative_sigma = min_relative_sigma
+        self.relation_tolerance_scale = relation_tolerance_scale
+        self.ep_max_iterations = ep_max_iterations
+        self.ep_damping = ep_damping
+        self.mcmc_samples = mcmc_samples
+        self.use_intensity_chain = use_intensity_chain
+        self._rng = np.random.default_rng(seed)
+        self.name = "bayesperf"
+
+        self._relation_groups = self._group_relations()
+        self.reset()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def reset(self) -> None:
+        """Forget all temporal state (start of a new monitoring run)."""
+        self._prior_mean: Dict[str, Optional[float]] = {event: None for event in self.events}
+        self._scale: Dict[str, float] = {event: 1.0 for event in self.events}
+        self._tick = 0
+
+    # -- construction helpers -------------------------------------------------
+
+    def _group_relations(self) -> Tuple[Tuple[int, ...], ...]:
+        """Indices of relations grouped into connected components (EP sites)."""
+        if not self.relations:
+            return ()
+        parent = list(range(len(self.relations)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        def union(i: int, j: int) -> None:
+            parent[find(i)] = find(j)
+
+        event_to_first: Dict[str, int] = {}
+        for index, relation in enumerate(self.relations):
+            for event in relation.events:
+                if event in event_to_first:
+                    union(index, event_to_first[event])
+                else:
+                    event_to_first[event] = index
+        groups: Dict[int, List[int]] = {}
+        for index in range(len(self.relations)):
+            groups.setdefault(find(index), []).append(index)
+        return tuple(tuple(members) for members in groups.values())
+
+    def _observation_summaries(self, record: SamplingRecord) -> Dict[str, StudentT]:
+        summaries: Dict[str, StudentT] = {}
+        for event, samples in record.samples.items():
+            if event not in self.events:
+                continue
+            total = float(np.sum(samples))
+            n = len(samples)
+            if n >= 2:
+                # The quantum total is the sum of the sub-samples; its
+                # uncertainty follows from the sub-sample scatter (§4.2).
+                std = float(np.std(samples, ddof=1)) * math.sqrt(n)
+            else:
+                std = abs(total) * 0.05
+            scale = max(std / math.sqrt(n), abs(total) * self.min_relative_sigma, 1e-9)
+            summaries[event] = StudentT(loc=total, scale=scale, df=float(max(n - 1, 1)))
+        return summaries
+
+    def _ensure_scales(self, observations: Mapping[str, StudentT]) -> None:
+        """Initialise or refresh the per-event normalisation scales.
+
+        Observed events are always rescaled to their current measured
+        magnitude so that a previous bad estimate can never make a fresh
+        observation numerically irrelevant.
+        """
+        observed_values = [abs(obs.loc) for obs in observations.values() if abs(obs.loc) > 0]
+        fallback = float(np.median(observed_values)) if observed_values else 1.0
+        for event in self.events:
+            prior = self._prior_mean[event]
+            if event in observations and abs(observations[event].loc) > 0:
+                self._scale[event] = max(abs(observations[event].loc), 1e-9)
+            elif prior is not None and prior > 0:
+                self._scale[event] = prior
+            elif self._scale[event] <= 0 or self._scale[event] == 1.0:
+                self._scale[event] = max(fallback, 1e-9)
+
+    def _intensity_ratio(self, observations: Mapping[str, StudentT]) -> float:
+        """Common-mode activity change since the previous slice (§3 chaining).
+
+        Events measured in this slice that also have an estimate from the
+        previous slice (always including the fixed counters) vote on how much
+        the overall activity level moved; the median ratio is used to advance
+        the temporal prior of every event that was *not* measured.
+        """
+        if not self.use_intensity_chain:
+            return 1.0
+        ratios = []
+        for event, summary in observations.items():
+            previous = self._prior_mean.get(event)
+            if previous is not None and previous > 0 and summary.loc > 0:
+                ratios.append(summary.loc / previous)
+        if not ratios:
+            return 1.0
+        ratio = float(np.median(ratios))
+        return float(min(max(ratio, 0.2), 5.0))
+
+    def _build_factors(
+        self, observations: Mapping[str, StudentT]
+    ) -> Tuple[List[Factor], List[List[Factor]]]:
+        """Observation factors and per-group constraint factors (normalised)."""
+        observation_factors: List[Factor] = []
+        for event, summary in observations.items():
+            scale = self._scale[event]
+            loc = summary.loc / scale
+            sigma = max(summary.scale / scale, 1e-9)
+            if self.observation_model == "student_t":
+                observation_factors.append(
+                    StudentTObservation(
+                        name=f"obs::{event}",
+                        variable=event,
+                        distribution=StudentT(loc=loc, scale=sigma, df=summary.df),
+                    )
+                )
+            else:
+                observation_factors.append(
+                    GaussianObservation(name=f"obs::{event}", variable=event, observed=loc, sigma=sigma)
+                )
+
+        constraint_groups: List[List[Factor]] = []
+        for group in self._relation_groups:
+            factors: List[Factor] = []
+            for index in group:
+                relation = self.relations[index]
+                coefficients = {
+                    event: coef * self._scale[event]
+                    for event, coef in relation.coefficients.items()
+                }
+                magnitude = sum(abs(value) for value in coefficients.values())
+                sigma = max(
+                    relation.tolerance * self.relation_tolerance_scale * magnitude, 1e-9
+                )
+                factors.append(
+                    LinearConstraintFactor(
+                        name=f"rel::{relation.name}",
+                        coefficients=coefficients,
+                        sigma=sigma,
+                        description=relation.description,
+                    )
+                )
+            constraint_groups.append(factors)
+        return observation_factors, constraint_groups
+
+    def _build_prior(self, intensity_ratio: float = 1.0) -> GaussianDensity:
+        """Temporal prior over all events in normalised space.
+
+        The previous slice's posterior mean, advanced by the common-mode
+        intensity ratio, becomes the prior mean; its spread is the relative
+        ``drift`` the workload is expected to exhibit between slices.
+        """
+        means: Dict[str, float] = {}
+        variances: Dict[str, float] = {}
+        for event in self.events:
+            prior = self._prior_mean[event]
+            if prior is not None and prior > 0:
+                means[event] = prior * intensity_ratio / self._scale[event]
+                variances[event] = (self.drift * means[event] + 1e-6) ** 2
+            else:
+                # Nothing known yet: a broad prior centred on the event's scale.
+                means[event] = 1.0
+                variances[event] = 25.0
+        return GaussianDensity.diagonal(means, variances)
+
+    # -- inference -------------------------------------------------------------
+
+    def process_record(self, record: SamplingRecord) -> PosteriorReport:
+        """Infer the posterior for one scheduler time slice."""
+        observations = self._observation_summaries(record)
+        intensity_ratio = self._intensity_ratio(observations)
+        self._ensure_scales(observations)
+        observation_factors, constraint_groups = self._build_factors(observations)
+
+        graph = FactorGraph(variables=self.events)
+        sites: List[EPSite] = []
+        if observation_factors:
+            for factor in observation_factors:
+                graph.add_factor(factor)
+            sites.append(
+                EPSite(name="slice-observations", factor_names=tuple(f.name for f in observation_factors))
+            )
+        for group_index, factors in enumerate(constraint_groups):
+            if not factors:
+                continue
+            for factor in factors:
+                graph.add_factor(factor)
+            sites.append(
+                EPSite(
+                    name=f"constraints-{group_index}",
+                    factor_names=tuple(f.name for f in factors),
+                )
+            )
+
+        prior = self._build_prior(intensity_ratio)
+        if sites:
+            ep = ExpectationPropagation(
+                graph,
+                sites,
+                prior,
+                moment_estimator=self.moment_estimator,
+                damping=self.ep_damping,
+                max_iterations=self.ep_max_iterations,
+                mcmc_samples=self.mcmc_samples,
+                rng=self._rng,
+            )
+            result = ep.run()
+            posterior = result.posterior
+            iterations = result.iterations
+            converged = result.converged
+        else:
+            posterior = prior
+            iterations = 0
+            converged = True
+
+        means = posterior.mean()
+        variances = posterior.variance()
+
+        report = PosteriorReport(
+            tick=record.tick,
+            measured_events=tuple(observations),
+            ep_iterations=iterations,
+            ep_converged=converged,
+        )
+        for event in self.events:
+            scale = self._scale[event]
+            mean = max(means[event] * scale, 0.0)
+            std = math.sqrt(max(variances[event], 0.0)) * scale
+            if event in self.monitored_events:
+                report.estimates[event] = EventEstimate(event=event, mean=mean, std=std)
+            # Update the temporal state for the next slice (latent events too).
+            self._prior_mean[event] = max(mean, 1e-9)
+        self._tick += 1
+        return report
+
+    def correct(self, sampled: SampledTrace) -> EstimateTrace:
+        """Correct a full sampled trace, returning per-tick estimates."""
+        self.reset()
+        estimates = EstimateTrace(method=self.name)
+        for record in sampled.records:
+            report = self.process_record(record)
+            estimates.append(report.means(), report.stds())
+        return estimates
+
+    def reports(self, sampled: SampledTrace) -> List[PosteriorReport]:
+        """Full posterior reports (including uncertainty) for a sampled trace."""
+        self.reset()
+        return [self.process_record(record) for record in sampled.records]

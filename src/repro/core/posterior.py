@@ -1,0 +1,73 @@
+"""Posterior result types returned to BayesPerf users."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class EventEstimate:
+    """Posterior summary of one event in one time slice."""
+
+    event: str
+    mean: float
+    std: float
+
+    def __post_init__(self) -> None:
+        if self.std < 0:
+            raise ValueError("std must be non-negative")
+
+    @property
+    def variance(self) -> float:
+        return self.std**2
+
+    @property
+    def relative_uncertainty(self) -> float:
+        """Posterior coefficient of variation (std / |mean|)."""
+        return self.std / max(abs(self.mean), 1e-12)
+
+    def interval(self, confidence: float = 0.95) -> Tuple[float, float]:
+        """Symmetric credible interval at the given confidence."""
+        if not 0.0 < confidence < 1.0:
+            raise ValueError("confidence must lie in (0, 1)")
+        half = stats.norm.ppf(0.5 + confidence / 2.0) * self.std
+        return (self.mean - half, self.mean + half)
+
+    def contains(self, value: float, confidence: float = 0.95) -> bool:
+        """Whether *value* lies inside the credible interval."""
+        low, high = self.interval(confidence)
+        return low <= value <= high
+
+
+@dataclass
+class PosteriorReport:
+    """Posterior summaries for every monitored event in one time slice."""
+
+    tick: int
+    estimates: Dict[str, EventEstimate] = field(default_factory=dict)
+    measured_events: Tuple[str, ...] = ()
+    ep_iterations: int = 0
+    ep_converged: bool = True
+
+    def __contains__(self, event: str) -> bool:
+        return event in self.estimates
+
+    def __getitem__(self, event: str) -> EventEstimate:
+        return self.estimates[event]
+
+    def means(self) -> Dict[str, float]:
+        return {name: estimate.mean for name, estimate in self.estimates.items()}
+
+    def stds(self) -> Dict[str, float]:
+        return {name: estimate.std for name, estimate in self.estimates.items()}
+
+    def most_uncertain(self, count: int = 5) -> Tuple[EventEstimate, ...]:
+        """Events with the highest relative posterior uncertainty."""
+        ranked = sorted(
+            self.estimates.values(), key=lambda e: e.relative_uncertainty, reverse=True
+        )
+        return tuple(ranked[:count])

@@ -1,0 +1,70 @@
+"""Fixed-capacity ring buffer.
+
+Models the kernel/userspace ring buffers of the BayesPerf system architecture
+(§5): producers enqueue new samples, consumers drain them, and new entries are
+dropped when the buffer is full — the same backpressure behaviour as the perf
+mmap buffer.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Generic, Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class RingBuffer(Generic[T]):
+    """A bounded FIFO that drops new entries when full."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: Deque[T] = deque()
+        self.dropped = 0
+        self.total_pushed = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def push(self, item: T) -> bool:
+        """Enqueue *item*; returns False (and counts a drop) when full."""
+        self.total_pushed += 1
+        if self.is_full:
+            self.dropped += 1
+            return False
+        self._entries.append(item)
+        return True
+
+    def push_many(self, items: Iterable[T]) -> int:
+        """Enqueue many items; returns how many were accepted."""
+        accepted = 0
+        for item in items:
+            if self.push(item):
+                accepted += 1
+        return accepted
+
+    def pop(self) -> Optional[T]:
+        """Dequeue the oldest item, or None when empty."""
+        if self._entries:
+            return self._entries.popleft()
+        return None
+
+    def drain(self) -> List[T]:
+        """Dequeue everything currently buffered."""
+        items = list(self._entries)
+        self._entries.clear()
+        return items
+
+    def peek(self) -> Optional[T]:
+        """The oldest item without removing it."""
+        return self._entries[0] if self._entries else None

@@ -1,0 +1,28 @@
+"""Event model: hardware event specifications and per-microarchitecture catalogs.
+
+The paper's model is driven by *events* (architectural and microarchitectural
+quantities counted by the PMU) and *derived events* (algebraic combinations of
+events, such as IPC or DRAM bandwidth).  Two catalogs are provided, an
+x86-like one (modelled on Intel SkyLake event names) and a ppc64-like one
+(modelled on IBM Power9 ``PM_*`` names).  Both map their events onto a shared
+set of *semantic* quantities so that the machine model and the invariant
+library can be written once and instantiated for either catalog.
+"""
+
+from repro.events.event import EventDomain, EventKind, EventSpec
+from repro.events.derived import DerivedEvent
+from repro.events.catalog import EventCatalog
+from repro.events.profiles import derived_metric_events, standard_profiling_events
+from repro.events.registry import available_catalogs, catalog_for
+
+__all__ = [
+    "EventDomain",
+    "EventKind",
+    "EventSpec",
+    "DerivedEvent",
+    "EventCatalog",
+    "available_catalogs",
+    "catalog_for",
+    "standard_profiling_events",
+    "derived_metric_events",
+]

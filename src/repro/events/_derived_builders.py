@@ -1,0 +1,133 @@
+"""Shared construction of the standard derived-metric set.
+
+Both catalogs expose the same twelve derived metrics (the paper measures the
+first ten of them, §6.2); only the raw event names differ between
+microarchitectures.  A catalog builder supplies a resolver mapping semantic
+keys to its own event names and gets back a :class:`DerivedEventSet`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.events import semantics as sem
+from repro.events.derived import (
+    DerivedEvent,
+    DerivedEventSet,
+    normalized_weighted_sum,
+    ratio,
+)
+
+Resolver = Callable[[str], str]
+
+
+def build_standard_derived(name: str, resolve: Resolver) -> DerivedEventSet:
+    """Build the standard derived metrics using catalog-specific event names.
+
+    Parameters
+    ----------
+    name:
+        Name for the resulting :class:`DerivedEventSet` (usually the catalog
+        name).
+    resolve:
+        Callable mapping a semantic key to the catalog's preferred event name
+        for that semantic.
+    """
+    instructions = resolve(sem.INSTRUCTIONS)
+    cycles = resolve(sem.CYCLES)
+    branches = resolve(sem.BRANCHES)
+    branch_misses = resolve(sem.BRANCH_MISSES)
+    l1d_miss = resolve(sem.L1D_MISS)
+    l2_access = resolve(sem.L2_ACCESS)
+    l2_miss = resolve(sem.L2_MISS)
+    llc_access = resolve(sem.LLC_ACCESS)
+    llc_miss = resolve(sem.LLC_MISS)
+    dma_txn = resolve(sem.DMA_TRANSACTIONS)
+    stall_mem = resolve(sem.STALL_MEM)
+    stall_frontend = resolve(sem.STALL_FRONTEND)
+    stall_backend = resolve(sem.STALL_BACKEND)
+    stall_dram_bw = resolve(sem.STALL_DRAM_BW)
+    pcie_total = resolve(sem.PCIE_TOTAL_BYTES)
+    dma_bytes = resolve(sem.DMA_BYTES)
+
+    metrics = (
+        DerivedEvent(
+            name="ipc",
+            inputs=(instructions, cycles),
+            formula=ratio(instructions, cycles),
+            description="Instructions retired per core clock cycle.",
+        ),
+        DerivedEvent(
+            name="branch_mispredict_rate",
+            inputs=(branch_misses, branches),
+            formula=ratio(branch_misses, branches),
+            description="Fraction of retired branches that were mispredicted.",
+        ),
+        DerivedEvent(
+            name="l1d_mpki",
+            inputs=(l1d_miss, instructions),
+            formula=lambda v, _m=l1d_miss, _i=instructions: 1000.0 * v[_m] / max(v[_i], 1e-12),
+            description="L1 data-cache misses per thousand instructions.",
+        ),
+        DerivedEvent(
+            name="l2_miss_rate",
+            inputs=(l2_miss, l2_access),
+            formula=ratio(l2_miss, l2_access),
+            description="Fraction of L2 accesses that miss.",
+        ),
+        DerivedEvent(
+            name="llc_miss_rate",
+            inputs=(llc_miss, llc_access),
+            formula=ratio(llc_miss, llc_access),
+            description="Fraction of last-level-cache accesses that miss.",
+        ),
+        DerivedEvent(
+            name="dram_bandwidth",
+            inputs=(llc_miss, dma_txn, cycles),
+            formula=normalized_weighted_sum(
+                {llc_miss: float(sem.CACHE_LINE_BYTES), dma_txn: float(sem.DMA_TRANSACTION_BYTES)},
+                cycles,
+            ),
+            description=(
+                "Bytes moved to/from DRAM per cycle: "
+                "(LLC misses x cache line size + DMA transactions x transaction size) / clocks."
+            ),
+        ),
+        DerivedEvent(
+            name="memory_bound",
+            inputs=(stall_mem, cycles),
+            formula=ratio(stall_mem, cycles),
+            description="Fraction of cycles stalled on the memory subsystem.",
+        ),
+        DerivedEvent(
+            name="frontend_bound_smt",
+            inputs=(stall_frontend, cycles),
+            formula=ratio(stall_frontend, cycles),
+            description="Fraction of cycles stalled in the front end.",
+        ),
+        DerivedEvent(
+            name="backend_bound_smt",
+            inputs=(stall_backend, cycles),
+            formula=ratio(stall_backend, cycles),
+            description="Fraction of cycles stalled in the back end.",
+        ),
+        DerivedEvent(
+            name="dram_bw_bound",
+            inputs=(stall_dram_bw, cycles),
+            formula=ratio(stall_dram_bw, cycles),
+            description="Fraction of cycles stalled on DRAM bandwidth.",
+        ),
+        DerivedEvent(
+            name="pcie_bandwidth",
+            inputs=(pcie_total, cycles),
+            formula=ratio(pcie_total, cycles),
+            description="PCIe payload bytes transferred per cycle.",
+        ),
+        DerivedEvent(
+            name="dma_bandwidth",
+            inputs=(dma_bytes, cycles),
+            formula=ratio(dma_bytes, cycles),
+            description="DMA bytes transferred per cycle.",
+        ),
+    )
+    return DerivedEventSet(name=name, metrics=metrics)

@@ -1,0 +1,135 @@
+"""Derived events: algebraic combinations of raw hardware events.
+
+The paper's evaluation measures ten *derived events* per microarchitecture
+(§6.2); each derived event aggregates a group of raw HPC measurements with a
+mathematical expression (e.g. ``Backend_Bound_SMT`` combines 16 counters).
+Here a :class:`DerivedEvent` carries the list of raw input events and a
+callable over their values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Mapping, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class DerivedEvent:
+    """A metric computed from several raw events.
+
+    Parameters
+    ----------
+    name:
+        Metric name, e.g. ``"dram_bandwidth"``.
+    inputs:
+        Names of the raw events consumed by the metric.
+    formula:
+        Callable mapping ``{event_name: value}`` to the metric value.  It is
+        only ever called with exactly the events listed in ``inputs``.
+    description:
+        Human-readable description of the metric.
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    formula: Callable[[Mapping[str, float]], float]
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("derived event name must be non-empty")
+        if len(self.inputs) == 0:
+            raise ValueError(f"derived event {self.name!r} needs at least one input")
+
+    def compute(self, values: Mapping[str, float]) -> float:
+        """Evaluate the metric on a mapping of raw event values.
+
+        Missing inputs raise ``KeyError`` so that callers notice incomplete
+        measurements instead of silently computing garbage.
+        """
+        missing = [name for name in self.inputs if name not in values]
+        if missing:
+            raise KeyError(f"derived event {self.name!r} missing inputs: {missing}")
+        subset = {name: float(values[name]) for name in self.inputs}
+        return float(self.formula(subset))
+
+    def __len__(self) -> int:
+        return len(self.inputs)
+
+
+def ratio(numerator: str, denominator: str, *, floor: float = 1e-12) -> Callable[[Mapping[str, float]], float]:
+    """Build a safe ratio formula ``numerator / max(denominator, floor)``."""
+
+    def _formula(values: Mapping[str, float]) -> float:
+        return values[numerator] / max(values[denominator], floor)
+
+    return _formula
+
+
+def weighted_sum(weights: Dict[str, float]) -> Callable[[Mapping[str, float]], float]:
+    """Build a formula computing ``sum(weights[e] * values[e])``."""
+    if not weights:
+        raise ValueError("weighted_sum requires at least one term")
+
+    def _formula(values: Mapping[str, float]) -> float:
+        return sum(w * values[name] for name, w in weights.items())
+
+    return _formula
+
+
+def normalized_weighted_sum(
+    weights: Dict[str, float], denominator: str, *, floor: float = 1e-12
+) -> Callable[[Mapping[str, float]], float]:
+    """Build a formula for ``sum(w_i * e_i) / max(denominator, floor)``."""
+    if not weights:
+        raise ValueError("normalized_weighted_sum requires at least one term")
+
+    def _formula(values: Mapping[str, float]) -> float:
+        total = sum(w * values[name] for name, w in weights.items())
+        return total / max(values[denominator], floor)
+
+    return _formula
+
+
+@dataclass(frozen=True)
+class DerivedEventSet:
+    """An ordered collection of derived events for one microarchitecture."""
+
+    name: str
+    metrics: Tuple[DerivedEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for metric in self.metrics:
+            if metric.name in seen:
+                raise ValueError(f"duplicate derived event {metric.name!r}")
+            seen.add(metric.name)
+
+    def __iter__(self):
+        return iter(self.metrics)
+
+    def __len__(self) -> int:
+        return len(self.metrics)
+
+    def get(self, name: str) -> DerivedEvent:
+        for metric in self.metrics:
+            if metric.name == name:
+                return metric
+        raise KeyError(f"unknown derived event {name!r}")
+
+    def required_events(self) -> Tuple[str, ...]:
+        """Names of all raw events needed to compute every metric, de-duplicated."""
+        ordered = []
+        seen = set()
+        for metric in self.metrics:
+            for event_name in metric.inputs:
+                if event_name not in seen:
+                    seen.add(event_name)
+                    ordered.append(event_name)
+        return tuple(ordered)
+
+    def first(self, count: int) -> "DerivedEventSet":
+        """Return a new set containing only the first *count* metrics."""
+        if count <= 0:
+            raise ValueError("count must be positive")
+        return DerivedEventSet(name=self.name, metrics=self.metrics[:count])

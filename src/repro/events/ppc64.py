@@ -1,0 +1,131 @@
+"""ppc64 (Power9-like) event catalog.
+
+Event names follow IBM's ``PM_*`` naming style.  Power9 exposes six counters
+per thread; two of them (PMC5/PMC6) are dedicated to instructions and cycles,
+so the model uses two fixed plus four programmable counters that are not
+split between SMT threads.
+"""
+
+from __future__ import annotations
+
+from repro.events import semantics as sem
+from repro.events._derived_builders import build_standard_derived
+from repro.events.catalog import CounterFile, EventCatalog
+from repro.events.event import CollectionScope, EventDomain, EventKind, EventSpec
+
+
+def _fixed(name: str, semantic: str, code: int, description: str) -> EventSpec:
+    return EventSpec(
+        name=name,
+        semantic=semantic,
+        domain=EventDomain.CORE,
+        kind=EventKind.FIXED,
+        code=code,
+        description=description,
+        scope=CollectionScope.THREAD,
+    )
+
+
+def _prog(name, semantic, code, description, *, domain=EventDomain.CORE, mask=None, msr=False, scope=CollectionScope.CORE, scale=1.0):
+    return EventSpec(
+        name=name,
+        semantic=semantic,
+        domain=domain,
+        kind=EventKind.PROGRAMMABLE,
+        code=code,
+        description=description,
+        counter_mask=frozenset(mask) if mask is not None else None,
+        requires_msr=msr,
+        scope=scope,
+        scale=scale,
+    )
+
+
+def _socket(name, semantic, code, description, *, domain=EventDomain.MEMORY, scale=1.0):
+    return _prog(name, semantic, code, description, domain=domain, scope=CollectionScope.SOCKET, scale=scale)
+
+
+def build_ppc64_catalog() -> EventCatalog:
+    """Construct the ppc64 (Power9-like) event catalog."""
+    events = [
+        # Dedicated counters (PMC5 / PMC6 on Power9).
+        _fixed("PM_RUN_INST_CMPL", sem.INSTRUCTIONS, 0x500, "Run instructions completed (dedicated PMC5)."),
+        _fixed("PM_RUN_CYC", sem.CYCLES, 0x600, "Run cycles (dedicated PMC6)."),
+        # Pipeline.
+        _prog("PM_CYC", sem.CYCLES, 0x1E, "Processor cycles."),
+        _prog("PM_INST_DISP", sem.UOPS_ISSUED, 0x102, "Internal operations dispatched."),
+        _prog("PM_INST_CMPL_IOPS", sem.UOPS_RETIRED, 0x103, "Internal operations completed."),
+        _prog("PM_DISP_CANCEL", sem.UOPS_CANCELLED, 0x104, "Dispatched operations cancelled."),
+        _prog("PM_SLOT_USED", sem.ISSUE_SLOTS_USED, 0x105, "Dispatch slots used."),
+        _prog("PM_SLOT_EMPTY", sem.ISSUE_SLOTS_EMPTY, 0x106, "Dispatch slots left empty by the front end.", domain=EventDomain.FRONTEND),
+        _prog("PM_SLOT_TOTAL", sem.ISSUE_SLOTS_TOTAL, 0x107, "Total dispatch slots."),
+        _prog("PM_RUN_CYC_ACTIVE", sem.ACTIVE_CYCLES, 0x108, "Cycles with at least one operation executing."),
+        # Branches.
+        _prog("PM_BR_CMPL", sem.BRANCHES, 0x200, "Branches completed.", domain=EventDomain.BRANCH),
+        _prog("PM_BR_TAKEN_CMPL", sem.BRANCH_TAKEN, 0x201, "Taken branches completed.", domain=EventDomain.BRANCH),
+        _prog("PM_BR_NOT_TAKEN_CMPL", sem.BRANCH_NOT_TAKEN, 0x202, "Not-taken branches completed.", domain=EventDomain.BRANCH),
+        _prog("PM_BR_MPRED_CMPL", sem.BRANCH_MISSES, 0x203, "Mispredicted branches completed.", domain=EventDomain.BRANCH),
+        # Memory instructions.
+        _prog("PM_LSU_FIN", sem.MEM_INST_RETIRED, 0x300, "Load/store unit operations finished."),
+        _prog("PM_LD_CMPL", sem.LOADS_RETIRED, 0x301, "Loads completed."),
+        _prog("PM_ST_CMPL", sem.STORES_RETIRED, 0x302, "Stores completed."),
+        # L1 caches.
+        _prog("PM_LD_REF_L1", sem.L1D_ACCESS, 0x400, "L1 data cache references.", domain=EventDomain.CACHE),
+        _prog("PM_LD_HIT_L1", sem.L1D_HIT, 0x401, "L1 data cache hits.", domain=EventDomain.CACHE),
+        _prog("PM_LD_MISS_L1", sem.L1D_MISS, 0x402, "L1 data cache misses.", domain=EventDomain.CACHE),
+        _prog("PM_INST_FROM_L1", sem.L1I_ACCESS, 0x403, "Instruction fetches from the L1 instruction cache.", domain=EventDomain.FRONTEND),
+        _prog("PM_L1_ICACHE_MISS", sem.L1I_MISS, 0x404, "L1 instruction cache misses.", domain=EventDomain.FRONTEND),
+        _prog("PM_CMPLU_STALL_DMISS_L21_L31", sem.STALL_L2_PENDING, 0x405, "Stall cycles with pending L2/L3 demand misses (counter 3 only).", domain=EventDomain.CACHE, mask={3}),
+        # L2 cache.
+        _prog("PM_L2_RQSTS", sem.L2_ACCESS, 0x410, "L2 cache requests.", domain=EventDomain.CACHE),
+        _prog("PM_L2_HIT", sem.L2_HIT, 0x411, "L2 cache hits.", domain=EventDomain.CACHE),
+        _prog("PM_L2_MISS", sem.L2_MISS, 0x412, "L2 cache misses.", domain=EventDomain.CACHE),
+        # L3 (last level).
+        _prog("PM_L3_REF", sem.LLC_ACCESS, 0x420, "L3 cache references.", domain=EventDomain.CACHE),
+        _prog("PM_L3_HIT", sem.LLC_HIT, 0x421, "L3 cache hits.", domain=EventDomain.CACHE),
+        _prog("PM_L3_MISS", sem.LLC_MISS, 0x422, "L3 cache misses.", domain=EventDomain.CACHE),
+        # TLB.
+        _prog("PM_DTLB_MISS", sem.DTLB_MISS, 0x430, "Data TLB misses.", domain=EventDomain.TLB),
+        _prog("PM_ITLB_MISS", sem.ITLB_MISS, 0x431, "Instruction TLB misses.", domain=EventDomain.TLB),
+        _prog("PM_TABLEWALK_CMPL", sem.PAGE_WALKS, 0x432, "Completed table walks.", domain=EventDomain.TLB),
+        # Stalls.
+        _prog("PM_CMPLU_STALL", sem.STALL_CYCLES_TOTAL, 0x440, "Completion stall cycles."),
+        _prog("PM_ICT_NOSLOT_CYC", sem.STALL_FRONTEND, 0x441, "Cycles with no instructions available to dispatch.", domain=EventDomain.FRONTEND),
+        _prog("PM_CMPLU_STALL_BACKEND", sem.STALL_BACKEND, 0x442, "Back-end completion stall cycles."),
+        _prog("PM_CMPLU_STALL_EXEC_UNIT", sem.STALL_CORE, 0x443, "Stall cycles due to execution-unit limits."),
+        _prog("PM_CMPLU_STALL_MEM", sem.STALL_MEM, 0x444, "Stall cycles waiting on the memory subsystem."),
+        _prog("PM_CMPLU_STALL_DMISS_L3MISS", sem.STALL_L2_PENDING, 0x445, "Stall cycles with demand misses past the L2."),
+        _prog("PM_CMPLU_STALL_DMISS_REMOTE_BW", sem.STALL_DRAM_BW, 0x446, "Stall cycles limited by memory bandwidth.", domain=EventDomain.OFFCORE),
+        _prog("PM_CMPLU_STALL_DMISS_LMEM_LAT", sem.STALL_DRAM_LAT, 0x447, "Stall cycles limited by memory latency.", domain=EventDomain.OFFCORE),
+        # Off-chip traffic (need an auxiliary MMCR-style register).
+        _prog("PM_DATA_FROM_MEMORY", sem.OFFCORE_DEMAND_READS, 0x450, "Demand data sourced from memory.", domain=EventDomain.OFFCORE, msr=True),
+        _prog("PM_L3_CO_MEM", sem.OFFCORE_WRITEBACKS, 0x451, "L3 castouts written to memory.", domain=EventDomain.OFFCORE, msr=True),
+        # Memory controller / nest events (per socket).
+        _socket("PM_MEM_READ", sem.DRAM_READS, 0x460, "Memory controller read commands."),
+        _socket("PM_MEM_WRITE", sem.DRAM_WRITES, 0x461, "Memory controller write commands."),
+        _socket("PM_MEM_ACCESS", sem.DRAM_ACCESSES, 0x462, "All memory controller commands."),
+        _socket("PM_MEM_BYTES", sem.DRAM_BYTES, 0x463, "Bytes moved at the memory controller."),
+        # Nest / PCIe host bridge events (per socket).
+        _socket("PM_PHB_DMA_TXN", sem.DMA_TRANSACTIONS, 0x470, "DMA transactions through the PCIe host bridge.", domain=EventDomain.INTERCONNECT),
+        _socket("PM_PHB_DMA_BYTES", sem.DMA_BYTES, 0x471, "DMA bytes through the PCIe host bridge.", domain=EventDomain.INTERCONNECT),
+        _socket("PM_PHB_PAYLOAD_READ", sem.PCIE_READ_BYTES, 0x472, "PCIe payload bytes read by devices.", domain=EventDomain.INTERCONNECT),
+        _socket("PM_PHB_PAYLOAD_WRITE", sem.PCIE_WRITE_BYTES, 0x473, "PCIe payload bytes written by devices.", domain=EventDomain.INTERCONNECT),
+        _socket("PM_PHB_PAYLOAD_TOTAL", sem.PCIE_TOTAL_BYTES, 0x474, "Total PCIe payload bytes.", domain=EventDomain.INTERCONNECT),
+        _socket("PM_PHB_TRANSACTIONS", sem.PCIE_TRANSACTIONS, 0x475, "PCIe transactions.", domain=EventDomain.INTERCONNECT),
+        # OS-level software events.
+        _prog("SW_CONTEXT_SWITCHES", sem.CONTEXT_SWITCHES, 0x480, "OS context switches.", domain=EventDomain.OS),
+        _prog("SW_INTERRUPTS", sem.INTERRUPTS, 0x481, "Hardware interrupts serviced.", domain=EventDomain.OS),
+    ]
+
+    by_semantic = {}
+    for spec in events:
+        by_semantic.setdefault(spec.semantic, spec.name)
+
+    derived = build_standard_derived("ppc64-power9", lambda s: by_semantic[s])
+    counter_file = CounterFile(n_fixed=2, n_programmable=4, smt_split=False)
+    return EventCatalog(
+        name="ppc64-power9",
+        events=events,
+        counter_file=counter_file,
+        derived=derived,
+    )

@@ -1,0 +1,42 @@
+"""Catalog registry: look up event catalogs by microarchitecture name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.events.catalog import EventCatalog
+from repro.events.ppc64 import build_ppc64_catalog
+from repro.events.x86 import build_x86_catalog
+
+_BUILDERS: Dict[str, Callable[[], EventCatalog]] = {
+    "x86": build_x86_catalog,
+    "x86_64": build_x86_catalog,
+    "x86_64-skylake": build_x86_catalog,
+    "ppc64": build_ppc64_catalog,
+    "power9": build_ppc64_catalog,
+    "ppc64-power9": build_ppc64_catalog,
+}
+
+_CACHE: Dict[str, EventCatalog] = {}
+
+
+def available_catalogs() -> Tuple[str, ...]:
+    """Canonical names of the available catalogs."""
+    return ("x86_64-skylake", "ppc64-power9")
+
+
+def catalog_for(arch: str) -> EventCatalog:
+    """Return the event catalog for *arch*.
+
+    Accepts common aliases (``"x86"``, ``"x86_64"``, ``"ppc64"``,
+    ``"power9"``) as well as the canonical catalog names.  Catalogs are
+    immutable in practice and cached after first construction.
+    """
+    key = arch.strip().lower()
+    if key not in _BUILDERS:
+        raise KeyError(
+            f"unknown microarchitecture {arch!r}; available: {sorted(set(_BUILDERS))}"
+        )
+    if key not in _CACHE:
+        _CACHE[key] = _BUILDERS[key]()
+    return _CACHE[key]

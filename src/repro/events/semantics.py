@@ -1,0 +1,155 @@
+"""Canonical semantic quantities shared by all event catalogs.
+
+Every :class:`~repro.events.event.EventSpec` maps to exactly one semantic
+quantity.  The machine model (:mod:`repro.uarch`) produces ground-truth values
+for semantics, and the invariant library (:mod:`repro.invariants`) states
+algebraic relations over semantics.  Catalogs translate between
+vendor-specific event names and these canonical keys.
+"""
+
+from __future__ import annotations
+
+# Pipeline / retirement
+CYCLES = "cycles"
+ACTIVE_CYCLES = "active_cycles"
+INSTRUCTIONS = "instructions"
+UOPS_ISSUED = "uops_issued"
+UOPS_RETIRED = "uops_retired"
+UOPS_CANCELLED = "uops_cancelled"
+ISSUE_SLOTS_TOTAL = "issue_slots_total"
+ISSUE_SLOTS_USED = "issue_slots_used"
+ISSUE_SLOTS_EMPTY = "issue_slots_empty"
+
+# Branches
+BRANCHES = "branches"
+BRANCH_TAKEN = "branch_taken"
+BRANCH_NOT_TAKEN = "branch_not_taken"
+BRANCH_MISSES = "branch_misses"
+
+# Memory instructions
+MEM_INST_RETIRED = "mem_inst_retired"
+LOADS_RETIRED = "loads_retired"
+STORES_RETIRED = "stores_retired"
+
+# Cache hierarchy
+L1D_ACCESS = "l1d_access"
+L1D_HIT = "l1d_hit"
+L1D_MISS = "l1d_miss"
+L1I_ACCESS = "l1i_access"
+L1I_MISS = "l1i_miss"
+L2_ACCESS = "l2_access"
+L2_HIT = "l2_hit"
+L2_MISS = "l2_miss"
+LLC_ACCESS = "llc_access"
+LLC_HIT = "llc_hit"
+LLC_MISS = "llc_miss"
+
+# TLB
+DTLB_MISS = "dtlb_miss"
+ITLB_MISS = "itlb_miss"
+PAGE_WALKS = "page_walks"
+
+# DRAM and IO
+DRAM_READS = "dram_reads"
+DRAM_WRITES = "dram_writes"
+DRAM_ACCESSES = "dram_accesses"
+DRAM_BYTES = "dram_bytes"
+DMA_TRANSACTIONS = "dma_transactions"
+DMA_BYTES = "dma_bytes"
+OFFCORE_DEMAND_READS = "offcore_demand_reads"
+OFFCORE_WRITEBACKS = "offcore_writebacks"
+
+# Stalls
+STALL_CYCLES_TOTAL = "stall_cycles_total"
+STALL_FRONTEND = "stall_frontend"
+STALL_BACKEND = "stall_backend"
+STALL_CORE = "stall_core"
+STALL_MEM = "stall_mem"
+STALL_DRAM_BW = "stall_dram_bw"
+STALL_DRAM_LAT = "stall_dram_lat"
+STALL_L2_PENDING = "stall_l2_pending"
+
+# PCIe / interconnect
+PCIE_READ_BYTES = "pcie_read_bytes"
+PCIE_WRITE_BYTES = "pcie_write_bytes"
+PCIE_TOTAL_BYTES = "pcie_total_bytes"
+PCIE_TRANSACTIONS = "pcie_transactions"
+
+# OS-level
+CONTEXT_SWITCHES = "context_switches"
+INTERRUPTS = "interrupts"
+
+#: All semantic keys, in a stable order.  The machine model produces a value
+#: for every key in this tuple at every tick.
+ALL_SEMANTICS = (
+    CYCLES,
+    ACTIVE_CYCLES,
+    INSTRUCTIONS,
+    UOPS_ISSUED,
+    UOPS_RETIRED,
+    UOPS_CANCELLED,
+    ISSUE_SLOTS_TOTAL,
+    ISSUE_SLOTS_USED,
+    ISSUE_SLOTS_EMPTY,
+    BRANCHES,
+    BRANCH_TAKEN,
+    BRANCH_NOT_TAKEN,
+    BRANCH_MISSES,
+    MEM_INST_RETIRED,
+    LOADS_RETIRED,
+    STORES_RETIRED,
+    L1D_ACCESS,
+    L1D_HIT,
+    L1D_MISS,
+    L1I_ACCESS,
+    L1I_MISS,
+    L2_ACCESS,
+    L2_HIT,
+    L2_MISS,
+    LLC_ACCESS,
+    LLC_HIT,
+    LLC_MISS,
+    DTLB_MISS,
+    ITLB_MISS,
+    PAGE_WALKS,
+    DRAM_READS,
+    DRAM_WRITES,
+    DRAM_ACCESSES,
+    DRAM_BYTES,
+    DMA_TRANSACTIONS,
+    DMA_BYTES,
+    OFFCORE_DEMAND_READS,
+    OFFCORE_WRITEBACKS,
+    STALL_CYCLES_TOTAL,
+    STALL_FRONTEND,
+    STALL_BACKEND,
+    STALL_CORE,
+    STALL_MEM,
+    STALL_DRAM_BW,
+    STALL_DRAM_LAT,
+    STALL_L2_PENDING,
+    PCIE_READ_BYTES,
+    PCIE_WRITE_BYTES,
+    PCIE_TOTAL_BYTES,
+    PCIE_TRANSACTIONS,
+    CONTEXT_SWITCHES,
+    INTERRUPTS,
+)
+
+#: Cache line size in bytes used by the DRAM-bandwidth invariant (footnote 1
+#: of the paper).
+CACHE_LINE_BYTES = 64
+
+#: Size of a single DMA transaction in bytes assumed by the machine model.
+DMA_TRANSACTION_BYTES = 256
+
+#: Pipeline issue width assumed by the issue-slot invariants.
+PIPELINE_WIDTH = 4
+
+
+def is_semantic(name: str) -> bool:
+    """Return ``True`` when *name* is a known semantic key."""
+    return name in _SEMANTIC_SET
+
+
+_SEMANTIC_SET = frozenset(ALL_SEMANTICS)

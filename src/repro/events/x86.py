@@ -1,0 +1,132 @@
+"""x86_64 (SkyLake-like) event catalog.
+
+Event names follow Intel's event naming conventions; codes are synthetic but
+stable.  The counter file mirrors a modern Intel core: three fixed counters
+plus eight programmable counters split between the two SMT threads, i.e. four
+usable programmable counters per thread (the "4-10 registers per core" the
+paper describes).
+"""
+
+from __future__ import annotations
+
+from repro.events import semantics as sem
+from repro.events._derived_builders import build_standard_derived
+from repro.events.catalog import CounterFile, EventCatalog
+from repro.events.event import CollectionScope, EventDomain, EventKind, EventSpec
+
+
+def _fixed(name: str, semantic: str, code: int, description: str) -> EventSpec:
+    return EventSpec(
+        name=name,
+        semantic=semantic,
+        domain=EventDomain.CORE,
+        kind=EventKind.FIXED,
+        code=code,
+        description=description,
+        scope=CollectionScope.THREAD,
+    )
+
+
+def _core(name, semantic, code, description, *, domain=EventDomain.CORE, mask=None, msr=False, scope=CollectionScope.CORE, scale=1.0):
+    return EventSpec(
+        name=name,
+        semantic=semantic,
+        domain=domain,
+        kind=EventKind.PROGRAMMABLE,
+        code=code,
+        description=description,
+        counter_mask=frozenset(mask) if mask is not None else None,
+        requires_msr=msr,
+        scope=scope,
+        scale=scale,
+    )
+
+
+def _socket(name, semantic, code, description, *, domain=EventDomain.MEMORY, scale=1.0):
+    return _core(name, semantic, code, description, domain=domain, scope=CollectionScope.SOCKET, scale=scale)
+
+
+def build_x86_catalog() -> EventCatalog:
+    """Construct the x86_64 (SkyLake-like) event catalog."""
+    events = [
+        # Fixed counters (architectural events).
+        _fixed("INST_RETIRED.ANY", sem.INSTRUCTIONS, 0x00, "Instructions retired (fixed counter 0)."),
+        _fixed("CPU_CLK_UNHALTED.THREAD", sem.CYCLES, 0x01, "Core clock cycles while the thread is not halted (fixed counter 1)."),
+        _fixed("CPU_CLK_UNHALTED.REF_TSC", sem.CYCLES, 0x02, "Reference clock cycles at TSC frequency (fixed counter 2)."),
+        # Pipeline.
+        _core("UOPS_ISSUED.ANY", sem.UOPS_ISSUED, 0x10, "Micro-ops issued by the rename/allocate stage."),
+        _core("UOPS_RETIRED.RETIRE_SLOTS", sem.UOPS_RETIRED, 0x11, "Retirement slots used by retired micro-ops."),
+        _core("UOPS_ISSUED.CANCELLED", sem.UOPS_CANCELLED, 0x12, "Issued micro-ops cancelled before retirement."),
+        _core("UOPS_DISPATCHED.SLOTS_USED", sem.ISSUE_SLOTS_USED, 0x13, "Issue slots with dispatched micro-ops."),
+        _core("IDQ_UOPS_NOT_DELIVERED.CORE", sem.ISSUE_SLOTS_EMPTY, 0x14, "Issue slots where no micro-op was delivered by the front end.", domain=EventDomain.FRONTEND),
+        _core("TOPDOWN.SLOTS", sem.ISSUE_SLOTS_TOTAL, 0x15, "Total pipeline issue slots."),
+        _core("CPU_CLK_UNHALTED.ACTIVE", sem.ACTIVE_CYCLES, 0x16, "Cycles with at least one micro-op executing."),
+        # Branches.
+        _core("BR_INST_RETIRED.ALL_BRANCHES", sem.BRANCHES, 0x20, "Retired branch instructions.", domain=EventDomain.BRANCH),
+        _core("BR_INST_RETIRED.NEAR_TAKEN", sem.BRANCH_TAKEN, 0x21, "Retired taken branches.", domain=EventDomain.BRANCH),
+        _core("BR_INST_RETIRED.NOT_TAKEN", sem.BRANCH_NOT_TAKEN, 0x22, "Retired not-taken branches.", domain=EventDomain.BRANCH),
+        _core("BR_MISP_RETIRED.ALL_BRANCHES", sem.BRANCH_MISSES, 0x23, "Retired mispredicted branches.", domain=EventDomain.BRANCH),
+        # Memory instructions.
+        _core("MEM_INST_RETIRED.ANY", sem.MEM_INST_RETIRED, 0x30, "Retired memory instructions."),
+        _core("MEM_INST_RETIRED.ALL_LOADS", sem.LOADS_RETIRED, 0x31, "Retired load instructions."),
+        _core("MEM_INST_RETIRED.ALL_STORES", sem.STORES_RETIRED, 0x32, "Retired store instructions."),
+        # L1 caches.
+        _core("L1D.ACCESS", sem.L1D_ACCESS, 0x40, "L1 data cache accesses.", domain=EventDomain.CACHE),
+        _core("MEM_LOAD_RETIRED.L1_HIT", sem.L1D_HIT, 0x41, "L1 data cache hits.", domain=EventDomain.CACHE),
+        _core("L1D.REPLACEMENT", sem.L1D_MISS, 0x42, "L1 data cache lines replaced (misses).", domain=EventDomain.CACHE),
+        _core("ICACHE_64B.IFTAG_ACCESS", sem.L1I_ACCESS, 0x43, "Instruction cache tag accesses.", domain=EventDomain.FRONTEND),
+        _core("ICACHE_64B.IFTAG_MISS", sem.L1I_MISS, 0x44, "Instruction cache tag misses.", domain=EventDomain.FRONTEND),
+        _core("L1D_PEND_MISS.PENDING", sem.STALL_L2_PENDING, 0x45, "Cycles with outstanding L1D misses (counter 2 only).", domain=EventDomain.CACHE, mask={2}),
+        # L2 cache.
+        _core("L2_RQSTS.REFERENCES", sem.L2_ACCESS, 0x50, "L2 cache requests.", domain=EventDomain.CACHE),
+        _core("L2_RQSTS.HIT", sem.L2_HIT, 0x51, "L2 cache hits.", domain=EventDomain.CACHE),
+        _core("L2_RQSTS.MISS", sem.L2_MISS, 0x52, "L2 cache misses.", domain=EventDomain.CACHE),
+        # LLC.
+        _core("LONGEST_LAT_CACHE.REFERENCE", sem.LLC_ACCESS, 0x60, "Last-level cache references.", domain=EventDomain.CACHE),
+        _core("LONGEST_LAT_CACHE.HIT", sem.LLC_HIT, 0x61, "Last-level cache hits.", domain=EventDomain.CACHE),
+        _core("LONGEST_LAT_CACHE.MISS", sem.LLC_MISS, 0x62, "Last-level cache misses.", domain=EventDomain.CACHE),
+        # TLB.
+        _core("DTLB_LOAD_MISSES.WALK_COMPLETED", sem.DTLB_MISS, 0x70, "Completed page walks caused by DTLB load misses.", domain=EventDomain.TLB),
+        _core("ITLB_MISSES.WALK_COMPLETED", sem.ITLB_MISS, 0x71, "Completed page walks caused by ITLB misses.", domain=EventDomain.TLB),
+        _core("EPT.WALK_COMPLETED", sem.PAGE_WALKS, 0x72, "Completed page walks (all sources).", domain=EventDomain.TLB),
+        # Stalls.
+        _core("CYCLE_ACTIVITY.STALLS_TOTAL", sem.STALL_CYCLES_TOTAL, 0x80, "Cycles with no micro-op executing."),
+        _core("CYCLE_ACTIVITY.STALLS_FRONTEND", sem.STALL_FRONTEND, 0x81, "Stall cycles attributed to the front end.", domain=EventDomain.FRONTEND),
+        _core("CYCLE_ACTIVITY.STALLS_BACKEND", sem.STALL_BACKEND, 0x82, "Stall cycles attributed to the back end."),
+        _core("RESOURCE_STALLS.ANY", sem.STALL_CORE, 0x83, "Stall cycles due to core resource limits."),
+        _core("CYCLE_ACTIVITY.STALLS_MEM_ANY", sem.STALL_MEM, 0x84, "Stall cycles waiting on memory."),
+        _core("CYCLE_ACTIVITY.STALLS_L2_PENDING", sem.STALL_L2_PENDING, 0x85, "Stall cycles with pending L2 misses."),
+        _core("OFFCORE_REQUESTS.DRD_BW_CYCLES", sem.STALL_DRAM_BW, 0x86, "Cycles limited by DRAM bandwidth (ORO_DRD_BW_Cycles).", domain=EventDomain.OFFCORE),
+        _core("OFFCORE_REQUESTS.DRD_LAT_CYCLES", sem.STALL_DRAM_LAT, 0x87, "Cycles limited by DRAM latency.", domain=EventDomain.OFFCORE),
+        # Off-core response events (need an auxiliary MSR).
+        _core("OFFCORE_RESPONSE.DEMAND_DATA_RD", sem.OFFCORE_DEMAND_READS, 0x90, "Demand data reads leaving the core.", domain=EventDomain.OFFCORE, msr=True),
+        _core("OFFCORE_RESPONSE.WRITEBACKS", sem.OFFCORE_WRITEBACKS, 0x91, "Cache line writebacks leaving the core.", domain=EventDomain.OFFCORE, msr=True),
+        # Uncore / memory controller (per socket).
+        _socket("UNC_M_CAS_COUNT.RD", sem.DRAM_READS, 0xA0, "DRAM CAS read commands."),
+        _socket("UNC_M_CAS_COUNT.WR", sem.DRAM_WRITES, 0xA1, "DRAM CAS write commands."),
+        _socket("UNC_M_CAS_COUNT.ALL", sem.DRAM_ACCESSES, 0xA2, "All DRAM CAS commands."),
+        _socket("UNC_M_BYTES.ALL", sem.DRAM_BYTES, 0xA3, "Total bytes moved at the memory controller."),
+        # IIO / PCIe (per socket).
+        _socket("UNC_IIO_DMA_TXN.ALL", sem.DMA_TRANSACTIONS, 0xB0, "DMA transactions handled by the IIO stack.", domain=EventDomain.INTERCONNECT),
+        _socket("UNC_IIO_DMA_BYTES.ALL", sem.DMA_BYTES, 0xB1, "DMA bytes handled by the IIO stack.", domain=EventDomain.INTERCONNECT),
+        _socket("UNC_IIO_PAYLOAD_BYTES.RD", sem.PCIE_READ_BYTES, 0xB2, "PCIe payload bytes read by devices.", domain=EventDomain.INTERCONNECT),
+        _socket("UNC_IIO_PAYLOAD_BYTES.WR", sem.PCIE_WRITE_BYTES, 0xB3, "PCIe payload bytes written by devices.", domain=EventDomain.INTERCONNECT),
+        _socket("UNC_IIO_PAYLOAD_BYTES.TOTAL", sem.PCIE_TOTAL_BYTES, 0xB4, "Total PCIe payload bytes.", domain=EventDomain.INTERCONNECT),
+        _socket("UNC_IIO_TRANSACTIONS.ALL", sem.PCIE_TRANSACTIONS, 0xB5, "PCIe transactions.", domain=EventDomain.INTERCONNECT),
+        # OS-level software events.
+        _core("SW.CONTEXT_SWITCHES", sem.CONTEXT_SWITCHES, 0xC0, "OS context switches.", domain=EventDomain.OS),
+        _core("SW.INTERRUPTS", sem.INTERRUPTS, 0xC1, "Hardware interrupts serviced.", domain=EventDomain.OS),
+    ]
+
+    by_semantic = {}
+    for spec in events:
+        by_semantic.setdefault(spec.semantic, spec.name)
+
+    derived = build_standard_derived("x86_64-skylake", lambda s: by_semantic[s])
+    counter_file = CounterFile(n_fixed=3, n_programmable=8, smt_split=True)
+    return EventCatalog(
+        name="x86_64-skylake",
+        events=events,
+        counter_file=counter_file,
+        derived=derived,
+    )

@@ -1,0 +1,32 @@
+"""Experiment harness: one module per table/figure in the paper's evaluation.
+
+Every module exposes a ``run(...)`` function returning a result object with
+the figure's data series and a ``to_table()`` method that prints the rows the
+paper reports.  ``repro.experiments.runner`` regenerates everything in one
+call.  The benchmarks under ``benchmarks/`` wrap these functions so that
+``pytest benchmarks/ --benchmark-only`` reproduces the full evaluation.
+"""
+
+from repro.experiments import (
+    casestudy,
+    fig1_multiplexing_error,
+    fig3_read_latency,
+    fig6_hibench_error,
+    fig7_improvement,
+    fig8_scaling,
+    fig9_pcie_contention,
+    fig10_training,
+    table1_area_power,
+)
+
+__all__ = [
+    "fig1_multiplexing_error",
+    "fig3_read_latency",
+    "table1_area_power",
+    "fig6_hibench_error",
+    "fig7_improvement",
+    "fig8_scaling",
+    "fig9_pcie_contention",
+    "fig10_training",
+    "casestudy",
+]

@@ -1,0 +1,60 @@
+"""Fig. 3: latency overhead of reading counters under each mechanism."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.accelerator.device import AcceleratorConfig, AcceleratorModel
+from repro.accelerator.latency import ReadLatencyModel, ReadPath
+from repro.experiments.common import format_table
+
+
+@dataclass
+class Fig3Result:
+    """Average read latency (host cycles) per mechanism and architecture."""
+
+    cycles: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def to_table(self) -> str:
+        mechanisms = sorted({name for arch in self.cycles.values() for name in arch})
+        rows = []
+        for mechanism in mechanisms:
+            row = [mechanism]
+            for arch in sorted(self.cycles):
+                row.append(self.cycles[arch].get(mechanism, float("nan")))
+            rows.append(row)
+        return format_table(["mechanism", *sorted(self.cycles)], rows)
+
+    def overhead_vs_linux(self, arch: str, mechanism: str) -> float:
+        """Relative overhead of a mechanism over the native Linux read."""
+        return self.cycles[arch][mechanism] / self.cycles[arch]["linux"] - 1.0
+
+
+def run(*, model_factors: int = 44, model_sites: int = 4) -> Fig3Result:
+    """Evaluate the read-latency model for the x86-PCIe and ppc64-CAPI builds."""
+    result = Fig3Result()
+    for arch, transport in (("x86", "pcie"), ("ppc64", "capi")):
+        accelerator = AcceleratorModel(AcceleratorConfig(transport=transport))
+        model = ReadLatencyModel(
+            accelerator=accelerator, model_factors=model_factors, model_sites=model_sites
+        )
+        result.cycles[arch] = model.all_paths()
+    return result
+
+
+def main() -> Fig3Result:  # pragma: no cover - convenience entry point
+    result = run()
+    print("Fig. 3 — counter read latency (host cycles)")
+    print(result.to_table())
+    for arch in result.cycles:
+        print(
+            f"{arch}: BayesPerf(Acc) overhead vs Linux = "
+            f"{100 * result.overhead_vs_linux(arch, 'bayesperf-accelerator'):.1f}%, "
+            f"BayesPerf(CPU) = {result.cycles[arch]['bayesperf-cpu'] / result.cycles[arch]['linux']:.1f}x"
+        )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,141 @@
+"""Fig. 6 (and the §6.2 headline numbers): per-workload measurement error.
+
+For every HiBench workload, on both microarchitectures, the experiment runs
+the multiplexed monitoring pipeline and reports the average error of Linux
+scaling, CounterMiner and BayesPerf against the polled reference.  The paper
+reports averages of 39.25%/40.1% (Linux x86/ppc64), ~29% (CounterMiner) and
+8.06%/7.6% (BayesPerf), i.e. a 4.87x/5.28x reduction.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.session import PerfSession
+from repro.experiments.common import format_table
+from repro.workloads.hibench import HIBENCH_WORKLOADS
+
+#: Methods compared in Fig. 6, in plot order.
+DEFAULT_METHODS: Tuple[str, ...] = ("linux", "counterminer", "bayesperf")
+
+#: Representative subset used when a quick run is requested (one workload per
+#: HiBench category).
+QUICK_WORKLOADS: Tuple[str, ...] = (
+    "Sort",
+    "TeraSort",
+    "KMeans",
+    "LR",
+    "Join",
+    "PageRank",
+    "NWeight",
+    "FixWindow",
+)
+
+
+@dataclass
+class Fig6Result:
+    """error_percent[arch][method][workload] plus aggregate statistics."""
+
+    error_percent: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+
+    def workloads(self) -> Tuple[str, ...]:
+        for arch_results in self.error_percent.values():
+            for method_results in arch_results.values():
+                return tuple(method_results)
+        return ()
+
+    def average(self, arch: str, method: str) -> float:
+        """Average error (percent) across workloads for one configuration."""
+        values = list(self.error_percent[arch][method].values())
+        return float(np.mean(values)) if values else float("nan")
+
+    def reduction_factor(self, arch: str, *, baseline: str = "linux", improved: str = "bayesperf") -> float:
+        """How many times smaller the improved method's average error is."""
+        improved_error = self.average(arch, improved)
+        if improved_error <= 0:
+            return float("inf")
+        return self.average(arch, baseline) / improved_error
+
+    def to_table(self) -> str:
+        headers = ["workload"]
+        for arch in sorted(self.error_percent):
+            for method in self.error_percent[arch]:
+                headers.append(f"{method} ({arch})")
+        rows = []
+        for workload in self.workloads():
+            row: List[object] = [workload]
+            for arch in sorted(self.error_percent):
+                for method in self.error_percent[arch]:
+                    row.append(self.error_percent[arch][method].get(workload, float("nan")))
+            rows.append(row)
+        summary: List[object] = ["AVERAGE"]
+        for arch in sorted(self.error_percent):
+            for method in self.error_percent[arch]:
+                summary.append(self.average(arch, method))
+        rows.append(summary)
+        return format_table(headers, rows)
+
+
+def _selected_workloads(workloads: Optional[Sequence[str]], quick: bool) -> Tuple[str, ...]:
+    if workloads is not None:
+        return tuple(workloads)
+    if quick or os.environ.get("REPRO_QUICK", ""):
+        return QUICK_WORKLOADS
+    return tuple(HIBENCH_WORKLOADS)
+
+
+def run(
+    *,
+    arches: Sequence[str] = ("x86", "ppc64"),
+    methods: Sequence[str] = DEFAULT_METHODS,
+    workloads: Optional[Sequence[str]] = None,
+    quick: bool = False,
+    n_ticks: int = 120,
+    seed: int = 0,
+) -> Fig6Result:
+    """Run the Fig. 6 sweep.
+
+    Parameters
+    ----------
+    arches, methods, workloads:
+        Sweep dimensions; ``workloads=None`` uses the full HiBench suite
+        unless ``quick`` (or the ``REPRO_QUICK`` environment variable) asks
+        for the representative per-category subset.
+    n_ticks:
+        Length of each monitored run in scheduler ticks.
+    seed:
+        Seed shared by every configuration so methods see identical runs.
+    """
+    selected = _selected_workloads(workloads, quick)
+    result = Fig6Result()
+    for arch in arches:
+        result.error_percent[arch] = {}
+        for method in methods:
+            session = PerfSession(arch, method=method)
+            per_workload: Dict[str, float] = {}
+            for workload in selected:
+                outcome = session.run(workload, n_ticks=n_ticks, seed=seed)
+                per_workload[workload] = outcome.mean_error_percent
+            result.error_percent[arch][method] = per_workload
+    return result
+
+
+def main() -> Fig6Result:  # pragma: no cover - convenience entry point
+    result = run(quick=bool(os.environ.get("REPRO_QUICK", "")))
+    print("Fig. 6 — error in performance counter measurements across HiBench")
+    print(result.to_table())
+    for arch in result.error_percent:
+        print(
+            f"{arch}: Linux {result.average(arch, 'linux'):.1f}% -> BayesPerf "
+            f"{result.average(arch, 'bayesperf'):.1f}%  "
+            f"({result.reduction_factor(arch):.2f}x reduction)"
+        )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,85 @@
+"""Fig. 7: normalized improvement of BayesPerf over Linux and CounterMiner."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.experiments.common import format_table
+from repro.experiments.fig6_hibench_error import Fig6Result, run as run_fig6
+
+
+@dataclass
+class Fig7Result:
+    """improvement[arch][baseline][workload] = baseline error / BayesPerf error."""
+
+    improvement: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+
+    def average(self, arch: str, baseline: str) -> float:
+        values = list(self.improvement[arch][baseline].values())
+        return float(np.mean(values)) if values else float("nan")
+
+    def to_table(self) -> str:
+        headers = ["workload"]
+        for arch in sorted(self.improvement):
+            for baseline in self.improvement[arch]:
+                headers.append(f"vs {baseline} ({arch})")
+        workloads: Tuple[str, ...] = ()
+        for arch_results in self.improvement.values():
+            for baseline_results in arch_results.values():
+                workloads = tuple(baseline_results)
+                break
+            break
+        rows = []
+        for workload in workloads:
+            row = [workload]
+            for arch in sorted(self.improvement):
+                for baseline in self.improvement[arch]:
+                    row.append(self.improvement[arch][baseline].get(workload, float("nan")))
+            rows.append(row)
+        return format_table(headers, rows)
+
+
+def from_fig6(fig6: Fig6Result, *, improved: str = "bayesperf") -> Fig7Result:
+    """Derive the normalized improvement from a Fig. 6 result."""
+    result = Fig7Result()
+    for arch, methods in fig6.error_percent.items():
+        result.improvement[arch] = {}
+        improved_errors = methods[improved]
+        for baseline, baseline_errors in methods.items():
+            if baseline == improved:
+                continue
+            result.improvement[arch][baseline] = {
+                workload: baseline_errors[workload] / max(improved_errors[workload], 1e-9)
+                for workload in baseline_errors
+            }
+    return result
+
+
+def run(
+    *,
+    fig6: Optional[Fig6Result] = None,
+    quick: bool = False,
+    n_ticks: int = 120,
+    seed: int = 0,
+) -> Fig7Result:
+    """Compute Fig. 7, re-running Fig. 6 if a result is not supplied."""
+    if fig6 is None:
+        fig6 = run_fig6(quick=quick, n_ticks=n_ticks, seed=seed)
+    return from_fig6(fig6)
+
+
+def main() -> Fig7Result:  # pragma: no cover - convenience entry point
+    result = run(quick=True)
+    print("Fig. 7 — normalized improvement of BayesPerf")
+    print(result.to_table())
+    for arch in result.improvement:
+        for baseline in result.improvement[arch]:
+            print(f"{arch}: average improvement vs {baseline}: {result.average(arch, baseline):.2f}x")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,92 @@
+"""Fig. 8: error scaling with the number of sampled events (KMeans workload).
+
+The paper sweeps 10-35 multiplexed events on the KMeans workload for Linux,
+CounterMiner, BayesPerf and the WM+Pin baseline on both microarchitectures;
+BayesPerf stays flat (reducing error by up to ~34%) while the baselines grow
+with the number of events, and WM+Pin performs worse than CounterMiner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.session import PerfSession
+from repro.events.profiles import standard_profiling_events
+from repro.events.registry import catalog_for
+from repro.experiments.common import format_table
+
+DEFAULT_COUNTER_COUNTS: Tuple[int, ...] = (10, 15, 20, 25, 30, 35)
+DEFAULT_METHODS: Tuple[str, ...] = ("linux", "counterminer", "bayesperf", "wm+pin")
+
+
+@dataclass
+class Fig8Result:
+    """error_percent[arch][method][n_events]."""
+
+    workload: str
+    error_percent: Dict[str, Dict[str, Dict[int, float]]] = field(default_factory=dict)
+
+    def to_table(self) -> str:
+        headers = ["# events"]
+        for arch in sorted(self.error_percent):
+            for method in self.error_percent[arch]:
+                headers.append(f"{method} ({arch})")
+        counts = sorted(
+            {
+                count
+                for arch in self.error_percent.values()
+                for method in arch.values()
+                for count in method
+            }
+        )
+        rows = []
+        for count in counts:
+            row = [count]
+            for arch in sorted(self.error_percent):
+                for method in self.error_percent[arch]:
+                    row.append(self.error_percent[arch][method].get(count, float("nan")))
+            rows.append(row)
+        return format_table(headers, rows)
+
+    def error_growth(self, arch: str, method: str) -> float:
+        """Error at the largest sweep point minus error at the smallest."""
+        series = self.error_percent[arch][method]
+        counts = sorted(series)
+        return series[counts[-1]] - series[counts[0]]
+
+
+def run(
+    *,
+    workload: str = "KMeans",
+    arches: Sequence[str] = ("x86", "ppc64"),
+    methods: Sequence[str] = DEFAULT_METHODS,
+    counter_counts: Sequence[int] = DEFAULT_COUNTER_COUNTS,
+    n_ticks: int = 110,
+    seed: int = 0,
+) -> Fig8Result:
+    """Sweep the number of monitored events for every method and architecture."""
+    result = Fig8Result(workload=workload)
+    for arch in arches:
+        catalog = catalog_for(arch)
+        result.error_percent[arch] = {method: {} for method in methods}
+        for count in counter_counts:
+            events = standard_profiling_events(catalog, n_events=count)
+            for method in methods:
+                session = PerfSession(arch, method=method, events=events)
+                outcome = session.run(workload, n_ticks=n_ticks, seed=seed)
+                result.error_percent[arch][method][count] = outcome.mean_error_percent
+    return result
+
+
+def main() -> Fig8Result:  # pragma: no cover - convenience entry point
+    result = run(arches=("x86",))
+    print(f"Fig. 8 — scaling errors with the number of events ({result.workload})")
+    print(result.to_table())
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,85 @@
+"""Fig. 9: PCIe bandwidth under isolation versus contention.
+
+The right half of Fig. 9 plots the achieved bandwidth of a GPU-to-GPU
+exchange (or equivalently the shuffle path) against the message size, with
+and without a competing flow, showing up to a ~1.8x slowdown for large
+transfers and negligible impact for small (latency-bound) ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+from repro.experiments.common import format_table
+from repro.interconnect.topology import build_case_study_topology
+from repro.interconnect.transfer import ContentionModel, Transfer
+
+#: Message sizes swept by the figure (2^8 .. 2^22 bytes).
+DEFAULT_MESSAGE_SIZES: Tuple[int, ...] = tuple(2**k for k in range(8, 23))
+
+
+@dataclass
+class Fig9Result:
+    """Achieved bandwidth (GB/s) by message size, isolated and contended."""
+
+    isolated_gbps: Dict[int, float] = field(default_factory=dict)
+    contended_gbps: Dict[int, float] = field(default_factory=dict)
+
+    def slowdown(self, size: int) -> float:
+        """Bandwidth slowdown factor at one message size (>= 0)."""
+        contended = self.contended_gbps[size]
+        if contended <= 0:
+            return float("inf")
+        return self.isolated_gbps[size] / contended - 1.0
+
+    def max_slowdown(self) -> float:
+        return max(self.slowdown(size) for size in self.isolated_gbps)
+
+    def to_table(self) -> str:
+        rows = [
+            (size, self.isolated_gbps[size], self.contended_gbps[size], self.slowdown(size))
+            for size in sorted(self.isolated_gbps)
+        ]
+        return format_table(
+            ["message size (B)", "isolated (GB/s)", "contention (GB/s)", "slowdown (x)"], rows
+        )
+
+
+def run(
+    *,
+    message_sizes: Sequence[int] = DEFAULT_MESSAGE_SIZES,
+    source: str = "gpu0",
+    destination: str = "gpu2",
+    background_bytes: float = 512e6,
+) -> Fig9Result:
+    """Sweep message sizes for the GPU-to-GPU path with and without contention.
+
+    The background flow is a shuffle leaving socket 1 through NIC1, which
+    shares the switch uplink with the GPU exchange — the contention scenario
+    the case study's scheduler is supposed to avoid.
+    """
+    topology = build_case_study_topology()
+    model = ContentionModel(topology)
+    background = [
+        Transfer(name="shuffle", source="mem1", destination="nic1", size_bytes=background_bytes),
+        Transfer(name="shuffle2", source="mem1", destination="nic1", size_bytes=background_bytes),
+    ]
+    result = Fig9Result()
+    result.isolated_gbps = model.bandwidth_sweep(source, destination, message_sizes)
+    result.contended_gbps = model.bandwidth_sweep(
+        source, destination, message_sizes, background=background
+    )
+    return result
+
+
+def main() -> Fig9Result:  # pragma: no cover - convenience entry point
+    result = run()
+    print("Fig. 9 — PCIe bandwidth: isolated vs contention")
+    print(result.to_table())
+    print(f"maximum slowdown: {result.max_slowdown():.2f}x")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

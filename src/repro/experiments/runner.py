@@ -1,0 +1,70 @@
+"""Run every experiment and print the paper-style tables.
+
+``python -m repro.experiments.runner`` regenerates the full evaluation; pass
+``--quick`` (or set ``REPRO_QUICK=1``) for a faster, representative run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import Callable, Dict, List, Tuple
+
+from repro.experiments import (
+    casestudy,
+    fig1_multiplexing_error,
+    fig3_read_latency,
+    fig6_hibench_error,
+    fig7_improvement,
+    fig8_scaling,
+    fig9_pcie_contention,
+    fig10_training,
+    table1_area_power,
+)
+
+
+def run_all(*, quick: bool = False, seed: int = 0) -> Dict[str, object]:
+    """Run every experiment; returns the per-experiment result objects."""
+    results: Dict[str, object] = {}
+    results["fig1"] = fig1_multiplexing_error.run(
+        n_runs=1 if quick else 3, n_ticks=100 if quick else 120, seed=seed
+    )
+    results["fig3"] = fig3_read_latency.run()
+    results["table1"] = table1_area_power.run()
+    fig6 = fig6_hibench_error.run(quick=quick, n_ticks=100 if quick else 120, seed=seed)
+    results["fig6"] = fig6
+    results["fig7"] = fig7_improvement.from_fig6(fig6)
+    results["fig8"] = fig8_scaling.run(
+        arches=("x86",) if quick else ("x86", "ppc64"),
+        counter_counts=(10, 20, 35) if quick else (10, 15, 20, 25, 30, 35),
+        n_ticks=90 if quick else 110,
+        seed=seed,
+    )
+    results["fig9"] = fig9_pcie_contention.run()
+    results["fig10"] = fig10_training.run(iterations=1200 if quick else 2500, seed=seed)
+    results["casestudy"] = casestudy.run(
+        train_iterations=400 if quick else 800,
+        episodes=100 if quick else 200,
+        seed=seed,
+    )
+    return results
+
+
+def main() -> None:  # pragma: no cover - CLI entry point
+    parser = argparse.ArgumentParser(description="Reproduce the BayesPerf evaluation")
+    parser.add_argument("--quick", action="store_true", help="run a reduced, faster sweep")
+    parser.add_argument("--seed", type=int, default=0)
+    arguments = parser.parse_args()
+
+    start = time.time()
+    results = run_all(quick=arguments.quick, seed=arguments.seed)
+    for name, result in results.items():
+        print(f"\n=== {name} ===")
+        to_table = getattr(result, "to_table", None)
+        if callable(to_table):
+            print(to_table())
+    print(f"\ncompleted in {time.time() - start:.1f}s")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,65 @@
+"""Table 1: FPGA area and power for the x86-PCIe and ppc64-CAPI builds."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.accelerator.device import AcceleratorConfig
+from repro.accelerator.power import FPGAResourceModel, ResourceReport
+from repro.experiments.common import format_table
+
+#: Host CPU TDPs the paper compares against (Intel Xeon E5-2695 and Power9).
+CPU_TDP_WATTS: Dict[str, float] = {"x86-PCIe": 100.0, "ppc64-CAPI": 190.0}
+
+
+@dataclass
+class Table1Result:
+    """Resource utilisation and power per accelerator build."""
+
+    reports: Dict[str, ResourceReport] = field(default_factory=dict)
+
+    def to_table(self) -> str:
+        resources = ("BRAM", "DSP", "FF", "LUT", "URAM")
+        rows = []
+        for name, report in self.reports.items():
+            rows.append(
+                [
+                    name,
+                    *[report.utilization_percent[r] for r in resources],
+                    report.vivado_power_w,
+                    report.measured_power_w,
+                ]
+            )
+        return format_table(
+            ["component", *[f"{r} (%)" for r in resources], "Vivado (W)", "Measured (W)"], rows
+        )
+
+    def power_efficiency(self) -> Dict[str, float]:
+        """Measured power advantage over the host CPU TDP (paper: 5.8x / 11.8x)."""
+        return {
+            name: report.power_efficiency_vs(CPU_TDP_WATTS.get(name, 100.0))
+            for name, report in self.reports.items()
+        }
+
+
+def run() -> Table1Result:
+    """Build the area/power reports for both accelerator configurations."""
+    result = Table1Result()
+    for name, transport in (("x86-PCIe", "pcie"), ("ppc64-CAPI", "capi")):
+        model = FPGAResourceModel(AcceleratorConfig(transport=transport))
+        result.reports[name] = model.report(name)
+    return result
+
+
+def main() -> Table1Result:  # pragma: no cover - convenience entry point
+    result = run()
+    print("Table 1 — area & power of the BayesPerf FPGA")
+    print(result.to_table())
+    for name, efficiency in result.power_efficiency().items():
+        print(f"{name}: {efficiency:.1f}x less power than the host CPU TDP")
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

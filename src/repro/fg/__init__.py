@@ -1,0 +1,47 @@
+"""Probabilistic graphical-model substrate.
+
+This package implements the machinery behind the BayesPerf ML model (§4):
+
+* scalar and multivariate Gaussian densities in information form,
+* a Student-t observation model for noisy counter samples (§4.2),
+* a bipartite factor graph over event variables with Markov-blanket queries,
+* random-walk Metropolis MCMC for sampling factor subsets,
+* Expectation Propagation (Alg. 1) with either analytic or MCMC moment
+  estimation per site, and
+* maximum-likelihood extraction of point estimates from posteriors.
+"""
+
+from repro.fg.distributions import Gaussian1D, StudentT
+from repro.fg.gaussian import GaussianDensity
+from repro.fg.factors import (
+    Factor,
+    GaussianObservation,
+    GaussianPriorFactor,
+    LinearConstraintFactor,
+    StudentTObservation,
+)
+from repro.fg.graph import FactorGraph
+from repro.fg.markov import markov_blanket, markov_blanket_of_set
+from repro.fg.mcmc import MCMCResult, RandomWalkMetropolis
+from repro.fg.ep import EPResult, ExpectationPropagation
+from repro.fg.mle import credible_interval, map_estimate
+
+__all__ = [
+    "Gaussian1D",
+    "StudentT",
+    "GaussianDensity",
+    "Factor",
+    "GaussianObservation",
+    "StudentTObservation",
+    "LinearConstraintFactor",
+    "GaussianPriorFactor",
+    "FactorGraph",
+    "markov_blanket",
+    "markov_blanket_of_set",
+    "RandomWalkMetropolis",
+    "MCMCResult",
+    "ExpectationPropagation",
+    "EPResult",
+    "map_estimate",
+    "credible_interval",
+]

@@ -1,0 +1,143 @@
+"""Scalar probability distributions used by the BayesPerf model."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+@dataclass(frozen=True)
+class Gaussian1D:
+    """A univariate Gaussian parameterised by mean and variance."""
+
+    mean: float
+    variance: float
+
+    def __post_init__(self) -> None:
+        if self.variance <= 0:
+            raise ValueError(f"variance must be positive, got {self.variance}")
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    @property
+    def precision(self) -> float:
+        return 1.0 / self.variance
+
+    def log_pdf(self, x: float) -> float:
+        z = (x - self.mean) ** 2 / self.variance
+        return -0.5 * (z + math.log(self.variance) + _LOG_2PI)
+
+    def pdf(self, x: float) -> float:
+        return math.exp(self.log_pdf(x))
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        return rng.normal(self.mean, self.std, size=size)
+
+    def multiply(self, other: "Gaussian1D") -> "Gaussian1D":
+        """Product of two Gaussians (unnormalised), itself Gaussian."""
+        precision = self.precision + other.precision
+        mean = (self.mean * self.precision + other.mean * other.precision) / precision
+        return Gaussian1D(mean=mean, variance=1.0 / precision)
+
+    def divide(self, other: "Gaussian1D") -> "Gaussian1D":
+        """Quotient of two Gaussians; requires the result to be proper."""
+        precision = self.precision - other.precision
+        if precision <= 0:
+            raise ValueError("Gaussian division yields a non-positive precision")
+        mean = (self.mean * self.precision - other.mean * other.precision) / precision
+        return Gaussian1D(mean=mean, variance=1.0 / precision)
+
+    def interval(self, confidence: float = 0.95) -> tuple:
+        """Symmetric credible interval at the given confidence level."""
+        from scipy import stats
+
+        half = stats.norm.ppf(0.5 + confidence / 2.0) * self.std
+        return (self.mean - half, self.mean + half)
+
+
+@dataclass(frozen=True)
+class StudentT:
+    """A scaled and shifted Student-t distribution.
+
+    The paper models the unknown true counter value from ``N`` noisy samples
+    as ``loc + scale * Student(df = N - 1)`` where ``loc`` is the sample mean
+    and ``scale = S / sqrt(N)`` for sample standard deviation ``S`` (§4.2).
+    """
+
+    loc: float
+    scale: float
+    df: float
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError(f"scale must be positive, got {self.scale}")
+        if self.df <= 0:
+            raise ValueError(f"degrees of freedom must be positive, got {self.df}")
+
+    def log_pdf(self, x: float) -> float:
+        z = (x - self.loc) / self.scale
+        half = (self.df + 1.0) / 2.0
+        return (
+            math.lgamma(half)
+            - math.lgamma(self.df / 2.0)
+            - 0.5 * math.log(self.df * math.pi)
+            - math.log(self.scale)
+            - half * math.log1p(z * z / self.df)
+        )
+
+    def pdf(self, x: float) -> float:
+        return math.exp(self.log_pdf(x))
+
+    def sample(self, rng: np.random.Generator, size: int = 1) -> np.ndarray:
+        return self.loc + self.scale * rng.standard_t(self.df, size=size)
+
+    @property
+    def mean(self) -> float:
+        """Mean of the distribution (equals ``loc`` for df > 1)."""
+        return self.loc
+
+    @property
+    def variance(self) -> float:
+        """Variance, inflated for low degrees of freedom to stay finite."""
+        if self.df > 2:
+            return self.scale**2 * self.df / (self.df - 2.0)
+        # For df <= 2 the variance is undefined/infinite; use a conservative
+        # finite surrogate so that moment-matching remains possible.
+        return self.scale**2 * 3.0
+
+    def to_gaussian(self) -> Gaussian1D:
+        """Moment-matched Gaussian approximation of this Student-t."""
+        return Gaussian1D(mean=self.mean, variance=self.variance)
+
+    def interval(self, confidence: float = 0.95) -> tuple:
+        """Symmetric credible interval at the given confidence level."""
+        from scipy import stats
+
+        half = stats.t.ppf(0.5 + confidence / 2.0, self.df) * self.scale
+        return (self.loc - half, self.loc + half)
+
+    @classmethod
+    def from_samples(cls, samples: np.ndarray, *, min_scale: float = 1e-9) -> "StudentT":
+        """Posterior over the mean of noisy samples (paper's §4.2 model).
+
+        With fewer than two samples the distribution degenerates; a wide
+        pseudo-posterior centred on the single sample is returned instead so
+        callers never have to special-case tiny windows.
+        """
+        samples = np.asarray(samples, dtype=float)
+        n = samples.size
+        if n == 0:
+            raise ValueError("at least one sample is required")
+        mean = float(np.mean(samples))
+        if n == 1:
+            scale = max(abs(mean) * 0.25, min_scale)
+            return cls(loc=mean, scale=scale, df=1.0)
+        std = float(np.std(samples, ddof=1))
+        scale = max(std / math.sqrt(n), min_scale, abs(mean) * 1e-6)
+        return cls(loc=mean, scale=scale, df=float(n - 1))

@@ -1,0 +1,273 @@
+"""Expectation Propagation (Alg. 1 of the paper).
+
+EP approximates the target density ``f(θ) = Π f_k(θ)`` — the factor graph
+with its observation and constraint factors partitioned into *sites* — by a
+product of Gaussian site approximations ``g(θ) = Π g_k(θ)``.  Each iteration
+forms the cavity ``g_-k = g / g_k``, estimates the moments of the tilted
+distribution ``f_k · g_-k`` (analytically for Gaussian sites, or by MCMC),
+and updates the site approximation and the global approximation.
+
+Sites correspond to scheduler time slices in the BayesPerf system: EP's
+partition-friendliness is precisely why the paper chose it (§4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fg.factors import Factor
+from repro.fg.gaussian import GaussianDensity
+from repro.fg.graph import FactorGraph
+from repro.fg.mcmc import RandomWalkMetropolis
+
+
+@dataclass
+class EPSite:
+    """One EP site: a named partition of the graph's factors."""
+
+    name: str
+    factor_names: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.factor_names:
+            raise ValueError(f"EP site {self.name!r} must contain at least one factor")
+
+
+@dataclass
+class EPResult:
+    """Outcome of an EP run."""
+
+    posterior: GaussianDensity
+    iterations: int
+    converged: bool
+    site_approximations: Dict[str, GaussianDensity] = field(default_factory=dict)
+    max_delta: float = float("nan")
+
+    def mean(self) -> Dict[str, float]:
+        return self.posterior.mean()
+
+    def variance(self) -> Dict[str, float]:
+        return self.posterior.variance()
+
+
+class ExpectationPropagation:
+    """EP over a factor graph with a Gaussian approximating family.
+
+    Parameters
+    ----------
+    graph:
+        The factor graph holding observation, constraint and prior factors.
+    sites:
+        Partition of (a subset of) the graph's factors into EP sites.  Factors
+        not covered by any site are treated as part of the prior if they are
+        Gaussian-projectable.
+    prior:
+        Proper Gaussian base density over every graph variable.  In the
+        BayesPerf engine this carries the previous time slice's posterior.
+    moment_estimator:
+        ``"analytic"`` (Gaussian projection of the site factors — exact for
+        linear-Gaussian sites) or ``"mcmc"`` (random-walk Metropolis moment
+        estimation, the paper's accelerator workload).
+    damping:
+        Damping coefficient applied to site updates (1.0 = undamped).
+    max_iterations, tolerance:
+        Convergence controls on the change in site natural parameters.
+    mcmc_samples, mcmc_burn_in:
+        Sampling effort per site when using the MCMC estimator.
+    rng:
+        Random generator used by the MCMC estimator.
+    """
+
+    def __init__(
+        self,
+        graph: FactorGraph,
+        sites: Sequence[EPSite],
+        prior: GaussianDensity,
+        *,
+        moment_estimator: str = "analytic",
+        damping: float = 0.5,
+        max_iterations: int = 25,
+        tolerance: float = 1e-6,
+        mcmc_samples: int = 400,
+        mcmc_burn_in: int = 200,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if moment_estimator not in ("analytic", "mcmc"):
+            raise ValueError(f"unknown moment estimator {moment_estimator!r}")
+        if not sites:
+            raise ValueError("EP requires at least one site")
+        if not 0.0 < damping <= 1.0:
+            raise ValueError("damping must lie in (0, 1]")
+        self.graph = graph
+        self.sites = list(sites)
+        self.prior = prior
+        self.moment_estimator = moment_estimator
+        self.damping = damping
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.mcmc_samples = mcmc_samples
+        self.mcmc_burn_in = mcmc_burn_in
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+        covered = set()
+        for site in self.sites:
+            for name in site.factor_names:
+                self.graph.factor(name)  # validates existence
+                covered.add(name)
+        self._site_variables: Dict[str, Tuple[str, ...]] = {}
+        for site in self.sites:
+            variables: List[str] = []
+            seen = set()
+            for factor_name in site.factor_names:
+                for variable in self.graph.factor(factor_name).variables:
+                    if variable not in seen:
+                        seen.add(variable)
+                        variables.append(variable)
+            self._site_variables[site.name] = tuple(variables)
+
+    # -- moment estimation -------------------------------------------------
+
+    def _analytic_tilted(
+        self, site: EPSite, cavity_marginal: GaussianDensity
+    ) -> GaussianDensity:
+        """Gaussian projection of the tilted distribution (cavity x site factors)."""
+        anchor = cavity_marginal.mean()
+        tilted = cavity_marginal.copy()
+        for factor_name in site.factor_names:
+            factor = self.graph.factor(factor_name)
+            tilted = tilted.multiply(factor.to_gaussian(anchor))
+        return tilted
+
+    def _mcmc_tilted(self, site: EPSite, cavity_marginal: GaussianDensity) -> GaussianDensity:
+        """MCMC moment estimate of the tilted distribution.
+
+        The chain is seeded from the Gaussian projection of the tilted
+        distribution (the accelerator similarly reuses previous samples as
+        Markov-chain starting points, §5) and its proposal scales follow the
+        projected marginal standard deviations, which keeps mixing healthy
+        even when a site contains very tight observation factors.
+        """
+        variables = cavity_marginal.variables
+        factor_names = site.factor_names
+
+        def log_density(values: Mapping[str, float]) -> float:
+            return cavity_marginal.log_density(values) + self.graph.log_density_of(
+                factor_names, values
+            )
+
+        seed_density = self._analytic_tilted(site, cavity_marginal)
+        seed_mean_map = seed_density.mean()
+        seed_variance = seed_density.variance()
+        steps = {name: max(np.sqrt(seed_variance[name]) * 0.7, 1e-9) for name in variables}
+        sampler = RandomWalkMetropolis(
+            log_density,
+            variables,
+            initial=seed_mean_map,
+            step_scales=steps,
+            rng=self._rng,
+        )
+        result = sampler.run(self.mcmc_samples, burn_in=self.mcmc_burn_in)
+        sample_mean = np.array([result.mean()[name] for name in variables])
+        cov = result.covariance()
+        # Blend in a fraction of the projected covariance so the Gaussian
+        # projection stays proper even with short chains.
+        _, seed_cov = seed_density.moments()
+        cov = cov + 0.05 * seed_cov + np.eye(len(variables)) * 1e-9
+        return GaussianDensity.from_moments(variables, sample_mean, cov)
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> EPResult:
+        """Execute Alg. 1 and return the Gaussian posterior approximation."""
+        variables = self.prior.variables
+        site_approx: Dict[str, GaussianDensity] = {
+            site.name: GaussianDensity.uninformative(variables) for site in self.sites
+        }
+        global_approx = self.prior.copy()
+        for approx in site_approx.values():
+            global_approx = global_approx.multiply(approx)
+
+        converged = False
+        max_delta = float("inf")
+        iteration = 0
+        for iteration in range(1, self.max_iterations + 1):
+            max_delta = 0.0
+            for site in self.sites:
+                current_site = site_approx[site.name]
+                site_vars = self._site_variables[site.name]
+
+                # Cavity distribution: g_-k = g / g_k  (line 3 of Alg. 1).
+                cavity = global_approx.divide(current_site)
+                try:
+                    cavity_marginal = cavity.marginal(site_vars)
+                except (ValueError, np.linalg.LinAlgError):
+                    # Improper cavity: fall back to the prior's marginal.
+                    cavity_marginal = self.prior.marginal(site_vars)
+
+                # Tilted distribution moments (line 4: MCMC or analytic).
+                if self.moment_estimator == "mcmc":
+                    tilted = self._mcmc_tilted(site, cavity_marginal)
+                else:
+                    tilted = self._analytic_tilted(site, cavity_marginal)
+
+                # Local update (lines 5-6): new site approx = tilted / cavity.
+                new_site_marginal = _safe_divide(tilted, cavity_marginal)
+
+                # Embed the site marginal back into the full variable space.
+                new_site = _embed(new_site_marginal, variables)
+                damped_site = site_approx[site.name].damped_towards(new_site, self.damping)
+
+                delta = _natural_parameter_delta(site_approx[site.name], damped_site)
+                max_delta = max(max_delta, delta)
+
+                # Global update (line 7): g <- g * (g_k_new / g_k_old).
+                global_approx = global_approx.divide(site_approx[site.name]).multiply(damped_site)
+                site_approx[site.name] = damped_site
+
+            if max_delta < self.tolerance:
+                converged = True
+                break
+
+        return EPResult(
+            posterior=global_approx,
+            iterations=iteration,
+            converged=converged,
+            site_approximations=site_approx,
+            max_delta=max_delta,
+        )
+
+
+def _safe_divide(numerator: GaussianDensity, denominator: GaussianDensity) -> GaussianDensity:
+    """Quotient of two Gaussians that clips non-positive-definite results.
+
+    EP site updates occasionally produce negative precisions (a well-known EP
+    artefact); clipping to a tiny positive precision keeps the algorithm
+    stable, matching common EP implementations.
+    """
+    quotient = numerator.divide(denominator)
+    precision = quotient.precision
+    eigenvalues = np.linalg.eigvalsh(0.5 * (precision + precision.T))
+    if eigenvalues.min() <= 0:
+        precision = precision + (abs(eigenvalues.min()) + 1e-9) * np.eye(len(quotient.variables))
+    return GaussianDensity(quotient.variables, precision, quotient.shift)
+
+
+def _embed(density: GaussianDensity, variables: Sequence[str]) -> GaussianDensity:
+    """Embed a density over a variable subset into the full variable space."""
+    variables = tuple(variables)
+    full = GaussianDensity.uninformative(variables)
+    return full.multiply(density)
+
+
+def _natural_parameter_delta(old: GaussianDensity, new: GaussianDensity) -> float:
+    """Largest relative change in natural parameters between two densities."""
+    if not len(old.variables):
+        return 0.0
+    scale_precision = max(np.max(np.abs(old.precision)), np.max(np.abs(new.precision)), 1.0)
+    scale_shift = max(np.max(np.abs(old.shift)), np.max(np.abs(new.shift)), 1.0)
+    delta_precision = np.max(np.abs(old.precision - new.precision)) / scale_precision
+    delta_shift = np.max(np.abs(old.shift - new.shift)) / scale_shift
+    return float(max(delta_precision, delta_shift))

@@ -1,0 +1,172 @@
+"""Factor types composing the BayesPerf factor graph.
+
+Three families of factors appear in the model (§4):
+
+* **Observation factors** tie an event variable to its noisy measurements —
+  a Student-t in the paper's formulation, with a Gaussian variant used for
+  ablation and for the analytic EP backend.
+* **Linear constraint factors** encode microarchitectural invariants as soft
+  Gaussian potentials on the relation residual.
+* **Prior factors** carry either a weak prior or the previous time slice's
+  posterior into the current slice (the ``e_b^{t-1}`` term of §3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fg.distributions import Gaussian1D, StudentT
+from repro.fg.gaussian import GaussianDensity
+
+_LOG_2PI = math.log(2.0 * math.pi)
+
+
+class Factor:
+    """Base class for factors over a set of named scalar variables."""
+
+    def __init__(self, name: str, variables: Sequence[str]) -> None:
+        if not name:
+            raise ValueError("factor name must be non-empty")
+        if not variables:
+            raise ValueError(f"factor {name!r} must reference at least one variable")
+        self.name = name
+        self.variables: Tuple[str, ...] = tuple(variables)
+
+    def log_density(self, values: Mapping[str, float]) -> float:
+        """Unnormalised log potential at the given assignment."""
+        raise NotImplementedError
+
+    def to_gaussian(self, anchor: Optional[Mapping[str, float]] = None) -> GaussianDensity:
+        """Gaussian (information-form) approximation of the factor.
+
+        ``anchor`` supplies linearisation/centring values when needed; purely
+        Gaussian factors ignore it.
+        """
+        raise NotImplementedError
+
+    @property
+    def is_gaussian(self) -> bool:
+        """Whether :meth:`to_gaussian` is exact rather than an approximation."""
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}({self.name!r}, vars={list(self.variables)})"
+
+
+class GaussianObservation(Factor):
+    """Observation ``x ~ N(observed, sigma^2)`` of a single variable."""
+
+    def __init__(self, name: str, variable: str, observed: float, sigma: float) -> None:
+        super().__init__(name, [variable])
+        if sigma <= 0:
+            raise ValueError(f"observation {name!r} sigma must be positive")
+        self.variable = variable
+        self.observed = float(observed)
+        self.sigma = float(sigma)
+
+    def log_density(self, values: Mapping[str, float]) -> float:
+        z = (float(values[self.variable]) - self.observed) / self.sigma
+        return -0.5 * (z * z + 2.0 * math.log(self.sigma) + _LOG_2PI)
+
+    def to_gaussian(self, anchor: Optional[Mapping[str, float]] = None) -> GaussianDensity:
+        var = self.sigma**2
+        return GaussianDensity.diagonal({self.variable: self.observed}, {self.variable: var})
+
+    @property
+    def is_gaussian(self) -> bool:
+        return True
+
+
+class StudentTObservation(Factor):
+    """Observation of a single variable through the paper's Student-t model."""
+
+    def __init__(self, name: str, variable: str, distribution: StudentT) -> None:
+        super().__init__(name, [variable])
+        self.variable = variable
+        self.distribution = distribution
+
+    @classmethod
+    def from_samples(cls, name: str, variable: str, samples: np.ndarray) -> "StudentTObservation":
+        return cls(name, variable, StudentT.from_samples(samples))
+
+    def log_density(self, values: Mapping[str, float]) -> float:
+        return self.distribution.log_pdf(float(values[self.variable]))
+
+    def to_gaussian(self, anchor: Optional[Mapping[str, float]] = None) -> GaussianDensity:
+        gaussian = self.distribution.to_gaussian()
+        return GaussianDensity.diagonal(
+            {self.variable: gaussian.mean}, {self.variable: gaussian.variance}
+        )
+
+    @property
+    def is_gaussian(self) -> bool:
+        return False
+
+
+class LinearConstraintFactor(Factor):
+    """Soft linear constraint ``sum(coef_i * x_i) ~ N(0, sigma^2)``."""
+
+    def __init__(
+        self,
+        name: str,
+        coefficients: Mapping[str, float],
+        sigma: float,
+        description: str = "",
+    ) -> None:
+        super().__init__(name, list(coefficients))
+        if sigma <= 0:
+            raise ValueError(f"constraint {name!r} sigma must be positive")
+        self.coefficients: Dict[str, float] = dict(coefficients)
+        self.sigma = float(sigma)
+        self.description = description
+
+    def residual(self, values: Mapping[str, float]) -> float:
+        return float(sum(c * float(values[v]) for v, c in self.coefficients.items()))
+
+    def log_density(self, values: Mapping[str, float]) -> float:
+        z = self.residual(values) / self.sigma
+        return -0.5 * (z * z + 2.0 * math.log(self.sigma) + _LOG_2PI)
+
+    def to_gaussian(self, anchor: Optional[Mapping[str, float]] = None) -> GaussianDensity:
+        names = tuple(self.coefficients)
+        a = np.array([self.coefficients[v] for v in names], dtype=float)
+        precision = np.outer(a, a) / (self.sigma**2)
+        shift = np.zeros(len(names))
+        return GaussianDensity(names, precision, shift)
+
+    @property
+    def is_gaussian(self) -> bool:
+        return True
+
+
+class GaussianPriorFactor(Factor):
+    """Independent Gaussian prior over one or more variables."""
+
+    def __init__(self, name: str, means: Mapping[str, float], variances: Mapping[str, float]) -> None:
+        super().__init__(name, list(means))
+        if set(means) != set(variances):
+            raise ValueError(f"prior {name!r} means/variances must cover the same variables")
+        self.means: Dict[str, float] = {k: float(v) for k, v in means.items()}
+        self.variances: Dict[str, float] = {}
+        for key, var in variances.items():
+            if var <= 0:
+                raise ValueError(f"prior {name!r} variance for {key!r} must be positive")
+            self.variances[key] = float(var)
+
+    def log_density(self, values: Mapping[str, float]) -> float:
+        total = 0.0
+        for key, mean in self.means.items():
+            var = self.variances[key]
+            z = (float(values[key]) - mean) ** 2 / var
+            total += -0.5 * (z + math.log(var) + _LOG_2PI)
+        return total
+
+    def to_gaussian(self, anchor: Optional[Mapping[str, float]] = None) -> GaussianDensity:
+        return GaussianDensity.diagonal(self.means, self.variances)
+
+    @property
+    def is_gaussian(self) -> bool:
+        return True

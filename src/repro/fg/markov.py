@@ -1,0 +1,49 @@
+"""Markov-blanket queries on factor graphs.
+
+The scheduler (§4.1) decides whether two consecutive counter configurations
+are statistically connected by testing whether the Markov blankets of their
+event sets overlap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Set, Tuple
+
+from repro.fg.graph import FactorGraph
+
+
+def markov_blanket(graph: FactorGraph, variable: str) -> Tuple[str, ...]:
+    """Variables rendering *variable* conditionally independent of the rest.
+
+    In a factor graph the Markov blanket of a variable is the set of other
+    variables sharing at least one factor with it.
+    """
+    return graph.neighbors(variable)
+
+
+def markov_blanket_of_set(graph: FactorGraph, variables: Iterable[str]) -> Tuple[str, ...]:
+    """Union of Markov blankets of a set of variables, minus the set itself."""
+    variables = [v for v in variables if graph.has_variable(v)]
+    requested: Set[str] = set(variables)
+    blanket: Set[str] = set()
+    for variable in variables:
+        blanket.update(graph.neighbors(variable))
+    return tuple(sorted(blanket - requested))
+
+
+def blankets_overlap(graph: FactorGraph, first: Iterable[str], second: Iterable[str]) -> bool:
+    """Whether two event sets are statistically connected (§4.1).
+
+    The sets are connected when they share an event directly, or when the
+    closure of one set (the set plus its Markov blanket) intersects the
+    closure of the other.
+    """
+    first = [v for v in first if graph.has_variable(v)]
+    second = [v for v in second if graph.has_variable(v)]
+    first_set = set(first)
+    second_set = set(second)
+    if first_set & second_set:
+        return True
+    first_closure = first_set | set(markov_blanket_of_set(graph, first))
+    second_closure = second_set | set(markov_blanket_of_set(graph, second))
+    return bool(first_closure & second_closure)

@@ -1,0 +1,148 @@
+"""Random-walk Metropolis MCMC over factor-graph densities.
+
+Inside each EP site, the paper estimates the tilted distribution's moments by
+Markov chain Monte Carlo (line 4 of Alg. 1); the accelerator implements many
+such samplers in hardware.  This module provides the software equivalent: an
+adaptive random-walk Metropolis sampler over a callable log density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class MCMCResult:
+    """Samples and summary statistics from one MCMC run."""
+
+    variables: Tuple[str, ...]
+    samples: np.ndarray
+    acceptance_rate: float
+    n_steps: int
+
+    def mean(self) -> Dict[str, float]:
+        means = self.samples.mean(axis=0)
+        return {name: float(means[i]) for i, name in enumerate(self.variables)}
+
+    def covariance(self) -> np.ndarray:
+        if self.samples.shape[0] < 2:
+            return np.zeros((len(self.variables), len(self.variables)))
+        return np.cov(self.samples, rowvar=False).reshape(len(self.variables), len(self.variables))
+
+    def variance(self) -> Dict[str, float]:
+        cov = self.covariance()
+        return {name: float(cov[i, i]) for i, name in enumerate(self.variables)}
+
+    def quantile(self, q: float) -> Dict[str, float]:
+        values = np.quantile(self.samples, q, axis=0)
+        return {name: float(values[i]) for i, name in enumerate(self.variables)}
+
+
+class RandomWalkMetropolis:
+    """Adaptive random-walk Metropolis sampler over named scalar variables.
+
+    Parameters
+    ----------
+    log_density:
+        Callable mapping ``{variable: value}`` to an unnormalised log density.
+    variables:
+        Ordered variable names defining the state vector.
+    initial:
+        Starting state.  Variables missing from the mapping start at zero.
+    step_scales:
+        Per-variable proposal standard deviations.  Defaults to 5% of the
+        starting magnitude (floored at ``min_step``).
+    rng:
+        NumPy random generator (seeded by the caller for determinism).
+    target_acceptance:
+        Desired acceptance rate for the adaptive step-size tuning.
+    """
+
+    def __init__(
+        self,
+        log_density: Callable[[Mapping[str, float]], float],
+        variables: Sequence[str],
+        initial: Mapping[str, float],
+        *,
+        step_scales: Optional[Mapping[str, float]] = None,
+        rng: Optional[np.random.Generator] = None,
+        target_acceptance: float = 0.35,
+        min_step: float = 1e-6,
+    ) -> None:
+        self._log_density = log_density
+        self.variables: Tuple[str, ...] = tuple(variables)
+        if not self.variables:
+            raise ValueError("MCMC needs at least one variable")
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self._state = np.array([float(initial.get(name, 0.0)) for name in self.variables])
+        if step_scales is None:
+            # 5% of the starting magnitude, falling back to unit steps for
+            # variables starting at zero (adaptation refines this further).
+            magnitudes = np.where(np.abs(self._state) > 0, np.abs(self._state) * 0.05, 1.0)
+            self._steps = np.maximum(magnitudes, min_step)
+        else:
+            self._steps = np.array(
+                [max(float(step_scales.get(name, min_step)), min_step) for name in self.variables]
+            )
+        self._target_acceptance = target_acceptance
+        self._min_step = min_step
+
+    def _as_dict(self, state: np.ndarray) -> Dict[str, float]:
+        return {name: float(state[i]) for i, name in enumerate(self.variables)}
+
+    def run(
+        self,
+        n_samples: int,
+        *,
+        burn_in: int = 200,
+        thin: int = 1,
+        adapt: bool = True,
+    ) -> MCMCResult:
+        """Run the chain and return post-burn-in, thinned samples."""
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if thin <= 0:
+            raise ValueError("thin must be positive")
+        total_steps = burn_in + n_samples * thin
+        dim = len(self.variables)
+        samples = np.empty((n_samples, dim))
+        current = self._state.copy()
+        current_logp = self._log_density(self._as_dict(current))
+        accepted = 0
+        collected = 0
+        adapt_window = max(50, dim * 10)
+        window_accepts = 0
+
+        for step in range(total_steps):
+            proposal = current + self._rng.normal(0.0, self._steps, size=dim)
+            proposal_logp = self._log_density(self._as_dict(proposal))
+            log_ratio = proposal_logp - current_logp
+            if log_ratio >= 0 or np.log(self._rng.random()) < log_ratio:
+                current = proposal
+                current_logp = proposal_logp
+                accepted += 1
+                window_accepts += 1
+
+            if adapt and step < burn_in and (step + 1) % adapt_window == 0:
+                rate = window_accepts / adapt_window
+                if rate < self._target_acceptance * 0.8:
+                    self._steps *= 0.6
+                elif rate > self._target_acceptance * 1.2:
+                    self._steps *= 1.7
+                self._steps = np.maximum(self._steps, self._min_step)
+                window_accepts = 0
+
+            if step >= burn_in and (step - burn_in) % thin == 0 and collected < n_samples:
+                samples[collected] = current
+                collected += 1
+
+        self._state = current
+        return MCMCResult(
+            variables=self.variables,
+            samples=samples[:collected],
+            acceptance_rate=accepted / total_steps,
+            n_steps=total_steps,
+        )

@@ -1,0 +1,64 @@
+"""Point estimates and credible intervals from Gaussian posteriors.
+
+The BayesPerf system reports the maximum-likelihood value of each event under
+its posterior (§6.2 uses an MLE when comparing against polling traces) plus an
+uncertainty interval derived from the posterior spread.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Mapping, Tuple
+
+from scipy import stats
+
+from repro.fg.gaussian import GaussianDensity
+
+
+def map_estimate(posterior: GaussianDensity) -> Dict[str, float]:
+    """Posterior mode of every variable (equal to the mean for a Gaussian)."""
+    return posterior.mean()
+
+
+def posterior_std(posterior: GaussianDensity) -> Dict[str, float]:
+    """Posterior standard deviation of every variable."""
+    return {name: math.sqrt(var) for name, var in posterior.variance().items()}
+
+
+def credible_interval(
+    posterior: GaussianDensity, variable: str, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """Symmetric credible interval for one variable."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie in (0, 1)")
+    mean = posterior.mean()[variable]
+    std = math.sqrt(posterior.variance()[variable])
+    half = stats.norm.ppf(0.5 + confidence / 2.0) * std
+    return (mean - half, mean + half)
+
+
+def credible_intervals(
+    posterior: GaussianDensity, confidence: float = 0.95
+) -> Dict[str, Tuple[float, float]]:
+    """Credible intervals for every variable in the posterior."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie in (0, 1)")
+    means = posterior.mean()
+    variances = posterior.variance()
+    z = stats.norm.ppf(0.5 + confidence / 2.0)
+    out: Dict[str, Tuple[float, float]] = {}
+    for name, mean in means.items():
+        half = z * math.sqrt(variances[name])
+        out[name] = (mean - half, mean + half)
+    return out
+
+
+def coefficient_of_variation(posterior: GaussianDensity) -> Dict[str, float]:
+    """Posterior relative uncertainty (std / |mean|) per variable."""
+    means = posterior.mean()
+    variances = posterior.variance()
+    out: Dict[str, float] = {}
+    for name, mean in means.items():
+        denom = max(abs(mean), 1e-12)
+        out[name] = math.sqrt(variances[name]) / denom
+    return out

@@ -1,0 +1,20 @@
+"""PCIe interconnect model for the §6.3 case study.
+
+Models the dual-socket topology of Fig. 9 (CPUs, PCIe switches, GPUs, NICs
+and the BayesPerf FPGA), routes transfers through it, and computes achieved
+bandwidth under link contention — the resource-sharing effect the ML-based
+IO scheduler of the case study is trying to avoid.
+"""
+
+from repro.interconnect.topology import PCIeDevice, PCIeLink, PCIeTopology, build_case_study_topology
+from repro.interconnect.transfer import ContentionModel, Transfer, TransferResult
+
+__all__ = [
+    "PCIeDevice",
+    "PCIeLink",
+    "PCIeTopology",
+    "build_case_study_topology",
+    "ContentionModel",
+    "Transfer",
+    "TransferResult",
+]

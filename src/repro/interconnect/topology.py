@@ -1,0 +1,150 @@
+"""PCIe tree topology.
+
+The case-study system (Fig. 9) has two CPU sockets, each with two PCIe
+switches; GPUs and NICs hang off the switches, and the BayesPerf FPGA and the
+training GPU sit on the first socket.  The topology is a graph whose edges
+carry link bandwidths; routing walks up to the lowest common ancestor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+
+@dataclass(frozen=True)
+class PCIeDevice:
+    """One endpoint or switch in the PCIe fabric."""
+
+    name: str
+    kind: str  # "cpu", "switch", "gpu", "nic", "fpga", "memory"
+    numa_node: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("device name must be non-empty")
+        if self.kind not in ("cpu", "switch", "gpu", "nic", "fpga", "memory"):
+            raise ValueError(f"unknown device kind {self.kind!r}")
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """A bidirectional link with a peak bandwidth in GB/s."""
+
+    first: str
+    second: str
+    bandwidth_gbps: float
+    base_latency_us: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.base_latency_us < 0:
+            raise ValueError("latency must be non-negative")
+
+
+class PCIeTopology:
+    """A PCIe fabric: devices, links and shortest-path routing."""
+
+    def __init__(self) -> None:
+        self._graph = nx.Graph()
+        self._devices: Dict[str, PCIeDevice] = {}
+
+    def add_device(self, device: PCIeDevice) -> None:
+        if device.name in self._devices:
+            raise ValueError(f"duplicate device {device.name!r}")
+        self._devices[device.name] = device
+        self._graph.add_node(device.name)
+
+    def add_link(self, link: PCIeLink) -> None:
+        for endpoint in (link.first, link.second):
+            if endpoint not in self._devices:
+                raise KeyError(f"unknown device {endpoint!r}")
+        self._graph.add_edge(link.first, link.second, link=link)
+
+    def device(self, name: str) -> PCIeDevice:
+        try:
+            return self._devices[name]
+        except KeyError:
+            raise KeyError(f"unknown device {name!r}") from None
+
+    def devices(self, kind: Optional[str] = None) -> Tuple[PCIeDevice, ...]:
+        if kind is None:
+            return tuple(self._devices.values())
+        return tuple(d for d in self._devices.values() if d.kind == kind)
+
+    def route(self, source: str, destination: str) -> Tuple[PCIeLink, ...]:
+        """Links traversed by a transfer from *source* to *destination*."""
+        path = nx.shortest_path(self._graph, source, destination)
+        links: List[PCIeLink] = []
+        for first, second in zip(path, path[1:]):
+            links.append(self._graph.edges[first, second]["link"])
+        return tuple(links)
+
+    def shared_links(self, route_a: Sequence[PCIeLink], route_b: Sequence[PCIeLink]) -> Tuple[PCIeLink, ...]:
+        """Links appearing in both routes (the contention points)."""
+        def key(link: PCIeLink) -> Tuple[str, str]:
+            return tuple(sorted((link.first, link.second)))
+
+        keys_b = {key(link) for link in route_b}
+        return tuple(link for link in route_a if key(link) in keys_b)
+
+    def path_latency_us(self, source: str, destination: str) -> float:
+        """Sum of base latencies along the route."""
+        return sum(link.base_latency_us for link in self.route(source, destination))
+
+
+def build_case_study_topology() -> PCIeTopology:
+    """The dual-socket topology of Fig. 9.
+
+    Socket 0 hosts the training GPU and NIC0 behind one switch and the
+    BayesPerf FPGA behind the other; socket 1 hosts four worker GPUs and NIC1
+    behind two switches.  The inter-socket link models the UPI/X-Bus
+    connection.  NIC0 shares its switch uplink with the training GPU and NIC1
+    shares its switch uplink with two worker GPUs, so either NIC can be the
+    contended one depending on what the accelerators are doing.
+    """
+    topo = PCIeTopology()
+    devices = [
+        PCIeDevice("cpu0", "cpu", numa_node=0),
+        PCIeDevice("cpu1", "cpu", numa_node=1),
+        PCIeDevice("mem0", "memory", numa_node=0),
+        PCIeDevice("mem1", "memory", numa_node=1),
+        PCIeDevice("switch0a", "switch", numa_node=0),
+        PCIeDevice("switch0b", "switch", numa_node=0),
+        PCIeDevice("switch1a", "switch", numa_node=1),
+        PCIeDevice("switch1b", "switch", numa_node=1),
+        PCIeDevice("train_gpu", "gpu", numa_node=0),
+        PCIeDevice("fpga", "fpga", numa_node=0),
+        PCIeDevice("nic0", "nic", numa_node=0),
+        PCIeDevice("gpu0", "gpu", numa_node=1),
+        PCIeDevice("gpu1", "gpu", numa_node=1),
+        PCIeDevice("gpu2", "gpu", numa_node=1),
+        PCIeDevice("gpu3", "gpu", numa_node=1),
+        PCIeDevice("nic1", "nic", numa_node=1),
+    ]
+    for device in devices:
+        topo.add_device(device)
+
+    links = [
+        PCIeLink("cpu0", "mem0", 64.0, 0.2),
+        PCIeLink("cpu1", "mem1", 64.0, 0.2),
+        PCIeLink("cpu0", "cpu1", 32.0, 0.8),
+        PCIeLink("cpu0", "switch0a", 15.75, 0.8),
+        PCIeLink("cpu0", "switch0b", 15.75, 0.8),
+        PCIeLink("cpu1", "switch1a", 15.75, 0.8),
+        PCIeLink("cpu1", "switch1b", 15.75, 0.8),
+        PCIeLink("switch0a", "train_gpu", 15.75, 0.5),
+        PCIeLink("switch0b", "fpga", 15.75, 0.5),
+        PCIeLink("switch0a", "nic0", 12.5, 0.5),
+        PCIeLink("switch1a", "gpu0", 15.75, 0.5),
+        PCIeLink("switch1a", "gpu1", 15.75, 0.5),
+        PCIeLink("switch1b", "gpu2", 15.75, 0.5),
+        PCIeLink("switch1b", "gpu3", 15.75, 0.5),
+        PCIeLink("switch1b", "nic1", 12.5, 0.5),
+    ]
+    for link in links:
+        topo.add_link(link)
+    return topo

@@ -1,0 +1,152 @@
+"""Transfer simulation with link contention.
+
+Concurrent transfers that share PCIe links split the link bandwidth; the
+model computes a max-min fair allocation over the shared links and derives
+per-transfer completion times and achieved bandwidths.  This reproduces the
+"isolated" vs "contention" bandwidth curves of Fig. 9 and provides the reward
+signal for the ML-based IO schedulers of §6.3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.interconnect.topology import PCIeLink, PCIeTopology
+
+
+@dataclass(frozen=True)
+class Transfer:
+    """One DMA/RDMA transfer across the fabric."""
+
+    name: str
+    source: str
+    destination: str
+    size_bytes: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("transfer name must be non-empty")
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+
+
+@dataclass
+class TransferResult:
+    """Outcome of simulating one transfer."""
+
+    transfer: Transfer
+    bandwidth_gbps: float
+    latency_us: float
+
+    @property
+    def completion_us(self) -> float:
+        """Latency plus serialisation time at the achieved bandwidth."""
+        return self.latency_us + self.transfer.size_bytes / (self.bandwidth_gbps * 1e3)
+
+    @property
+    def achieved_gbps(self) -> float:
+        """End-to-end achieved bandwidth including latency overhead."""
+        return self.transfer.size_bytes / (self.completion_us * 1e3)
+
+
+class ContentionModel:
+    """Max-min fair bandwidth sharing over a PCIe topology."""
+
+    def __init__(self, topology: PCIeTopology) -> None:
+        self.topology = topology
+
+    @staticmethod
+    def _link_key(link: PCIeLink) -> Tuple[str, str]:
+        return tuple(sorted((link.first, link.second)))
+
+    def allocate(self, transfers: Sequence[Transfer]) -> Dict[str, TransferResult]:
+        """Max-min fair allocation of link bandwidth among concurrent transfers."""
+        if not transfers:
+            return {}
+        routes = {t.name: self.topology.route(t.source, t.destination) for t in transfers}
+        remaining = {self._link_key(link): link.bandwidth_gbps for t in transfers for link in routes[t.name]}
+        unassigned = {t.name for t in transfers}
+        allocation: Dict[str, float] = {}
+
+        while unassigned:
+            # Fair share on each link: remaining capacity over unassigned users.
+            link_share: Dict[Tuple[str, str], float] = {}
+            for key, capacity in remaining.items():
+                users = [
+                    name
+                    for name in unassigned
+                    if any(self._link_key(link) == key for link in routes[name])
+                ]
+                if users:
+                    link_share[key] = capacity / len(users)
+            if not link_share:
+                for name in unassigned:
+                    allocation[name] = min(
+                        link.bandwidth_gbps for link in routes[name]
+                    )
+                break
+            # The most constrained link fixes its users' allocation.
+            bottleneck_key, share = min(link_share.items(), key=lambda item: item[1])
+            fixed = [
+                name
+                for name in unassigned
+                if any(self._link_key(link) == bottleneck_key for link in routes[name])
+            ]
+            for name in fixed:
+                allocation[name] = share
+                unassigned.discard(name)
+                for link in routes[name]:
+                    key = self._link_key(link)
+                    remaining[key] = max(remaining[key] - share, 0.0)
+
+        results: Dict[str, TransferResult] = {}
+        for transfer in transfers:
+            latency = self.topology.path_latency_us(transfer.source, transfer.destination)
+            results[transfer.name] = TransferResult(
+                transfer=transfer,
+                bandwidth_gbps=allocation[transfer.name],
+                latency_us=latency,
+            )
+        return results
+
+    # -- Fig. 9 style sweeps ---------------------------------------------------
+
+    def achieved_bandwidth(
+        self,
+        transfer: Transfer,
+        *,
+        background: Sequence[Transfer] = (),
+    ) -> float:
+        """End-to-end achieved bandwidth (GB/s) of one transfer.
+
+        ``background`` transfers run concurrently and contend for shared
+        links (the halo exchange of the case study).
+        """
+        results = self.allocate([transfer, *background])
+        return results[transfer.name].achieved_gbps
+
+    def bandwidth_sweep(
+        self,
+        source: str,
+        destination: str,
+        message_sizes: Sequence[int],
+        *,
+        background: Sequence[Transfer] = (),
+    ) -> Dict[int, float]:
+        """Achieved bandwidth for a range of message sizes (Fig. 9)."""
+        sweep: Dict[int, float] = {}
+        for size in message_sizes:
+            transfer = Transfer(name="probe", source=source, destination=destination, size_bytes=float(size))
+            sweep[int(size)] = self.achieved_bandwidth(transfer, background=background)
+        return sweep
+
+    def slowdown(
+        self,
+        transfer: Transfer,
+        background: Sequence[Transfer],
+    ) -> float:
+        """Completion-time slowdown caused by the background transfers."""
+        isolated = self.allocate([transfer])[transfer.name].completion_us
+        contended = self.allocate([transfer, *background])[transfer.name].completion_us
+        return contended / isolated - 1.0

@@ -1,0 +1,18 @@
+"""Microarchitectural invariant library.
+
+Invariants are algebraic relations between event semantics (e.g. *L2 accesses
+equal L1D misses plus L1I misses*, or the DRAM-bandwidth identity from the
+paper's footnote 1).  They are written once over semantic keys and
+instantiated per catalog into relations over concrete event names; the factor
+graph used by the BayesPerf model is compiled from these relations.
+"""
+
+from repro.invariants.relation import EventRelation, LinearRelation
+from repro.invariants.library import InvariantLibrary, standard_invariants
+
+__all__ = [
+    "LinearRelation",
+    "EventRelation",
+    "InvariantLibrary",
+    "standard_invariants",
+]

@@ -1,0 +1,278 @@
+"""The standard invariant library shared by both microarchitectures.
+
+The relations below encode the design knowledge the paper draws from CPU
+vendor manuals (§4, "Statistical Dependencies"): cache-hierarchy flow
+conservation, pipeline slot accounting, stall decomposition, and the
+DRAM-bandwidth identity of footnote 1.  The machine model in
+:mod:`repro.uarch` generates ground truth that satisfies every relation here
+exactly, mirroring the fact that real hardware satisfies its own invariants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.events import semantics as sem
+from repro.events.catalog import EventCatalog
+from repro.invariants.relation import EventRelation, LinearRelation
+
+
+class InvariantLibrary:
+    """An ordered collection of :class:`LinearRelation`."""
+
+    def __init__(self, relations: Iterable[LinearRelation]) -> None:
+        self._relations: List[LinearRelation] = list(relations)
+        names = [r.name for r in self._relations]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate relation names in invariant library")
+
+    def __iter__(self) -> Iterator[LinearRelation]:
+        return iter(self._relations)
+
+    def __len__(self) -> int:
+        return len(self._relations)
+
+    def get(self, name: str) -> LinearRelation:
+        for relation in self._relations:
+            if relation.name == name:
+                return relation
+        raise KeyError(f"unknown relation {name!r}")
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(r.name for r in self._relations)
+
+    def semantics(self) -> Tuple[str, ...]:
+        """All semantics referenced by at least one relation."""
+        seen: Set[str] = set()
+        ordered: List[str] = []
+        for relation in self._relations:
+            for key in relation.semantics:
+                if key not in seen:
+                    seen.add(key)
+                    ordered.append(key)
+        return tuple(ordered)
+
+    def relations_for(self, semantic: str) -> Tuple[LinearRelation, ...]:
+        """Relations that mention the given semantic."""
+        return tuple(r for r in self._relations if semantic in r.terms)
+
+    def verify(self, values: Mapping[str, float], rtol: float = 1e-6) -> Dict[str, float]:
+        """Relative residual of every relation whose semantics are all present."""
+        report: Dict[str, float] = {}
+        for relation in self._relations:
+            if all(key in values for key in relation.semantics):
+                report[relation.name] = relation.relative_residual(values)
+        return report
+
+    def violated(self, values: Mapping[str, float], rtol: float = 1e-6) -> Tuple[str, ...]:
+        """Names of relations violated beyond *rtol* on the supplied values."""
+        return tuple(name for name, rel in self.verify(values, rtol).items() if rel > rtol)
+
+    def for_catalog(
+        self, catalog: EventCatalog, events: Optional[Sequence[str]] = None
+    ) -> Tuple[EventRelation, ...]:
+        """Instantiate the library over a catalog's event names.
+
+        Parameters
+        ----------
+        catalog:
+            Event catalog providing the semantic-to-event mapping.
+        events:
+            Optional restriction: only relations whose instantiated events all
+            appear in this collection are returned.  This matches the fact
+            that a monitoring session only reasons about the events it was
+            asked to collect.
+        """
+        allowed = set(events) if events is not None else None
+        instantiated: List[EventRelation] = []
+        for relation in self._relations:
+            try:
+                event_relation = relation.instantiate(catalog)
+            except KeyError:
+                continue
+            if allowed is not None and not set(event_relation.events) <= allowed:
+                continue
+            instantiated.append(event_relation)
+        return tuple(instantiated)
+
+
+def standard_invariants() -> InvariantLibrary:
+    """Build the standard invariant library used throughout the reproduction."""
+    width = float(sem.PIPELINE_WIDTH)
+    line = float(sem.CACHE_LINE_BYTES)
+    dma_bytes = float(sem.DMA_TRANSACTION_BYTES)
+    dma_lines = dma_bytes / line
+
+    relations = [
+        LinearRelation(
+            name="cycle_decomposition",
+            terms={sem.CYCLES: 1.0, sem.ACTIVE_CYCLES: -1.0, sem.STALL_CYCLES_TOTAL: -1.0},
+            description="Every cycle is either active or stalled.",
+        ),
+        LinearRelation(
+            name="stall_split",
+            terms={sem.STALL_CYCLES_TOTAL: 1.0, sem.STALL_FRONTEND: -1.0, sem.STALL_BACKEND: -1.0},
+            description="Stall cycles split into front-end and back-end stalls.",
+        ),
+        LinearRelation(
+            name="backend_split",
+            terms={sem.STALL_BACKEND: 1.0, sem.STALL_CORE: -1.0, sem.STALL_MEM: -1.0},
+            description="Back-end stalls split into core-bound and memory-bound stalls.",
+        ),
+        LinearRelation(
+            name="memory_stall_split",
+            terms={
+                sem.STALL_MEM: 1.0,
+                sem.STALL_DRAM_BW: -1.0,
+                sem.STALL_DRAM_LAT: -1.0,
+                sem.STALL_L2_PENDING: -1.0,
+            },
+            description="Memory stalls split into DRAM bandwidth, DRAM latency and L2-pending stalls.",
+        ),
+        LinearRelation(
+            name="branch_split",
+            terms={sem.BRANCHES: 1.0, sem.BRANCH_TAKEN: -1.0, sem.BRANCH_NOT_TAKEN: -1.0},
+            description="Branches are either taken or not taken.",
+        ),
+        LinearRelation(
+            name="mem_inst_split",
+            terms={sem.MEM_INST_RETIRED: 1.0, sem.LOADS_RETIRED: -1.0, sem.STORES_RETIRED: -1.0},
+            description="Memory instructions are loads or stores.",
+        ),
+        LinearRelation(
+            name="l1d_access_source",
+            terms={sem.L1D_ACCESS: 1.0, sem.MEM_INST_RETIRED: -1.0},
+            description="Every retired memory instruction accesses the L1 data cache.",
+        ),
+        LinearRelation(
+            name="l1d_split",
+            terms={sem.L1D_ACCESS: 1.0, sem.L1D_HIT: -1.0, sem.L1D_MISS: -1.0},
+            description="L1D accesses either hit or miss.",
+        ),
+        LinearRelation(
+            name="l2_source",
+            terms={sem.L2_ACCESS: 1.0, sem.L1D_MISS: -1.0, sem.L1I_MISS: -1.0},
+            description="L2 requests are produced by L1 data and instruction misses.",
+        ),
+        LinearRelation(
+            name="l2_split",
+            terms={sem.L2_ACCESS: 1.0, sem.L2_HIT: -1.0, sem.L2_MISS: -1.0},
+            description="L2 accesses either hit or miss.",
+        ),
+        LinearRelation(
+            name="llc_source",
+            terms={sem.LLC_ACCESS: 1.0, sem.L2_MISS: -1.0},
+            description="LLC requests are produced by L2 misses.",
+        ),
+        LinearRelation(
+            name="llc_split",
+            terms={sem.LLC_ACCESS: 1.0, sem.LLC_HIT: -1.0, sem.LLC_MISS: -1.0},
+            description="LLC accesses either hit or miss.",
+        ),
+        LinearRelation(
+            name="offcore_read_source",
+            terms={sem.OFFCORE_DEMAND_READS: 1.0, sem.LLC_MISS: -1.0},
+            description="Demand reads leaving the core correspond to LLC misses.",
+        ),
+        LinearRelation(
+            name="dram_read_source",
+            terms={
+                sem.DRAM_READS: 1.0,
+                sem.OFFCORE_DEMAND_READS: -1.0,
+                sem.DMA_TRANSACTIONS: -dma_lines,
+            },
+            description="DRAM reads are demand reads plus DMA transactions (in cache-line units).",
+        ),
+        LinearRelation(
+            name="dram_write_source",
+            terms={sem.DRAM_WRITES: 1.0, sem.OFFCORE_WRITEBACKS: -1.0},
+            description="DRAM writes are cache-line writebacks leaving the LLC.",
+        ),
+        LinearRelation(
+            name="dram_split",
+            terms={sem.DRAM_ACCESSES: 1.0, sem.DRAM_READS: -1.0, sem.DRAM_WRITES: -1.0},
+            description="DRAM accesses are reads plus writes.",
+        ),
+        LinearRelation(
+            name="dram_bytes_identity",
+            terms={sem.DRAM_BYTES: 1.0, sem.DRAM_ACCESSES: -line},
+            description="Each DRAM access moves one cache line.",
+        ),
+        LinearRelation(
+            name="dma_bytes_identity",
+            terms={sem.DMA_BYTES: 1.0, sem.DMA_TRANSACTIONS: -dma_bytes},
+            description="Each DMA transaction moves a fixed payload.",
+        ),
+        LinearRelation(
+            name="uops_split",
+            terms={sem.UOPS_ISSUED: 1.0, sem.UOPS_RETIRED: -1.0, sem.UOPS_CANCELLED: -1.0},
+            description="Issued micro-ops either retire or are cancelled.",
+        ),
+        LinearRelation(
+            name="slots_total_identity",
+            terms={sem.ISSUE_SLOTS_TOTAL: 1.0, sem.CYCLES: -width},
+            description="The pipeline offers a fixed number of issue slots per cycle.",
+        ),
+        LinearRelation(
+            name="slots_split",
+            terms={sem.ISSUE_SLOTS_TOTAL: 1.0, sem.ISSUE_SLOTS_USED: -1.0, sem.ISSUE_SLOTS_EMPTY: -1.0},
+            description="Issue slots are either used or left empty.",
+        ),
+        LinearRelation(
+            name="slots_used_uops",
+            terms={sem.ISSUE_SLOTS_USED: 1.0, sem.UOPS_ISSUED: -1.0},
+            description="Each used issue slot carries one issued micro-op.",
+        ),
+        LinearRelation(
+            name="frontend_stall_model",
+            terms={sem.STALL_FRONTEND: 1.0, sem.BRANCH_MISSES: -12.0, sem.L1I_MISS: -18.0},
+            tolerance=0.05,
+            description="Front-end stalls are driven by branch mispredictions and instruction-cache misses.",
+        ),
+        LinearRelation(
+            name="l2_pending_stall_model",
+            terms={sem.STALL_L2_PENDING: 1.0, sem.L2_MISS: -8.0},
+            tolerance=0.05,
+            description="Cycles with pending L2 misses scale with the number of L2 misses.",
+        ),
+        LinearRelation(
+            name="dram_latency_stall_model",
+            terms={sem.STALL_DRAM_LAT: 1.0, sem.LLC_MISS: -40.0},
+            tolerance=0.05,
+            description="DRAM-latency stalls scale with LLC misses at the nominal memory latency.",
+        ),
+        LinearRelation(
+            name="dram_bw_stall_model",
+            terms={sem.STALL_DRAM_BW: 1.0, sem.DRAM_ACCESSES: -2.0},
+            tolerance=0.05,
+            description="DRAM-bandwidth stalls scale with the number of DRAM accesses.",
+        ),
+        LinearRelation(
+            name="uop_cracking_model",
+            terms={sem.UOPS_RETIRED: 1.0, sem.INSTRUCTIONS: -1.3},
+            tolerance=0.05,
+            description="Retired micro-ops per instruction follow the ISA's average cracking ratio.",
+        ),
+        LinearRelation(
+            name="page_walk_source",
+            terms={sem.PAGE_WALKS: 1.0, sem.DTLB_MISS: -1.0, sem.ITLB_MISS: -1.0},
+            description="Page walks are triggered by data- and instruction-TLB misses.",
+        ),
+        LinearRelation(
+            name="pcie_bytes_split",
+            terms={sem.PCIE_TOTAL_BYTES: 1.0, sem.PCIE_READ_BYTES: -1.0, sem.PCIE_WRITE_BYTES: -1.0},
+            description="PCIe payload bytes are reads plus writes.",
+        ),
+        LinearRelation(
+            name="pcie_transaction_bytes",
+            terms={sem.PCIE_TOTAL_BYTES: 1.0, sem.PCIE_TRANSACTIONS: -dma_bytes},
+            description="Each PCIe transaction carries a fixed average payload.",
+        ),
+        LinearRelation(
+            name="pcie_dma_traffic",
+            terms={sem.PCIE_TOTAL_BYTES: 1.0, sem.DMA_BYTES: -1.0},
+            tolerance=0.05,
+            description="PCIe payload traffic is dominated by DMA traffic.",
+        ),
+    ]
+    return InvariantLibrary(relations)

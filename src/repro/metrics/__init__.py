@@ -1,0 +1,25 @@
+"""Measurement-error metrics.
+
+The paper defines HPC error as the difference between corresponding
+measurements made in a sampling-mode run and a polling-mode run, with the
+correspondence established by dynamic time warping (§2).  This package
+implements DTW alignment and the error/improvement summaries used throughout
+the evaluation.
+"""
+
+from repro.metrics.dtw import dtw_distance, dtw_path
+from repro.metrics.error import (
+    ErrorReport,
+    normalized_improvement,
+    relative_series_error,
+    trace_error,
+)
+
+__all__ = [
+    "dtw_distance",
+    "dtw_path",
+    "ErrorReport",
+    "relative_series_error",
+    "trace_error",
+    "normalized_improvement",
+]

@@ -1,0 +1,68 @@
+"""Dynamic time warping (Berndt & Clifford, 1994).
+
+Used to align the corrected time series with the polled reference before the
+error is computed, exactly as the paper's error definition prescribes (§2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def _cost_matrix(first: np.ndarray, second: np.ndarray, window: Optional[int]) -> np.ndarray:
+    n, m = len(first), len(second)
+    if window is None:
+        window = max(n, m)
+    window = max(window, abs(n - m))
+    cost = np.full((n + 1, m + 1), np.inf)
+    cost[0, 0] = 0.0
+    for i in range(1, n + 1):
+        lo = max(1, i - window)
+        hi = min(m, i + window)
+        for j in range(lo, hi + 1):
+            distance = abs(first[i - 1] - second[j - 1])
+            cost[i, j] = distance + min(cost[i - 1, j], cost[i, j - 1], cost[i - 1, j - 1])
+    return cost
+
+
+def dtw_distance(
+    first: Sequence[float], second: Sequence[float], *, window: Optional[int] = None
+) -> float:
+    """DTW distance between two series with an optional Sakoe-Chiba window."""
+    first = np.asarray(first, dtype=float)
+    second = np.asarray(second, dtype=float)
+    if first.size == 0 or second.size == 0:
+        raise ValueError("DTW requires non-empty series")
+    cost = _cost_matrix(first, second, window)
+    return float(cost[len(first), len(second)])
+
+
+def dtw_path(
+    first: Sequence[float], second: Sequence[float], *, window: Optional[int] = None
+) -> List[Tuple[int, int]]:
+    """Optimal DTW alignment path as a list of (index_first, index_second)."""
+    first = np.asarray(first, dtype=float)
+    second = np.asarray(second, dtype=float)
+    if first.size == 0 or second.size == 0:
+        raise ValueError("DTW requires non-empty series")
+    cost = _cost_matrix(first, second, window)
+    i, j = len(first), len(second)
+    path: List[Tuple[int, int]] = []
+    while i > 0 and j > 0:
+        path.append((i - 1, j - 1))
+        moves = (
+            (cost[i - 1, j - 1], i - 1, j - 1),
+            (cost[i - 1, j], i - 1, j),
+            (cost[i, j - 1], i, j - 1),
+        )
+        _, i, j = min(moves, key=lambda item: item[0])
+    while i > 0:
+        path.append((i - 1, 0))
+        i -= 1
+    while j > 0:
+        path.append((0, j - 1))
+        j -= 1
+    path.reverse()
+    return path

@@ -1,0 +1,145 @@
+"""Error definitions used by the evaluation (§2, §6.2)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.dtw import dtw_path
+from repro.pmu.sampling import PolledTrace
+from repro.pmu.traces import EstimateTrace
+
+
+def relative_series_error(
+    estimate: Sequence[float],
+    reference: Sequence[float],
+    *,
+    align: bool = True,
+    window: Optional[int] = 8,
+    cap: Optional[float] = None,
+) -> float:
+    """Mean relative error between an estimated and a reference series.
+
+    When ``align`` is true the two series are first aligned with dynamic time
+    warping (the paper's error definition); otherwise the comparison is
+    pointwise.  ``cap`` optionally bounds each per-point relative error so a
+    single near-zero reference value cannot dominate the mean (used for
+    derived ratio metrics).
+    """
+    estimate = np.asarray(estimate, dtype=float)
+    reference = np.asarray(reference, dtype=float)
+    if estimate.size == 0 or reference.size == 0:
+        raise ValueError("series must be non-empty")
+    if cap is not None and cap <= 0:
+        raise ValueError("cap must be positive")
+    if not align:
+        if estimate.size != reference.size:
+            raise ValueError("pointwise comparison requires equal-length series")
+        pairs = list(zip(range(estimate.size), range(reference.size)))
+    else:
+        pairs = dtw_path(estimate, reference, window=window)
+    errors = []
+    for i, j in pairs:
+        denom = max(abs(reference[j]), 1e-12)
+        error = abs(estimate[i] - reference[j]) / denom
+        if cap is not None:
+            error = min(error, cap)
+        errors.append(error)
+    return float(np.mean(errors))
+
+
+@dataclass
+class ErrorReport:
+    """Per-event and aggregate relative error of one correction method."""
+
+    method: str
+    per_event: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def mean_error(self) -> float:
+        """Mean relative error across events (as a fraction, not percent)."""
+        if not self.per_event:
+            return float("nan")
+        return float(np.mean(list(self.per_event.values())))
+
+    @property
+    def mean_error_percent(self) -> float:
+        return 100.0 * self.mean_error
+
+    def worst_events(self, count: int = 5) -> Tuple[Tuple[str, float], ...]:
+        """Events with the largest error."""
+        ranked = sorted(self.per_event.items(), key=lambda item: item[1], reverse=True)
+        return tuple(ranked[:count])
+
+
+def trace_error(
+    estimates: EstimateTrace,
+    reference: PolledTrace,
+    *,
+    events: Optional[Sequence[str]] = None,
+    align: bool = True,
+    window: Optional[int] = 8,
+    skip_ticks: int = 0,
+    aggregate_ticks: int = 1,
+    cap: Optional[float] = None,
+) -> ErrorReport:
+    """Relative error of an estimate trace against the polled reference.
+
+    Parameters
+    ----------
+    estimates:
+        Per-tick estimates from a correction method.
+    reference:
+        Polled reference trace.
+    events:
+        Events to evaluate; defaults to the intersection of the two traces.
+    align, window:
+        DTW alignment controls.
+    skip_ticks:
+        Number of leading warm-up ticks excluded from the comparison (every
+        correction method needs one schedule rotation before it has seen each
+        event at least once).
+    aggregate_ticks:
+        Number of consecutive quanta summed into one comparison point.  A
+        monitoring tool reads the counters once per read interval, not once
+        per multiplexing quantum, so errors are compared at that granularity
+        (1 compares raw per-quantum series).
+    """
+    if skip_ticks < 0:
+        raise ValueError("skip_ticks must be non-negative")
+    if aggregate_ticks <= 0:
+        raise ValueError("aggregate_ticks must be positive")
+    if events is None:
+        events = tuple(name for name in estimates.events() if name in reference.events)
+    report = ErrorReport(method=estimates.method)
+    for event in events:
+        estimate_series = estimates.series(event)[skip_ticks:]
+        reference_series = reference.series(event)[skip_ticks:]
+        if estimate_series.size == 0 or np.all(np.isnan(estimate_series)):
+            continue
+        estimate_series = np.nan_to_num(estimate_series, nan=0.0)
+        if aggregate_ticks > 1:
+            estimate_series = _aggregate(estimate_series, aggregate_ticks)
+            reference_series = _aggregate(reference_series, aggregate_ticks)
+        report.per_event[event] = relative_series_error(
+            estimate_series, reference_series, align=align, window=window, cap=cap
+        )
+    return report
+
+
+def _aggregate(series: np.ndarray, chunk: int) -> np.ndarray:
+    """Sum a series over non-overlapping chunks (dropping the ragged tail)."""
+    usable = (series.size // chunk) * chunk
+    if usable == 0:
+        return series
+    return series[:usable].reshape(-1, chunk).sum(axis=1)
+
+
+def normalized_improvement(baseline: ErrorReport, improved: ErrorReport) -> float:
+    """How many times smaller the improved method's mean error is."""
+    improved_error = improved.mean_error
+    if improved_error <= 0:
+        return float("inf")
+    return baseline.mean_error / improved_error

@@ -1,0 +1,35 @@
+"""ML-based IO scheduling case study (§6.3).
+
+The paper demonstrates BayesPerf's downstream value by feeding corrected HPC
+measurements into two ML-based schedulers that decide which NIC a Spark
+shuffle should use while GPUs contend for PCIe bandwidth: a collaborative
+filtering model (after Paragon) and an actor-critic reinforcement-learning
+model (after the authors' prior scheduler).  This package provides the
+scheduling environment (built on the PCIe contention model), both model
+families, and the training/decision-quality experiments.
+"""
+
+from repro.mlsched.features import FeatureSpec, HPCFeatureExtractor
+from repro.mlsched.environment import ShuffleSchedulingEnv, ShuffleTask
+from repro.mlsched.collaborative import CollaborativeFilteringScheduler
+from repro.mlsched.reinforcement import ActorCriticScheduler, TrainingCurve
+from repro.mlsched.training import (
+    MONITORING_PROFILES,
+    MonitoringProfile,
+    decision_quality_comparison,
+    training_time_comparison,
+)
+
+__all__ = [
+    "FeatureSpec",
+    "HPCFeatureExtractor",
+    "ShuffleSchedulingEnv",
+    "ShuffleTask",
+    "CollaborativeFilteringScheduler",
+    "ActorCriticScheduler",
+    "TrainingCurve",
+    "MonitoringProfile",
+    "MONITORING_PROFILES",
+    "training_time_comparison",
+    "decision_quality_comparison",
+]

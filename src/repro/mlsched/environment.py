@@ -1,0 +1,208 @@
+"""The shuffle-scheduling environment.
+
+The scheduler must decide which NIC carries a distributed-shuffle transfer
+while worker GPUs run a halo exchange over the same PCIe fabric.  Choosing a
+NIC whose path shares links with the halo exchange (or sits across the
+socket from the data) lengthens the shuffle; the reward is the negative
+normalised completion time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.interconnect.topology import PCIeTopology, build_case_study_topology
+from repro.interconnect.transfer import ContentionModel, Transfer
+from repro.mlsched.features import FeatureSpec, HPCFeatureExtractor
+
+#: Action space: which NIC carries the shuffle.
+ACTIONS: Tuple[str, ...] = ("nic0", "nic1")
+
+
+@dataclass(frozen=True)
+class ShuffleTask:
+    """One shuffle that must be scheduled.
+
+    ``halo_active`` marks a GPU-to-GPU halo exchange on socket 1 (contending
+    with NIC1's uplink); ``dataload_active`` marks training-data transfers to
+    the training GPU on socket 0 (contending with NIC0's uplink).  Neither is
+    visible to the scheduler directly — it has to infer them from the HPC
+    features.
+    """
+
+    size_bytes: float
+    numa_node: int
+    halo_active: bool
+    dataload_active: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.numa_node not in (0, 1):
+            raise ValueError("numa_node must be 0 or 1")
+
+
+class ShuffleSchedulingEnv:
+    """Contention-aware NIC selection environment.
+
+    Parameters
+    ----------
+    extractor:
+        Feature extractor (carries the monitoring pipeline's error level).
+    topology:
+        PCIe topology; defaults to the case-study system.
+    halo_bytes:
+        Size of the concurrent GPU-to-GPU halo exchange.
+    halo_probability:
+        Probability that the halo exchange is active for a given task.
+    seed:
+        Seed for task generation.
+    """
+
+    def __init__(
+        self,
+        extractor: Optional[HPCFeatureExtractor] = None,
+        *,
+        topology: Optional[PCIeTopology] = None,
+        halo_bytes: float = 512e6,
+        halo_probability: float = 0.7,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= halo_probability <= 1.0:
+            raise ValueError("halo_probability must lie in [0, 1]")
+        self.topology = topology if topology is not None else build_case_study_topology()
+        self.contention = ContentionModel(self.topology)
+        self.extractor = extractor if extractor is not None else HPCFeatureExtractor()
+        self.halo_bytes = halo_bytes
+        self.halo_probability = halo_probability
+        self._rng = np.random.default_rng(seed)
+        self._task: Optional[ShuffleTask] = None
+
+    # -- task generation --------------------------------------------------------
+
+    def sample_task(self) -> ShuffleTask:
+        """Draw a random shuffle task (size, data placement, background)."""
+        size = float(2 ** self._rng.uniform(26, 31))  # 64 MB .. 2 GB
+        numa = int(self._rng.integers(0, 2))
+        halo = bool(self._rng.random() < self.halo_probability)
+        dataload = bool(self._rng.random() < self.halo_probability)
+        self._task = ShuffleTask(
+            size_bytes=size, numa_node=numa, halo_active=halo, dataload_active=dataload
+        )
+        return self._task
+
+    def reset(self) -> np.ndarray:
+        """Start a new episode and return the first observation."""
+        self.extractor.reset()
+        task = self.sample_task()
+        return self.observe(task)
+
+    # -- observation -------------------------------------------------------------
+
+    def _true_hpc_activity(self, task: ShuffleTask) -> Dict[str, float]:
+        """Ground-truth activity levels the PMU would report for this state.
+
+        The socket-1 halo exchange shows up in the PCIe payload and non-snoop
+        write counters; the socket-0 training-data loads show up in the DRAM
+        channel, allocating-write and MMIO-read counters.  The scheduler has
+        to tell the two apart from these (noisy) signals.
+        """
+        halo = 1.0 if task.halo_active else 0.0
+        dataload = 1.0 if task.dataload_active else 0.0
+        size_factor = task.size_bytes / 2**30
+        return {
+            "allocating_writes": 0.2 + 0.55 * dataload + 0.05 * size_factor,
+            "full_writes": 0.25 + 0.3 * halo,
+            "partial_writes": 0.1 + 0.05 * size_factor,
+            "non_snoop_writes": 0.15 + 0.5 * halo,
+            "demand_code_reads": 0.2 + 0.35 * dataload,
+            "partial_mmio_reads": 0.05 + 0.45 * dataload,
+            "dram_channel_utilization": 0.25 + 0.45 * dataload + 0.1 * size_factor,
+            "membus_utilization": 0.3 + 0.25 * halo + 0.2 * dataload,
+            "pcie_read_bandwidth": 0.2 + 0.6 * halo + 0.1 * dataload,
+            "pcie_write_bandwidth": 0.25 + 0.5 * halo + 0.15 * dataload,
+        }
+
+    def observe(self, task: Optional[ShuffleTask] = None) -> np.ndarray:
+        """Feature vector for the current (or supplied) task."""
+        task = task if task is not None else self._task
+        if task is None:
+            raise RuntimeError("call reset() or sample_task() before observe()")
+        return self.extractor.extract(
+            self._true_hpc_activity(task),
+            shuffle_bytes=task.size_bytes,
+            numa_node=task.numa_node,
+        )
+
+    # -- dynamics -----------------------------------------------------------------
+
+    def _background_transfers(self, task: ShuffleTask) -> List[Transfer]:
+        background: List[Transfer] = []
+        if task.halo_active:
+            background.extend(
+                [
+                    Transfer(name="halo-a", source="gpu0", destination="gpu2", size_bytes=self.halo_bytes),
+                    Transfer(name="halo-b", source="gpu3", destination="gpu1", size_bytes=self.halo_bytes),
+                ]
+            )
+        if task.dataload_active:
+            background.append(
+                Transfer(
+                    name="dataload",
+                    source="mem0",
+                    destination="train_gpu",
+                    size_bytes=self.halo_bytes,
+                )
+            )
+        return background
+
+    def completion_time_us(self, task: ShuffleTask, action: int) -> float:
+        """Shuffle completion time (µs) for a NIC choice."""
+        if action not in (0, 1):
+            raise ValueError("action must be 0 (nic0) or 1 (nic1)")
+        nic = ACTIONS[action]
+        source = f"mem{task.numa_node}"
+        shuffle = Transfer(name="shuffle", source=source, destination=nic, size_bytes=task.size_bytes)
+        results = self.contention.allocate([shuffle, *self._background_transfers(task)])
+        return results["shuffle"].completion_us
+
+    def best_action(self, task: Optional[ShuffleTask] = None) -> int:
+        """The oracle NIC choice for a task."""
+        task = task if task is not None else self._task
+        if task is None:
+            raise RuntimeError("no task sampled yet")
+        times = [self.completion_time_us(task, action) for action in range(len(ACTIONS))]
+        return int(np.argmin(times))
+
+    def step(self, action: int) -> Tuple[np.ndarray, float, Dict[str, float]]:
+        """Apply a NIC choice; returns (next observation, reward, info).
+
+        The reward is the negative completion time normalised by the best
+        achievable completion time for the task, so a perfect decision earns
+        -1.0 and worse decisions earn more negative rewards.
+        """
+        if self._task is None:
+            raise RuntimeError("call reset() before step()")
+        task = self._task
+        completion = self.completion_time_us(task, action)
+        best = min(self.completion_time_us(task, a) for a in range(len(ACTIONS)))
+        reward = -completion / max(best, 1e-9)
+        info = {
+            "completion_us": completion,
+            "best_us": best,
+            "regret": completion / max(best, 1e-9) - 1.0,
+            "optimal_action": float(self.best_action(task)),
+        }
+        observation = self.reset()
+        return observation, float(reward), info
+
+    @property
+    def feature_spec(self) -> FeatureSpec:
+        return self.extractor.spec
+
+    @property
+    def n_actions(self) -> int:
+        return len(ACTIONS)

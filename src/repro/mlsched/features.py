@@ -1,0 +1,118 @@
+"""HPC-derived features for the IO schedulers.
+
+The paper's models consume derived events (write/read categories, DRAM and
+memory-bus bandwidth utilisation) plus task metadata (shuffle size, NUMA
+node) — 32 unique HPC events in total (§6.3).  The extractor turns per-tick
+event estimates into a fixed-length feature vector, and can corrupt the HPC
+part of the vector with the error level of a given monitoring method, which
+is how the case study couples scheduler quality to measurement quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+#: Names of the HPC-derived features, in vector order.
+HPC_FEATURE_NAMES: Tuple[str, ...] = (
+    "allocating_writes",
+    "full_writes",
+    "partial_writes",
+    "non_snoop_writes",
+    "demand_code_reads",
+    "partial_mmio_reads",
+    "dram_channel_utilization",
+    "membus_utilization",
+    "pcie_read_bandwidth",
+    "pcie_write_bandwidth",
+)
+
+#: Names of the task metadata features appended after the HPC features.  Note
+#: that whether the GPUs are currently contending for PCIe bandwidth is *not*
+#: part of the task metadata — the scheduler has to infer it from the HPC
+#: features, which is exactly why measurement error hurts it.
+TASK_FEATURE_NAMES: Tuple[str, ...] = ("shuffle_bytes_log", "numa_node")
+
+
+@dataclass(frozen=True)
+class FeatureSpec:
+    """Shape description of the scheduler input vector."""
+
+    hpc_features: Tuple[str, ...] = HPC_FEATURE_NAMES
+    task_features: Tuple[str, ...] = TASK_FEATURE_NAMES
+
+    @property
+    def size(self) -> int:
+        return len(self.hpc_features) + len(self.task_features)
+
+
+class HPCFeatureExtractor:
+    """Builds scheduler feature vectors from HPC-derived activity levels.
+
+    Parameters
+    ----------
+    spec:
+        Feature layout.
+    error_level:
+        Relative error applied to the HPC part of the vector (the measurement
+        error of the monitoring pipeline feeding the scheduler).  0.08 for
+        BayesPerf, ~0.29 for CounterMiner, ~0.40 for plain Linux scaling.
+    staleness_ticks:
+        How many decision intervals old the HPC features are; models the
+        higher read latency of the CPU implementation of BayesPerf.
+    seed:
+        Seed of the error perturbation.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[FeatureSpec] = None,
+        *,
+        error_level: float = 0.0,
+        staleness_ticks: int = 0,
+        seed: int = 0,
+    ) -> None:
+        if error_level < 0:
+            raise ValueError("error_level must be non-negative")
+        if staleness_ticks < 0:
+            raise ValueError("staleness_ticks must be non-negative")
+        self.spec = spec if spec is not None else FeatureSpec()
+        self.error_level = error_level
+        self.staleness_ticks = staleness_ticks
+        self._rng = np.random.default_rng(seed)
+        self._history: list = []
+
+    def _perturb(self, values: np.ndarray) -> np.ndarray:
+        if self.error_level <= 0:
+            return values
+        noise = self._rng.normal(0.0, self.error_level, size=values.shape)
+        return values * np.clip(1.0 + noise, 0.05, None)
+
+    def extract(
+        self,
+        hpc_activity: Mapping[str, float],
+        *,
+        shuffle_bytes: float,
+        numa_node: int,
+    ) -> np.ndarray:
+        """Build one feature vector.
+
+        ``hpc_activity`` maps HPC feature names to their *true* activity
+        levels; the extractor applies the configured measurement error and
+        staleness before handing them to the scheduler.
+        """
+        hpc = np.array(
+            [float(hpc_activity.get(name, 0.0)) for name in self.spec.hpc_features], dtype=float
+        )
+        hpc = self._perturb(hpc)
+        self._history.append(hpc)
+        if self.staleness_ticks > 0 and len(self._history) > self.staleness_ticks:
+            hpc = self._history[-1 - self.staleness_ticks]
+        task = np.array([np.log2(max(shuffle_bytes, 1.0)), float(numa_node)], dtype=float)
+        return np.concatenate([hpc, task])
+
+    def reset(self) -> None:
+        """Clear the staleness history (start of a new episode)."""
+        self._history.clear()

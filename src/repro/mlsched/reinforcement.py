@@ -1,0 +1,238 @@
+"""Actor-critic reinforcement-learning scheduler.
+
+The paper's RL model is a four-layer fully connected ReLU network (36-16-16-2
+neurons) trained with actor-critic reinforcement learning whose loss is the
+normalised shuffle completion time (§6.3).  The NumPy implementation below
+follows that structure: a shared trunk, a softmax policy head over the two
+NICs, a scalar value head as the critic/baseline, and advantage-weighted
+policy-gradient updates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mlsched.environment import ShuffleSchedulingEnv
+
+
+@dataclass
+class TrainingCurve:
+    """Loss trajectory of one training run."""
+
+    label: str
+    losses: List[float] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.losses)
+
+    def smoothed(self, window: int = 25) -> np.ndarray:
+        """Moving-average loss curve."""
+        if window <= 0:
+            raise ValueError("window must be positive")
+        losses = np.asarray(self.losses, dtype=float)
+        if losses.size == 0:
+            return losses
+        kernel = np.ones(min(window, losses.size)) / min(window, losses.size)
+        return np.convolve(losses, kernel, mode="valid")
+
+    def convergence_iteration(self, threshold: float = 0.1, window: int = 25) -> int:
+        """First iteration at which the smoothed loss stays within *threshold* of its floor."""
+        smoothed = self.smoothed(window)
+        if smoothed.size == 0:
+            return 0
+        floor = float(np.min(smoothed))
+        target = floor * (1.0 + threshold) if floor > 0 else floor + threshold
+        for index, value in enumerate(smoothed):
+            if value <= target and np.all(smoothed[index:] <= target * 1.05):
+                return index
+        return len(smoothed) - 1
+
+    @property
+    def final_loss(self) -> float:
+        smoothed = self.smoothed()
+        return float(smoothed[-1]) if smoothed.size else float("nan")
+
+
+class ActorCriticScheduler:
+    """A small NumPy actor-critic network over the scheduler feature vector.
+
+    Parameters
+    ----------
+    n_features:
+        Input dimensionality (13 for the default feature spec; the paper's
+        36-wide first layer is retained as the hidden width).
+    n_actions:
+        Number of NIC choices.
+    hidden:
+        Hidden layer widths; defaults to the paper's (36, 16, 16).
+    learning_rate, entropy_bonus, seed:
+        Optimisation hyper-parameters.
+    """
+
+    def __init__(
+        self,
+        n_features: int,
+        n_actions: int = 2,
+        *,
+        hidden: Sequence[int] = (36, 16, 16),
+        learning_rate: float = 0.01,
+        entropy_bonus: float = 0.01,
+        seed: int = 0,
+    ) -> None:
+        if n_features <= 0 or n_actions <= 1:
+            raise ValueError("invalid network dimensions")
+        self.n_features = n_features
+        self.n_actions = n_actions
+        self.learning_rate = learning_rate
+        self.entropy_bonus = entropy_bonus
+        self._rng = np.random.default_rng(seed)
+
+        sizes = [n_features, *hidden]
+        self._weights: List[np.ndarray] = []
+        self._biases: List[np.ndarray] = []
+        for fan_in, fan_out in zip(sizes, sizes[1:]):
+            scale = np.sqrt(2.0 / fan_in)
+            self._weights.append(self._rng.normal(0.0, scale, size=(fan_in, fan_out)))
+            self._biases.append(np.zeros(fan_out))
+        trunk_out = sizes[-1]
+        self._policy_w = self._rng.normal(0.0, 0.1, size=(trunk_out, n_actions))
+        self._policy_b = np.zeros(n_actions)
+        self._value_w = self._rng.normal(0.0, 0.1, size=(trunk_out, 1))
+        self._value_b = np.zeros(1)
+        self._feature_scale: Optional[np.ndarray] = None
+
+    # -- forward -----------------------------------------------------------------
+
+    def _normalise(self, features: np.ndarray) -> np.ndarray:
+        if self._feature_scale is None:
+            self._feature_scale = np.maximum(np.abs(features), 1.0)
+        else:
+            self._feature_scale = np.maximum(self._feature_scale, np.abs(features))
+        return features / self._feature_scale
+
+    def _trunk(self, x: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray]]:
+        activations = [x]
+        h = x
+        for weight, bias in zip(self._weights, self._biases):
+            h = np.maximum(h @ weight + bias, 0.0)
+            activations.append(h)
+        return h, activations
+
+    def policy(self, features: np.ndarray) -> np.ndarray:
+        """Action probabilities for one feature vector."""
+        x = self._normalise(np.asarray(features, dtype=float))
+        trunk, _ = self._trunk(x)
+        logits = trunk @ self._policy_w + self._policy_b
+        logits -= logits.max()
+        exp = np.exp(logits)
+        return exp / exp.sum()
+
+    def value(self, features: np.ndarray) -> float:
+        """Critic estimate of the (negative normalised) completion time."""
+        x = self._normalise(np.asarray(features, dtype=float))
+        trunk, _ = self._trunk(x)
+        return float((trunk @ self._value_w + self._value_b)[0])
+
+    def act(self, features: np.ndarray, *, greedy: bool = False) -> int:
+        """Sample (or take the arg-max of) the policy."""
+        probabilities = self.policy(features)
+        if greedy:
+            return int(np.argmax(probabilities))
+        return int(self._rng.choice(self.n_actions, p=probabilities))
+
+    # -- learning -----------------------------------------------------------------
+
+    def update(self, features: np.ndarray, action: int, reward: float) -> float:
+        """One actor-critic update; returns the (positive) loss value.
+
+        The loss reported to callers is the normalised completion time
+        (``-reward``), matching Fig. 10's y-axis where 1.0 is the isolated
+        (perfectly scheduled) completion time.
+        """
+        x = self._normalise(np.asarray(features, dtype=float))
+        trunk, activations = self._trunk(x)
+        logits = trunk @ self._policy_w + self._policy_b
+        logits -= logits.max()
+        exp = np.exp(logits)
+        probabilities = exp / exp.sum()
+        value = float((trunk @ self._value_w + self._value_b)[0])
+        advantage = reward - value
+
+        # Policy head gradient (REINFORCE with critic baseline + entropy bonus).
+        one_hot = np.zeros(self.n_actions)
+        one_hot[action] = 1.0
+        dlogits = (one_hot - probabilities) * advantage
+        log_probabilities = np.log(probabilities + 1e-9)
+        entropy_gradient = -probabilities * (
+            log_probabilities - float(np.sum(probabilities * log_probabilities))
+        )
+        dlogits += self.entropy_bonus * entropy_gradient
+        grad_policy_w = np.outer(trunk, dlogits)
+        grad_policy_b = dlogits
+
+        # Value head gradient (squared error to the observed reward).
+        dvalue = advantage  # d/dv of 0.5*(reward - v)^2 is -(reward - v); ascent form
+        grad_value_w = np.outer(trunk, np.array([dvalue]))
+        grad_value_b = np.array([dvalue])
+
+        # Backpropagate the policy gradient through the trunk.
+        dtrunk = self._policy_w @ dlogits + (self._value_w[:, 0] * dvalue)
+        grads_w: List[np.ndarray] = [np.zeros_like(w) for w in self._weights]
+        grads_b: List[np.ndarray] = [np.zeros_like(b) for b in self._biases]
+        delta = dtrunk
+        for layer in range(len(self._weights) - 1, -1, -1):
+            active = activations[layer + 1] > 0
+            delta = delta * active
+            grads_w[layer] = np.outer(activations[layer], delta)
+            grads_b[layer] = delta
+            delta = self._weights[layer] @ delta
+
+        lr = self.learning_rate
+        self._policy_w += lr * grad_policy_w
+        self._policy_b += lr * grad_policy_b
+        self._value_w += lr * grad_value_w
+        self._value_b += lr * grad_value_b
+        for layer in range(len(self._weights)):
+            self._weights[layer] += lr * grads_w[layer]
+            self._biases[layer] += lr * grads_b[layer]
+        return float(-reward)
+
+    def train(
+        self,
+        env: ShuffleSchedulingEnv,
+        iterations: int,
+        *,
+        label: str = "actor-critic",
+    ) -> TrainingCurve:
+        """Train on the environment for a number of scheduling decisions."""
+        if iterations <= 0:
+            raise ValueError("iterations must be positive")
+        curve = TrainingCurve(label=label)
+        observation = env.reset()
+        for _ in range(iterations):
+            action = self.act(observation)
+            next_observation, reward, _ = env.step(action)
+            loss = self.update(observation, action, reward)
+            curve.losses.append(loss)
+            observation = next_observation
+        return curve
+
+    def evaluate(self, env: ShuffleSchedulingEnv, episodes: int = 100) -> Dict[str, float]:
+        """Greedy-policy evaluation: average regret and completion time."""
+        if episodes <= 0:
+            raise ValueError("episodes must be positive")
+        regrets: List[float] = []
+        completions: List[float] = []
+        observation = env.reset()
+        for _ in range(episodes):
+            action = self.act(observation, greedy=True)
+            observation, _, info = env.step(action)
+            regrets.append(info["regret"])
+            completions.append(info["completion_us"])
+        return {
+            "mean_regret": float(np.mean(regrets)),
+            "mean_completion_us": float(np.mean(completions)),
+        }

@@ -1,0 +1,35 @@
+"""Performance Monitoring Unit (PMU) substrate.
+
+Models the hardware/OS layer the paper builds on: counter registers,
+configuration validity rules, PMI-driven sampling, event multiplexing with
+Linux-style ``t_enabled/t_running`` scaling, and the measurement noise that
+multiplexing and OS nondeterminism introduce (§2).
+"""
+
+from repro.pmu.configuration import CounterConfiguration
+from repro.pmu.constraints import ConfigurationError, ValidityChecker
+from repro.pmu.counters import CounterRegister, PMURegisterFile
+from repro.pmu.noise import NoiseModel
+from repro.pmu.sampling import (
+    MultiplexedSampler,
+    PolledTrace,
+    PollingReader,
+    SampledTrace,
+    SamplingRecord,
+)
+from repro.pmu.traces import EstimateTrace
+
+__all__ = [
+    "CounterConfiguration",
+    "ConfigurationError",
+    "ValidityChecker",
+    "CounterRegister",
+    "PMURegisterFile",
+    "NoiseModel",
+    "MultiplexedSampler",
+    "PollingReader",
+    "SampledTrace",
+    "PolledTrace",
+    "SamplingRecord",
+    "EstimateTrace",
+]

@@ -1,0 +1,168 @@
+"""Configuration validity checking.
+
+Reproduces the role of Linux's perf_event validity checker (§4.1, "Checking
+Validity of the Configuration"): a configuration is valid only if every event
+can be placed on a programmable counter it is allowed to use, the per-thread
+counter budget is respected, and the auxiliary-MSR budget for off-core
+response style events is not exceeded.  Placement mirrors Linux's strategy of
+assigning the most constrained events first.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.events.catalog import EventCatalog
+from repro.events.event import EventKind
+from repro.pmu.configuration import CounterConfiguration
+
+
+class ConfigurationError(ValueError):
+    """Raised when a set of events cannot form a valid configuration."""
+
+
+class ValidityChecker:
+    """Checks and constructs valid counter configurations for one catalog.
+
+    Parameters
+    ----------
+    catalog:
+        The event catalog describing events and the counter file.
+    max_msr_events:
+        How many MSR-consuming (off-core response) events may be collected
+        simultaneously; real CPUs expose a very small number of such MSRs.
+    counters:
+        Override of the per-thread programmable counter budget.  Defaults to
+        the catalog's ``usable_programmable`` count.
+    """
+
+    def __init__(
+        self,
+        catalog: EventCatalog,
+        *,
+        max_msr_events: int = 2,
+        counters: Optional[int] = None,
+    ) -> None:
+        if max_msr_events < 0:
+            raise ValueError("max_msr_events must be non-negative")
+        self.catalog = catalog
+        self.max_msr_events = max_msr_events
+        self.n_counters = counters if counters is not None else catalog.counter_file.usable_programmable
+        if self.n_counters <= 0:
+            raise ValueError("the counter budget must be positive")
+
+    # -- assignment ------------------------------------------------------
+
+    def assign(self, events: Sequence[str]) -> Dict[str, int]:
+        """Assign programmable events to counter indices or raise.
+
+        Follows the Linux strategy of placing the most constrained events
+        first (events restricted to specific counters, then MSR events, then
+        unconstrained events).
+        """
+        specs = [self.catalog.get(name) for name in events]
+        for spec in specs:
+            if spec.kind is EventKind.FIXED:
+                raise ConfigurationError(
+                    f"fixed event {spec.name!r} cannot be placed on a programmable counter"
+                )
+        if len(specs) > self.n_counters:
+            raise ConfigurationError(
+                f"{len(specs)} events exceed the budget of {self.n_counters} programmable counters"
+            )
+        msr_events = [spec for spec in specs if spec.requires_msr]
+        if len(msr_events) > self.max_msr_events:
+            raise ConfigurationError(
+                f"{len(msr_events)} MSR events exceed the budget of {self.max_msr_events}"
+            )
+
+        def constraint_rank(spec) -> Tuple[int, int]:
+            mask_size = len(spec.counter_mask) if spec.counter_mask is not None else self.n_counters
+            return (mask_size, 0 if spec.requires_msr else 1)
+
+        ordered = sorted(specs, key=constraint_rank)
+        assignment: Dict[str, int] = {}
+        used: Set[int] = set()
+        for spec in ordered:
+            candidates = [
+                index
+                for index in range(self.n_counters)
+                if index not in used and spec.can_use_counter(index)
+            ]
+            if not candidates:
+                raise ConfigurationError(
+                    f"event {spec.name!r} cannot be placed on any free counter "
+                    f"(used: {sorted(used)})"
+                )
+            index = candidates[0]
+            assignment[spec.name] = index
+            used.add(index)
+        return assignment
+
+    def build_configuration(self, events: Sequence[str]) -> CounterConfiguration:
+        """Build a validated :class:`CounterConfiguration` for *events*."""
+        assignment = self.assign(events)
+        ordered = tuple(sorted(assignment, key=assignment.get))
+        return CounterConfiguration(events=ordered, assignment=assignment)
+
+    # -- validation ------------------------------------------------------
+
+    def violations(self, configuration: CounterConfiguration) -> List[str]:
+        """Human-readable list of validity violations (empty when valid)."""
+        problems: List[str] = []
+        if len(configuration) > self.n_counters:
+            problems.append(
+                f"configuration uses {len(configuration)} counters, budget is {self.n_counters}"
+            )
+        msr_count = 0
+        for event in configuration:
+            try:
+                spec = self.catalog.get(event)
+            except KeyError:
+                problems.append(f"unknown event {event!r}")
+                continue
+            if spec.kind is EventKind.FIXED:
+                problems.append(f"fixed event {event!r} listed as programmable")
+                continue
+            if spec.requires_msr:
+                msr_count += 1
+            index = configuration.counter_of(event)
+            if index is not None:
+                if not 0 <= index < self.n_counters:
+                    problems.append(f"event {event!r} assigned to out-of-range counter {index}")
+                elif not spec.can_use_counter(index):
+                    problems.append(f"event {event!r} cannot be counted on counter {index}")
+        if msr_count > self.max_msr_events:
+            problems.append(
+                f"{msr_count} MSR events exceed the budget of {self.max_msr_events}"
+            )
+        if not configuration.assignment:
+            try:
+                self.assign(list(configuration.events))
+            except ConfigurationError as exc:
+                problems.append(str(exc))
+        return problems
+
+    def is_valid(self, configuration: CounterConfiguration) -> bool:
+        """Whether the configuration satisfies every constraint."""
+        return not self.violations(configuration)
+
+    def can_schedule(self, events: Sequence[str]) -> bool:
+        """Whether the events can form a single valid configuration."""
+        try:
+            self.assign(list(events))
+        except ConfigurationError:
+            return False
+        return True
+
+    def split_events(self, events: Sequence[str]) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+        """Split *events* into (fixed, programmable) according to the catalog."""
+        fixed: List[str] = []
+        programmable: List[str] = []
+        for name in events:
+            spec = self.catalog.get(name)
+            if spec.kind is EventKind.FIXED:
+                fixed.append(name)
+            else:
+                programmable.append(name)
+        return tuple(fixed), tuple(programmable)

@@ -1,0 +1,116 @@
+"""Counter register file.
+
+A light hardware model of the per-thread counter registers: fixed counters
+always accumulate their architectural event; programmable counters accumulate
+whatever event the active configuration programmed into them.  The register
+file is what the multiplexing sampler programs and reads on every quantum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.events.catalog import EventCatalog
+from repro.events.event import EventKind
+from repro.pmu.configuration import CounterConfiguration
+
+
+@dataclass
+class CounterRegister:
+    """One counter register: either fixed (hard-wired event) or programmable."""
+
+    index: int
+    kind: EventKind
+    event: Optional[str] = None
+    value: float = 0.0
+    enabled_ticks: int = 0
+
+    def program(self, event: Optional[str]) -> None:
+        """Program the register to count *event* (programmable registers only)."""
+        if self.kind is EventKind.FIXED:
+            raise ValueError(f"fixed counter {self.index} cannot be reprogrammed")
+        self.event = event
+
+    def accumulate(self, amount: float) -> None:
+        """Add an increment observed during one tick."""
+        if self.event is None:
+            return
+        self.value += amount
+        self.enabled_ticks += 1
+
+    def read(self) -> float:
+        """Current accumulated value."""
+        return self.value
+
+    def reset(self) -> None:
+        """Clear the accumulated value and enabled time."""
+        self.value = 0.0
+        self.enabled_ticks = 0
+
+
+class PMURegisterFile:
+    """The set of counter registers visible to one hardware thread."""
+
+    def __init__(self, catalog: EventCatalog, *, counters: Optional[int] = None) -> None:
+        self.catalog = catalog
+        n_programmable = (
+            counters if counters is not None else catalog.counter_file.usable_programmable
+        )
+        if n_programmable <= 0:
+            raise ValueError("the register file needs at least one programmable counter")
+        self.fixed: Tuple[CounterRegister, ...] = tuple(
+            CounterRegister(index=i, kind=EventKind.FIXED, event=spec.name)
+            for i, spec in enumerate(catalog.fixed_events)
+        )
+        self.programmable: Tuple[CounterRegister, ...] = tuple(
+            CounterRegister(index=i, kind=EventKind.PROGRAMMABLE) for i in range(n_programmable)
+        )
+
+    @property
+    def n_programmable(self) -> int:
+        return len(self.programmable)
+
+    def program(self, configuration: CounterConfiguration) -> None:
+        """Program the programmable registers according to a configuration."""
+        assignment = configuration.assignment
+        if not assignment:
+            assignment = {event: i for i, event in enumerate(configuration.events)}
+        if len(assignment) > self.n_programmable:
+            raise ValueError(
+                f"configuration needs {len(assignment)} counters, register file has {self.n_programmable}"
+            )
+        for register in self.programmable:
+            register.program(None)
+        for event, index in assignment.items():
+            if not 0 <= index < self.n_programmable:
+                raise ValueError(f"counter index {index} out of range")
+            self.programmable[index].program(event)
+
+    def accumulate_tick(self, true_values: Mapping[str, float]) -> None:
+        """Accumulate one tick's true event counts into the active registers."""
+        for register in self.fixed:
+            if register.event in true_values:
+                register.value += float(true_values[register.event])
+                register.enabled_ticks += 1
+        for register in self.programmable:
+            if register.event is not None and register.event in true_values:
+                register.accumulate(float(true_values[register.event]))
+
+    def read_all(self) -> Dict[str, float]:
+        """Read every currently-programmed counter (fixed and programmable)."""
+        out: Dict[str, float] = {}
+        for register in self.fixed:
+            if register.event is not None:
+                out[register.event] = register.read()
+        for register in self.programmable:
+            if register.event is not None:
+                out[register.event] = register.read()
+        return out
+
+    def reset(self) -> None:
+        """Reset every register."""
+        for register in self.fixed:
+            register.reset()
+        for register in self.programmable:
+            register.reset()

@@ -1,0 +1,58 @@
+"""Trace containers shared by the PMU, the baselines and the BayesPerf engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass
+class EstimateTrace:
+    """Per-tick estimates of event values produced by a correction method.
+
+    ``estimates[t][event]`` is the method's estimate of the event's count in
+    tick ``t``; ``uncertainties[t][event]``, when present, is the method's
+    own 1-sigma uncertainty for that estimate (only BayesPerf produces one).
+    """
+
+    method: str
+    estimates: List[Dict[str, float]] = field(default_factory=list)
+    uncertainties: List[Dict[str, float]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.estimates)
+
+    def append(
+        self, values: Mapping[str, float], uncertainty: Optional[Mapping[str, float]] = None
+    ) -> None:
+        """Append one tick's estimates (and optional uncertainties)."""
+        self.estimates.append({k: float(v) for k, v in values.items()})
+        self.uncertainties.append(
+            {k: float(v) for k, v in uncertainty.items()} if uncertainty else {}
+        )
+
+    def events(self) -> Tuple[str, ...]:
+        """Every event appearing in at least one tick."""
+        seen: Dict[str, None] = {}
+        for values in self.estimates:
+            for name in values:
+                seen.setdefault(name, None)
+        return tuple(seen)
+
+    def series(self, event: str) -> np.ndarray:
+        """Time series of estimates for one event (NaN where absent)."""
+        return np.array(
+            [values.get(event, np.nan) for values in self.estimates], dtype=float
+        )
+
+    def uncertainty_series(self, event: str) -> np.ndarray:
+        """Time series of 1-sigma uncertainties for one event (NaN where absent)."""
+        return np.array(
+            [values.get(event, np.nan) for values in self.uncertainties], dtype=float
+        )
+
+    def at(self, tick: int) -> Dict[str, float]:
+        """Estimates for one tick."""
+        return dict(self.estimates[tick])

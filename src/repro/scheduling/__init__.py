@@ -1,0 +1,26 @@
+"""Counter scheduling.
+
+Two schedulers are provided:
+
+* :func:`round_robin_schedule` — the Linux perf behaviour: events are rotated
+  across configurations in registration order with no regard for statistical
+  relationships.
+* :class:`BayesPerfScheduler` — the paper's overlap-aware scheduler (§4.1):
+  configurations are built so that consecutive time slices share events (or at
+  least overlapping Markov blankets in the factor graph), enabling cross-slice
+  Bayesian inference.
+"""
+
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.round_robin import round_robin_schedule
+from repro.scheduling.structure import build_event_adjacency, build_structure_graph
+from repro.scheduling.overlap import BayesPerfScheduler, overlap_schedule
+
+__all__ = [
+    "Schedule",
+    "round_robin_schedule",
+    "build_structure_graph",
+    "build_event_adjacency",
+    "BayesPerfScheduler",
+    "overlap_schedule",
+]

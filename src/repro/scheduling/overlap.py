@@ -1,0 +1,285 @@
+"""The BayesPerf overlap-aware scheduler (§4.1).
+
+Starting from the set of events a monitoring application registered, the
+scheduler produces a cyclic sequence of valid configurations such that
+consecutive configurations are statistically connected: they either share an
+event outright (one counter slot per configuration is reserved for an overlap
+event carried over from the previous slice) or their Markov blankets in the
+relation factor graph overlap.  When neither holds, a chain of intermediate
+configurations is inserted along the shortest path through the relation
+graph, and redundant steps (those that do not change the Markov blanket) are
+pruned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.events.catalog import EventCatalog
+from repro.fg.graph import FactorGraph
+from repro.fg.markov import blankets_overlap, markov_blanket_of_set
+from repro.invariants.library import InvariantLibrary, standard_invariants
+from repro.invariants.relation import EventRelation
+from repro.pmu.configuration import CounterConfiguration
+from repro.pmu.constraints import ConfigurationError, ValidityChecker
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.structure import (
+    build_event_adjacency,
+    build_structure_graph,
+    connectivity_order,
+    instantiate_relations,
+)
+
+
+def _closure(graph: FactorGraph, events: Sequence[str]) -> Set[str]:
+    """An event set together with its Markov blanket."""
+    present = [event for event in events if graph.has_variable(event)]
+    return set(events) | set(markov_blanket_of_set(graph, present))
+
+
+def remove_redundant_steps(
+    configurations: Sequence[CounterConfiguration], structure: FactorGraph
+) -> List[CounterConfiguration]:
+    """Drop configurations that do not change the Markov blanket (§4.1, opt. 2)."""
+    pruned: List[CounterConfiguration] = []
+    previous_closure: Optional[Set[str]] = None
+    for configuration in configurations:
+        closure = _closure(structure, configuration.events)
+        if previous_closure is not None and closure == previous_closure:
+            continue
+        pruned.append(configuration)
+        previous_closure = closure
+    return pruned if pruned else list(configurations[:1])
+
+
+def condense_common_step(
+    events: Sequence[str], structure: FactorGraph
+) -> Tuple[str, ...]:
+    """Condense an event set through a common blanket member (§4.1, opt. 1).
+
+    If a single event ``e*`` lies in the Markov blanket of every event of the
+    set, the set can be represented by ``e*`` alone for the purpose of
+    carrying statistical information to the next slice.
+    """
+    events = [event for event in events if structure.has_variable(event)]
+    if len(events) <= 1:
+        return tuple(events)
+    common: Optional[Set[str]] = None
+    for event in events:
+        blanket = set(structure.neighbors(event))
+        common = blanket if common is None else (common & blanket)
+        if not common:
+            return tuple(events)
+    # Prefer the highest-degree common event as the condensation point.
+    best = max(common, key=lambda node: structure.degree(node))
+    return (best,)
+
+
+class BayesPerfScheduler:
+    """Builds overlap-aware schedules and exposes the relation structure.
+
+    Parameters
+    ----------
+    catalog:
+        Event catalog of the monitored CPU.
+    library:
+        Invariant library (defaults to the standard library).
+    checker:
+        Validity checker; defaults to one built from the catalog.
+    """
+
+    def __init__(
+        self,
+        catalog: EventCatalog,
+        *,
+        library: Optional[InvariantLibrary] = None,
+        checker: Optional[ValidityChecker] = None,
+    ) -> None:
+        self.catalog = catalog
+        self.library = library if library is not None else standard_invariants()
+        self.checker = checker if checker is not None else ValidityChecker(catalog)
+
+    # -- structure -------------------------------------------------------
+
+    def relations_for(self, events: Sequence[str]) -> Tuple[EventRelation, ...]:
+        """All relations the catalog supports.
+
+        The relation graph is built from the complete vendor-derived
+        invariant library: two monitored events may be statistically
+        connected through latent events that are not themselves monitored.
+        """
+        del events  # the full library is used regardless of the monitored set
+        return instantiate_relations(self.catalog, library=self.library)
+
+    def structure_graph(self, events: Sequence[str]) -> FactorGraph:
+        """Structure-only factor graph over the monitored events."""
+        return build_structure_graph(self.relations_for(events), events=events)
+
+    # -- schedule construction --------------------------------------------
+
+    def build(self, events: Sequence[str], *, quantum_ticks: int = 1) -> Schedule:
+        """Build the overlap-aware schedule for the monitored events."""
+        fixed, programmable = self.checker.split_events(events)
+        if not programmable:
+            raise ValueError("overlap scheduling needs at least one programmable event")
+        relations = self.relations_for(events)
+        adjacency = build_event_adjacency(relations, events=programmable)
+        structure = build_structure_graph(relations, events=tuple(events))
+        capacity = self.checker.n_counters
+
+        if len(programmable) <= capacity:
+            configuration = self.checker.build_configuration(programmable)
+            return Schedule(
+                configurations=(configuration,),
+                quantum_ticks=quantum_ticks,
+                name="bayesperf-overlap",
+            )
+
+        ordered = list(connectivity_order(adjacency, programmable))
+        configurations = self._build_overlapping_groups(ordered, adjacency, capacity)
+        configurations = self._ensure_transitive_connectivity(
+            configurations, adjacency, structure, capacity
+        )
+        configurations = remove_redundant_steps(configurations, structure)
+        built = [self.checker.build_configuration(list(c.events)) for c in configurations]
+        return Schedule(
+            configurations=tuple(built),
+            quantum_ticks=quantum_ticks,
+            name="bayesperf-overlap",
+        )
+
+    # -- helpers ----------------------------------------------------------
+
+    def _build_overlapping_groups(
+        self, ordered: List[str], adjacency: nx.Graph, capacity: int
+    ) -> List[CounterConfiguration]:
+        """Pack events into groups, reserving one slot for an overlap event."""
+        configurations: List[CounterConfiguration] = []
+        pending = list(ordered)
+        previous_events: Optional[Tuple[str, ...]] = None
+        while pending:
+            group: List[str] = []
+            if previous_events is not None:
+                overlap = self._pick_overlap_event(previous_events, adjacency, group)
+                if overlap is not None:
+                    group.append(overlap)
+            deferred: List[str] = []
+            while pending and len(group) < capacity:
+                candidate = pending.pop(0)
+                if self.checker.can_schedule(group + [candidate]):
+                    group.append(candidate)
+                else:
+                    deferred.append(candidate)
+            pending = deferred + pending
+            if not [event for event in group if previous_events is None or event not in previous_events]:
+                # Could not make progress (only the overlap event fit);
+                # drop the overlap slot to avoid an infinite loop.
+                if pending:
+                    forced = pending.pop(0)
+                    if not self.checker.can_schedule([forced]):
+                        raise ConfigurationError(f"event {forced!r} cannot be scheduled on any counter")
+                    group = [forced]
+                else:
+                    break
+            configurations.append(self.checker.build_configuration(group))
+            previous_events = configurations[-1].events
+        return configurations
+
+    def _pick_overlap_event(
+        self, previous_events: Sequence[str], adjacency: nx.Graph, group: Sequence[str]
+    ) -> Optional[str]:
+        """Choose the event from the previous slice to repeat in the next one."""
+        candidates = sorted(
+            previous_events,
+            key=lambda event: adjacency.degree(event) if event in adjacency else 0,
+            reverse=True,
+        )
+        for candidate in candidates:
+            if self.checker.can_schedule(list(group) + [candidate]):
+                return candidate
+        return None
+
+    def _ensure_transitive_connectivity(
+        self,
+        configurations: List[CounterConfiguration],
+        adjacency: nx.Graph,
+        structure: FactorGraph,
+        capacity: int,
+    ) -> List[CounterConfiguration]:
+        """Insert chain configurations where consecutive slices are not connected."""
+        if len(configurations) <= 1:
+            return configurations
+        result: List[CounterConfiguration] = []
+        n = len(configurations)
+        for index in range(n):
+            current = configurations[index]
+            result.append(current)
+            following = configurations[(index + 1) % n]
+            if index == n - 1:
+                # The wrap-around pair is left unchained; the engine's temporal
+                # prior carries information across rotation boundaries.
+                break
+            if current.overlap(following):
+                continue
+            if blankets_overlap(structure, current.events, following.events):
+                continue
+            chain = self._shortest_chain(current, following, adjacency)
+            for intermediate in self._chain_to_configurations(chain, capacity):
+                result.append(intermediate)
+        return result
+
+    def _shortest_chain(
+        self,
+        current: CounterConfiguration,
+        following: CounterConfiguration,
+        adjacency: nx.Graph,
+    ) -> List[str]:
+        """Shortest relation-graph path between two configurations' events."""
+        best_path: Optional[List[str]] = None
+        for source in current.events:
+            if source not in adjacency:
+                continue
+            for target in following.events:
+                if target not in adjacency:
+                    continue
+                try:
+                    path = nx.dijkstra_path(adjacency, source, target)
+                except nx.NetworkXNoPath:
+                    continue
+                if best_path is None or len(path) < len(best_path):
+                    best_path = path
+        return best_path[1:-1] if best_path else []
+
+    def _chain_to_configurations(
+        self, chain: Sequence[str], capacity: int
+    ) -> List[CounterConfiguration]:
+        """Turn a relation-graph path into intermediate configurations."""
+        configurations: List[CounterConfiguration] = []
+        step: List[str] = []
+        for event in chain:
+            if self.checker.catalog.get(event).is_fixed:
+                continue
+            if not self.checker.can_schedule(step + [event]) or len(step) >= capacity:
+                if step:
+                    configurations.append(self.checker.build_configuration(step))
+                step = []
+            if self.checker.can_schedule([event]):
+                step.append(event)
+        if step:
+            configurations.append(self.checker.build_configuration(step))
+        return configurations
+
+
+def overlap_schedule(
+    catalog: EventCatalog,
+    events: Sequence[str],
+    *,
+    library: Optional[InvariantLibrary] = None,
+    checker: Optional[ValidityChecker] = None,
+    quantum_ticks: int = 1,
+) -> Schedule:
+    """Convenience wrapper building an overlap-aware schedule in one call."""
+    scheduler = BayesPerfScheduler(catalog, library=library, checker=checker)
+    return scheduler.build(events, quantum_ticks=quantum_ticks)

@@ -1,0 +1,69 @@
+"""Round-robin scheduling (the Linux perf behaviour).
+
+Events are packed into configurations in registration order, filling each
+configuration up to the programmable-counter budget, and the configurations
+rotate on a timer.  No statistical relationship between consecutive
+configurations is guaranteed — which is exactly why the extrapolated values
+drift (§2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.events.catalog import EventCatalog
+from repro.pmu.configuration import CounterConfiguration
+from repro.pmu.constraints import ConfigurationError, ValidityChecker
+from repro.scheduling.schedule import Schedule
+
+
+def _pack_events(
+    events: Sequence[str], checker: ValidityChecker, capacity: int
+) -> List[CounterConfiguration]:
+    """Greedily pack events into valid configurations of at most *capacity* events."""
+    configurations: List[CounterConfiguration] = []
+    pending = list(events)
+    current: List[str] = []
+    deferred: List[str] = []
+    while pending or current:
+        if pending and len(current) < capacity:
+            candidate = pending.pop(0)
+            if checker.can_schedule(current + [candidate]):
+                current.append(candidate)
+                continue
+            deferred.append(candidate)
+            continue
+        if not current:
+            # Nothing fits (a single event that cannot be scheduled at all).
+            bad = deferred.pop(0) if deferred else pending.pop(0)
+            raise ConfigurationError(f"event {bad!r} cannot be scheduled on any counter")
+        configurations.append(checker.build_configuration(current))
+        current = []
+        pending = deferred + pending
+        deferred = []
+    return configurations
+
+
+def round_robin_schedule(
+    catalog: EventCatalog,
+    events: Sequence[str],
+    *,
+    checker: Optional[ValidityChecker] = None,
+    quantum_ticks: int = 1,
+) -> Schedule:
+    """Build a Linux-style round-robin schedule over *events*.
+
+    Fixed events are excluded from the rotation (they are always collected by
+    the fixed counters); programmable events are packed into configurations
+    of at most the per-thread counter budget, in the order given.
+    """
+    checker = checker if checker is not None else ValidityChecker(catalog)
+    _, programmable = checker.split_events(events)
+    if not programmable:
+        raise ValueError("round-robin scheduling needs at least one programmable event")
+    configurations = _pack_events(programmable, checker, checker.n_counters)
+    return Schedule(
+        configurations=tuple(configurations),
+        quantum_ticks=quantum_ticks,
+        name="round-robin",
+    )

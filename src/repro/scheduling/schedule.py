@@ -1,0 +1,85 @@
+"""Schedules: cyclic sequences of counter configurations."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.pmu.configuration import CounterConfiguration
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A cyclic schedule of counter configurations.
+
+    Parameters
+    ----------
+    configurations:
+        Configurations executed in order, one per quantum, repeating.
+    quantum_ticks:
+        Number of machine ticks each configuration stays programmed.
+    name:
+        Identifier used in reports ("round-robin", "bayesperf-overlap", ...).
+    """
+
+    configurations: Tuple[CounterConfiguration, ...]
+    quantum_ticks: int = 1
+    name: str = "schedule"
+
+    def __post_init__(self) -> None:
+        if not self.configurations:
+            raise ValueError("a schedule needs at least one configuration")
+        if self.quantum_ticks <= 0:
+            raise ValueError("quantum_ticks must be positive")
+
+    def __len__(self) -> int:
+        return len(self.configurations)
+
+    @property
+    def rotation_ticks(self) -> int:
+        """Ticks needed to cycle through every configuration once."""
+        return len(self.configurations) * self.quantum_ticks
+
+    @property
+    def events(self) -> Tuple[str, ...]:
+        """Every event appearing in the schedule, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for configuration in self.configurations:
+            for event in configuration.events:
+                seen.setdefault(event, None)
+        return tuple(seen)
+
+    def config_at(self, tick: int) -> CounterConfiguration:
+        """Configuration active at machine tick *tick*."""
+        if tick < 0:
+            raise ValueError("tick must be non-negative")
+        index = (tick // self.quantum_ticks) % len(self.configurations)
+        return self.configurations[index]
+
+    def consecutive_overlaps(self) -> Tuple[Tuple[str, ...], ...]:
+        """Events shared by each pair of consecutive configurations (cyclic)."""
+        overlaps: List[Tuple[str, ...]] = []
+        n = len(self.configurations)
+        for index in range(n):
+            current = self.configurations[index]
+            following = self.configurations[(index + 1) % n]
+            overlaps.append(current.overlap(following))
+        return tuple(overlaps)
+
+    def min_overlap(self) -> int:
+        """Smallest number of shared events between consecutive configurations."""
+        if len(self.configurations) == 1:
+            return len(self.configurations[0])
+        return min(len(overlap) for overlap in self.consecutive_overlaps())
+
+    def enabled_fraction(self, event: str) -> float:
+        """Fraction of quanta in which *event* is scheduled."""
+        count = sum(1 for configuration in self.configurations if event in configuration)
+        return count / len(self.configurations)
+
+    def describe(self) -> str:
+        """Human-readable multi-line description of the schedule."""
+        lines = [f"Schedule {self.name!r}: {len(self)} configurations, quantum={self.quantum_ticks} tick(s)"]
+        for index, configuration in enumerate(self.configurations):
+            lines.append(f"  C{index}: {', '.join(configuration.events)}")
+        return "\n".join(lines)

@@ -1,0 +1,89 @@
+"""Structural views of the invariant relations.
+
+The scheduler only needs the *structure* of the statistical dependencies —
+which events co-occur in a relation — not any measurement data.  Two views
+are provided: a :class:`~repro.fg.graph.FactorGraph` whose factors are
+placeholder constraints (for Markov-blanket queries), and a plain event
+adjacency graph (for shortest-path chaining with Dijkstra's algorithm).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.events.catalog import EventCatalog
+from repro.fg.factors import LinearConstraintFactor
+from repro.fg.graph import FactorGraph
+from repro.invariants.library import InvariantLibrary, standard_invariants
+from repro.invariants.relation import EventRelation
+
+
+def instantiate_relations(
+    catalog: EventCatalog,
+    events: Optional[Sequence[str]] = None,
+    library: Optional[InvariantLibrary] = None,
+) -> Tuple[EventRelation, ...]:
+    """Event-level relations for a catalog, restricted to *events* if given."""
+    library = library if library is not None else standard_invariants()
+    return library.for_catalog(catalog, events=events)
+
+
+def build_structure_graph(
+    relations: Iterable[EventRelation], events: Optional[Sequence[str]] = None
+) -> FactorGraph:
+    """Factor graph capturing only the structure of the relations.
+
+    The constraint sigmas are placeholders (1.0); the graph is used purely
+    for Markov-blanket and connectivity queries during scheduling.
+    """
+    graph = FactorGraph(variables=events)
+    for relation in relations:
+        graph.add_factor(
+            LinearConstraintFactor(
+                name=f"rel::{relation.name}",
+                coefficients=relation.coefficients,
+                sigma=1.0,
+                description=relation.description,
+            )
+        )
+    return graph
+
+
+def build_event_adjacency(
+    relations: Iterable[EventRelation], events: Optional[Sequence[str]] = None
+) -> nx.Graph:
+    """Undirected event graph: two events are adjacent if a relation joins them."""
+    graph = nx.Graph()
+    if events is not None:
+        graph.add_nodes_from(events)
+    for relation in relations:
+        names = list(relation.events)
+        graph.add_nodes_from(names)
+        for i, first in enumerate(names):
+            for second in names[i + 1 :]:
+                graph.add_edge(first, second, relation=relation.name)
+    return graph
+
+
+def connectivity_order(adjacency: nx.Graph, events: Sequence[str]) -> Tuple[str, ...]:
+    """Order *events* so that statistically related events appear near each other.
+
+    A breadth-first traversal is run from the highest-degree event of each
+    connected component; unrelated events (isolated nodes) are appended last
+    in their original order.
+    """
+    remaining = [event for event in events if event in adjacency]
+    isolated = [event for event in events if event not in adjacency]
+    ordered = []
+    visited = set()
+    while remaining:
+        start = max(remaining, key=lambda node: adjacency.degree(node))
+        for node in nx.bfs_tree(adjacency, start):
+            if node in visited or node not in remaining:
+                continue
+            visited.add(node)
+            ordered.append(node)
+        remaining = [event for event in remaining if event not in visited]
+    return tuple(ordered + isolated)

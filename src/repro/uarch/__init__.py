@@ -1,0 +1,24 @@
+"""Synthetic machine model.
+
+The paper measures real Intel SkyLake and IBM Power9 machines.  This package
+replaces them with a discrete-time machine model that, for every scheduler
+tick, produces ground-truth values for all semantic quantities in
+:mod:`repro.events.semantics`.  The generated values satisfy every relation in
+the standard invariant library *exactly*, mirroring the fact that real
+hardware satisfies its own microarchitectural identities; measurement error is
+then introduced exclusively by the PMU sampling model (:mod:`repro.pmu`).
+"""
+
+from repro.uarch.profile import PhaseProfile, Phase, WorkloadSpec
+from repro.uarch.machine import Machine, MachineConfig, MachineTrace
+from repro.uarch.synthesis import synthesize_semantics
+
+__all__ = [
+    "PhaseProfile",
+    "Phase",
+    "WorkloadSpec",
+    "Machine",
+    "MachineConfig",
+    "MachineTrace",
+    "synthesize_semantics",
+]

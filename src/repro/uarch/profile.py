@@ -1,0 +1,155 @@
+"""Workload phase profiles.
+
+A workload is a sequence of phases; each phase fixes the *rates* at which the
+machine produces microarchitectural activity (instructions per tick, miss
+ratios, DMA traffic, and so on).  Phase changes plus within-phase burstiness
+are what make stale, extrapolated counter values wrong — the error source
+BayesPerf corrects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PhaseProfile:
+    """Rates characterising one execution phase.
+
+    All ``*_rate``/``*_fraction`` fields are dimensionless ratios; the
+    ``*_per_tick`` fields are absolute counts per scheduler tick.
+    """
+
+    instructions_per_tick: float = 2.0e6
+    branch_fraction: float = 0.18
+    branch_taken_fraction: float = 0.6
+    branch_mispredict_rate: float = 0.03
+    load_fraction: float = 0.27
+    store_fraction: float = 0.12
+    l1d_miss_rate: float = 0.06
+    l1i_access_per_instruction: float = 0.3
+    l1i_miss_rate: float = 0.01
+    l2_miss_rate: float = 0.35
+    llc_miss_rate: float = 0.4
+    writeback_fraction: float = 0.45
+    dma_transactions_per_tick: float = 2.0e3
+    dtlb_miss_rate: float = 0.004
+    itlb_miss_rate: float = 0.001
+    uops_per_instruction: float = 1.3
+    uop_cancel_rate: float = 0.04
+    core_stall_per_instruction: float = 0.08
+    l2_pending_stall_per_miss: float = 8.0
+    dram_latency_stall_per_miss: float = 40.0
+    dram_bw_stall_per_access: float = 2.0
+    pcie_read_share: float = 0.55
+    context_switches_per_tick: float = 12.0
+    interrupts_per_tick: float = 30.0
+    #: Standard deviation of the per-tick log-normal intensity modulation.
+    burstiness: float = 0.55
+    #: AR(1) correlation of the intensity modulation between consecutive ticks.
+    burst_correlation: float = 0.45
+
+    def __post_init__(self) -> None:
+        if self.instructions_per_tick <= 0:
+            raise ValueError("instructions_per_tick must be positive")
+        for name in (
+            "branch_fraction",
+            "branch_taken_fraction",
+            "branch_mispredict_rate",
+            "load_fraction",
+            "store_fraction",
+            "l1d_miss_rate",
+            "l1i_miss_rate",
+            "l2_miss_rate",
+            "llc_miss_rate",
+            "writeback_fraction",
+            "dtlb_miss_rate",
+            "itlb_miss_rate",
+            "uop_cancel_rate",
+            "pcie_read_share",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must lie in [0, 1], got {value}")
+        if self.load_fraction + self.store_fraction > 1.0:
+            raise ValueError("load_fraction + store_fraction cannot exceed 1")
+        if not 0.0 <= self.burst_correlation < 1.0:
+            raise ValueError("burst_correlation must lie in [0, 1)")
+        if self.burstiness < 0:
+            raise ValueError("burstiness must be non-negative")
+
+    def scaled(self, intensity: float) -> "PhaseProfile":
+        """A copy with the absolute activity levels scaled by *intensity*."""
+        if intensity <= 0:
+            raise ValueError("intensity must be positive")
+        return replace(
+            self,
+            instructions_per_tick=self.instructions_per_tick * intensity,
+            dma_transactions_per_tick=self.dma_transactions_per_tick * intensity,
+        )
+
+
+@dataclass(frozen=True)
+class Phase:
+    """One phase of a workload: a profile active for a number of ticks."""
+
+    profile: PhaseProfile
+    duration_ticks: int
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration_ticks <= 0:
+            raise ValueError("phase duration must be positive")
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A named sequence of phases, optionally repeated to fill a trace."""
+
+    name: str
+    phases: Tuple[Phase, ...]
+    category: str = "generic"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("workload name must be non-empty")
+        if not self.phases:
+            raise ValueError(f"workload {self.name!r} must have at least one phase")
+
+    @property
+    def total_ticks(self) -> int:
+        """Ticks covered by one pass over the phase list."""
+        return sum(phase.duration_ticks for phase in self.phases)
+
+    def profile_at(self, tick: int) -> PhaseProfile:
+        """Profile active at *tick*; the phase sequence repeats cyclically."""
+        if tick < 0:
+            raise ValueError("tick must be non-negative")
+        position = tick % self.total_ticks
+        for phase in self.phases:
+            if position < phase.duration_ticks:
+                return phase.profile
+            position -= phase.duration_ticks
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def phase_index_at(self, tick: int) -> int:
+        """Index of the phase active at *tick* (cyclic)."""
+        if tick < 0:
+            raise ValueError("tick must be non-negative")
+        position = tick % self.total_ticks
+        for index, phase in enumerate(self.phases):
+            if position < phase.duration_ticks:
+                return index
+            position -= phase.duration_ticks
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def phase_boundaries(self, n_ticks: int) -> Tuple[int, ...]:
+        """Tick indices (< n_ticks) at which a new phase begins."""
+        boundaries: List[int] = []
+        tick = 0
+        while tick < n_ticks:
+            boundaries.append(tick)
+            tick += self.phases[self.phase_index_at(tick)].duration_ticks
+        return tuple(boundaries)

@@ -1,0 +1,166 @@
+"""Constructive synthesis of semantic ground truth for one tick.
+
+Given a phase profile and a per-tick intensity, every semantic quantity is
+derived constructively so that the standard invariant library is satisfied
+exactly.  This mirrors real hardware: the identities in vendor manuals hold on
+the true event streams; only measurement introduces error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.events import semantics as sem
+from repro.uarch.profile import PhaseProfile
+
+
+def synthesize_semantics(
+    profile: PhaseProfile,
+    intensity: float = 1.0,
+    rate_jitter: Optional[Mapping[str, float]] = None,
+) -> Dict[str, float]:
+    """Ground-truth semantic values for a single tick.
+
+    Parameters
+    ----------
+    profile:
+        Active phase profile.
+    intensity:
+        Multiplicative modulation of the phase's activity level (the bursty
+        common-mode factor).
+    rate_jitter:
+        Optional per-rate multiplicative jitter, keyed by profile field name
+        (e.g. ``{"l1d_miss_rate": 1.05}``).  Values default to 1.0.
+    """
+    if intensity <= 0:
+        raise ValueError("intensity must be positive")
+    jitter = dict(rate_jitter) if rate_jitter else {}
+
+    def rate(name: str) -> float:
+        return getattr(profile, name) * jitter.get(name, 1.0)
+
+    instructions = profile.instructions_per_tick * intensity * jitter.get("instructions_per_tick", 1.0)
+
+    branches = rate("branch_fraction") * instructions
+    branch_taken = min(rate("branch_taken_fraction"), 1.0) * branches
+    branch_not_taken = branches - branch_taken
+    branch_misses = min(rate("branch_mispredict_rate"), 1.0) * branches
+
+    loads = rate("load_fraction") * instructions
+    stores = rate("store_fraction") * instructions
+    mem_inst = loads + stores
+
+    l1d_access = mem_inst
+    l1d_miss = min(rate("l1d_miss_rate"), 1.0) * l1d_access
+    l1d_hit = l1d_access - l1d_miss
+
+    l1i_access = rate("l1i_access_per_instruction") * instructions
+    l1i_miss = min(rate("l1i_miss_rate"), 1.0) * l1i_access
+
+    l2_access = l1d_miss + l1i_miss
+    l2_miss = min(rate("l2_miss_rate"), 1.0) * l2_access
+    l2_hit = l2_access - l2_miss
+
+    llc_access = l2_miss
+    llc_miss = min(rate("llc_miss_rate"), 1.0) * llc_access
+    llc_hit = llc_access - llc_miss
+
+    offcore_demand_reads = llc_miss
+    offcore_writebacks = min(rate("writeback_fraction"), 1.0) * llc_miss
+
+    dma_transactions = profile.dma_transactions_per_tick * intensity * jitter.get(
+        "dma_transactions_per_tick", 1.0
+    )
+    dma_bytes = sem.DMA_TRANSACTION_BYTES * dma_transactions
+    dma_lines = sem.DMA_TRANSACTION_BYTES / sem.CACHE_LINE_BYTES
+
+    dram_reads = offcore_demand_reads + dma_lines * dma_transactions
+    dram_writes = offcore_writebacks
+    dram_accesses = dram_reads + dram_writes
+    dram_bytes = sem.CACHE_LINE_BYTES * dram_accesses
+
+    dtlb_miss = min(rate("dtlb_miss_rate"), 1.0) * mem_inst
+    itlb_miss = min(rate("itlb_miss_rate"), 1.0) * l1i_access
+    page_walks = dtlb_miss + itlb_miss
+
+    uops_retired = rate("uops_per_instruction") * instructions
+    uops_cancelled = min(rate("uop_cancel_rate"), 1.0) * uops_retired
+    uops_issued = uops_retired + uops_cancelled
+    issue_slots_used = uops_issued
+
+    stall_frontend = 12.0 * branch_misses + 18.0 * l1i_miss
+    stall_l2_pending = rate("l2_pending_stall_per_miss") * l2_miss
+    stall_dram_lat = rate("dram_latency_stall_per_miss") * llc_miss
+    stall_dram_bw = rate("dram_bw_stall_per_access") * dram_accesses
+    stall_mem = stall_l2_pending + stall_dram_lat + stall_dram_bw
+    stall_core = rate("core_stall_per_instruction") * instructions
+    stall_backend = stall_core + stall_mem
+    stall_total = stall_frontend + stall_backend
+
+    active_cycles = uops_issued / sem.PIPELINE_WIDTH
+    cycles = active_cycles + stall_total
+    issue_slots_total = sem.PIPELINE_WIDTH * cycles
+    issue_slots_empty = issue_slots_total - issue_slots_used
+
+    pcie_total_bytes = dma_bytes
+    pcie_transactions = pcie_total_bytes / sem.DMA_TRANSACTION_BYTES
+    pcie_read_bytes = min(rate("pcie_read_share"), 1.0) * pcie_total_bytes
+    pcie_write_bytes = pcie_total_bytes - pcie_read_bytes
+
+    context_switches = profile.context_switches_per_tick * jitter.get("context_switches_per_tick", 1.0)
+    interrupts = profile.interrupts_per_tick * jitter.get("interrupts_per_tick", 1.0)
+
+    return {
+        sem.CYCLES: cycles,
+        sem.ACTIVE_CYCLES: active_cycles,
+        sem.INSTRUCTIONS: instructions,
+        sem.UOPS_ISSUED: uops_issued,
+        sem.UOPS_RETIRED: uops_retired,
+        sem.UOPS_CANCELLED: uops_cancelled,
+        sem.ISSUE_SLOTS_TOTAL: issue_slots_total,
+        sem.ISSUE_SLOTS_USED: issue_slots_used,
+        sem.ISSUE_SLOTS_EMPTY: issue_slots_empty,
+        sem.BRANCHES: branches,
+        sem.BRANCH_TAKEN: branch_taken,
+        sem.BRANCH_NOT_TAKEN: branch_not_taken,
+        sem.BRANCH_MISSES: branch_misses,
+        sem.MEM_INST_RETIRED: mem_inst,
+        sem.LOADS_RETIRED: loads,
+        sem.STORES_RETIRED: stores,
+        sem.L1D_ACCESS: l1d_access,
+        sem.L1D_HIT: l1d_hit,
+        sem.L1D_MISS: l1d_miss,
+        sem.L1I_ACCESS: l1i_access,
+        sem.L1I_MISS: l1i_miss,
+        sem.L2_ACCESS: l2_access,
+        sem.L2_HIT: l2_hit,
+        sem.L2_MISS: l2_miss,
+        sem.LLC_ACCESS: llc_access,
+        sem.LLC_HIT: llc_hit,
+        sem.LLC_MISS: llc_miss,
+        sem.DTLB_MISS: dtlb_miss,
+        sem.ITLB_MISS: itlb_miss,
+        sem.PAGE_WALKS: page_walks,
+        sem.DRAM_READS: dram_reads,
+        sem.DRAM_WRITES: dram_writes,
+        sem.DRAM_ACCESSES: dram_accesses,
+        sem.DRAM_BYTES: dram_bytes,
+        sem.DMA_TRANSACTIONS: dma_transactions,
+        sem.DMA_BYTES: dma_bytes,
+        sem.OFFCORE_DEMAND_READS: offcore_demand_reads,
+        sem.OFFCORE_WRITEBACKS: offcore_writebacks,
+        sem.STALL_CYCLES_TOTAL: stall_total,
+        sem.STALL_FRONTEND: stall_frontend,
+        sem.STALL_BACKEND: stall_backend,
+        sem.STALL_CORE: stall_core,
+        sem.STALL_MEM: stall_mem,
+        sem.STALL_DRAM_BW: stall_dram_bw,
+        sem.STALL_DRAM_LAT: stall_dram_lat,
+        sem.STALL_L2_PENDING: stall_l2_pending,
+        sem.PCIE_READ_BYTES: pcie_read_bytes,
+        sem.PCIE_WRITE_BYTES: pcie_write_bytes,
+        sem.PCIE_TOTAL_BYTES: pcie_total_bytes,
+        sem.PCIE_TRANSACTIONS: pcie_transactions,
+        sem.CONTEXT_SWITCHES: context_switches,
+        sem.INTERRUPTS: interrupts,
+    }

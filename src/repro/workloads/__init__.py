@@ -1,0 +1,22 @@
+"""Workload definitions.
+
+The paper evaluates on the HiBench suite (micro-benchmarks, machine learning,
+SQL, web search, graph analytics and streaming applications, §6.2).  Here each
+workload is a phase-based specification consumed by the machine model; the
+suite reproduces the *names* and the qualitative behavioural diversity of
+HiBench rather than running Spark jobs.
+"""
+
+from repro.workloads.hibench import HIBENCH_WORKLOADS, hibench_suite, hibench_workload
+from repro.workloads.micro import multiplexing_stress_workload, steady_workload
+from repro.workloads.registry import available_workloads, get_workload
+
+__all__ = [
+    "HIBENCH_WORKLOADS",
+    "hibench_suite",
+    "hibench_workload",
+    "multiplexing_stress_workload",
+    "steady_workload",
+    "available_workloads",
+    "get_workload",
+]

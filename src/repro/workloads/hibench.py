@@ -1,0 +1,211 @@
+"""HiBench-like workload suite.
+
+The 28 workloads mirror the benchmark names in Fig. 6 of the paper, grouped
+into the categories HiBench documents (micro, machine learning, SQL, web
+search, graph, streaming).  Each category has a characteristic base profile;
+per-workload deterministic perturbations make each workload distinct while
+keeping the suite fully reproducible.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import replace
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.uarch.profile import Phase, PhaseProfile, WorkloadSpec
+
+#: Workload name -> HiBench category.
+HIBENCH_WORKLOADS: Dict[str, str] = {
+    "Sort": "micro",
+    "WordCount": "micro",
+    "TeraSort": "micro",
+    "Repartition": "micro",
+    "DFSIOE": "micro",
+    "Bayes": "ml",
+    "KMeans": "ml",
+    "GMM": "ml",
+    "LR": "ml",
+    "ALS": "ml",
+    "GBT": "ml",
+    "XGBoost": "ml",
+    "Linear": "ml",
+    "LDA": "ml",
+    "PCA": "ml",
+    "RF": "ml",
+    "SVM": "ml",
+    "SVD": "ml",
+    "Scan": "sql",
+    "Join": "sql",
+    "Aggregate": "sql",
+    "PageRank": "websearch",
+    "NutchIndexing": "websearch",
+    "NWeight": "graph",
+    "Identity": "streaming",
+    "StreamRepartition": "streaming",
+    "StatefulWordCount": "streaming",
+    "FixWindow": "streaming",
+}
+
+#: Category base profiles.  The values are chosen to make the categories
+#: behave differently (compute-bound ML, memory-bound micro/SQL, bursty
+#: streaming), which is what drives per-workload differences in Fig. 6.
+_CATEGORY_PROFILES: Dict[str, PhaseProfile] = {
+    "micro": PhaseProfile(
+        instructions_per_tick=1.8e6,
+        branch_fraction=0.16,
+        load_fraction=0.3,
+        store_fraction=0.14,
+        l1d_miss_rate=0.09,
+        l2_miss_rate=0.45,
+        llc_miss_rate=0.5,
+        dma_transactions_per_tick=6.0e3,
+        burstiness=0.6,
+        burst_correlation=0.5,
+    ),
+    "ml": PhaseProfile(
+        instructions_per_tick=2.6e6,
+        branch_fraction=0.12,
+        load_fraction=0.33,
+        store_fraction=0.1,
+        l1d_miss_rate=0.05,
+        l2_miss_rate=0.3,
+        llc_miss_rate=0.35,
+        dma_transactions_per_tick=3.0e3,
+        burstiness=0.55,
+        burst_correlation=0.5,
+    ),
+    "sql": PhaseProfile(
+        instructions_per_tick=2.0e6,
+        branch_fraction=0.2,
+        load_fraction=0.34,
+        store_fraction=0.12,
+        l1d_miss_rate=0.08,
+        l2_miss_rate=0.4,
+        llc_miss_rate=0.45,
+        dma_transactions_per_tick=4.5e3,
+        burstiness=0.58,
+        burst_correlation=0.45,
+    ),
+    "websearch": PhaseProfile(
+        instructions_per_tick=2.2e6,
+        branch_fraction=0.22,
+        branch_mispredict_rate=0.05,
+        load_fraction=0.3,
+        store_fraction=0.1,
+        l1d_miss_rate=0.07,
+        l2_miss_rate=0.38,
+        llc_miss_rate=0.42,
+        dma_transactions_per_tick=3.5e3,
+        burstiness=0.6,
+        burst_correlation=0.45,
+    ),
+    "graph": PhaseProfile(
+        instructions_per_tick=1.6e6,
+        branch_fraction=0.24,
+        branch_mispredict_rate=0.06,
+        load_fraction=0.36,
+        store_fraction=0.08,
+        l1d_miss_rate=0.12,
+        l2_miss_rate=0.5,
+        llc_miss_rate=0.55,
+        dma_transactions_per_tick=2.5e3,
+        burstiness=0.65,
+        burst_correlation=0.45,
+    ),
+    "streaming": PhaseProfile(
+        instructions_per_tick=1.5e6,
+        branch_fraction=0.18,
+        load_fraction=0.28,
+        store_fraction=0.16,
+        l1d_miss_rate=0.07,
+        l2_miss_rate=0.36,
+        llc_miss_rate=0.4,
+        dma_transactions_per_tick=8.0e3,
+        burstiness=0.7,
+        burst_correlation=0.4,
+    ),
+}
+
+#: Phase plans per category: (relative intensity, duration ticks) per phase.
+_CATEGORY_PHASE_PLANS: Dict[str, Tuple[Tuple[float, int], ...]] = {
+    "micro": ((1.0, 30), (1.8, 40), (0.7, 30), (1.4, 30)),
+    "ml": ((0.8, 25), (1.6, 45), (1.1, 35), (2.0, 25)),
+    "sql": ((1.0, 35), (2.2, 30), (0.6, 35), (1.5, 30)),
+    "websearch": ((1.2, 30), (0.7, 30), (1.9, 35), (1.0, 35)),
+    "graph": ((0.9, 40), (2.0, 30), (1.3, 30), (0.6, 30)),
+    "streaming": ((1.0, 20), (2.4, 25), (0.8, 20), (1.7, 25), (1.1, 25)),
+}
+
+
+def _stable_seed(name: str) -> int:
+    """Deterministic 32-bit seed derived from a workload name."""
+    digest = hashlib.sha256(name.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "little")
+
+
+def _perturb(profile: PhaseProfile, rng: np.random.Generator) -> PhaseProfile:
+    """Small deterministic per-workload perturbation of a category profile."""
+
+    def factor(scale: float = 0.15) -> float:
+        return float(np.exp(rng.normal(0.0, scale)))
+
+    def clipped(value: float, low: float = 0.001, high: float = 0.95) -> float:
+        return float(min(max(value, low), high))
+
+    return replace(
+        profile,
+        instructions_per_tick=profile.instructions_per_tick * factor(0.2),
+        branch_fraction=clipped(profile.branch_fraction * factor()),
+        branch_mispredict_rate=clipped(profile.branch_mispredict_rate * factor()),
+        l1d_miss_rate=clipped(profile.l1d_miss_rate * factor()),
+        l2_miss_rate=clipped(profile.l2_miss_rate * factor()),
+        llc_miss_rate=clipped(profile.llc_miss_rate * factor()),
+        dma_transactions_per_tick=profile.dma_transactions_per_tick * factor(0.3),
+        burstiness=clipped(profile.burstiness * factor(0.1), 0.1, 0.9),
+    )
+
+
+def hibench_workload(name: str) -> WorkloadSpec:
+    """Build the named HiBench-like workload specification."""
+    if name not in HIBENCH_WORKLOADS:
+        raise KeyError(f"unknown HiBench workload {name!r}; available: {sorted(HIBENCH_WORKLOADS)}")
+    category = HIBENCH_WORKLOADS[name]
+    rng = np.random.default_rng(_stable_seed(name))
+    base = _perturb(_CATEGORY_PROFILES[category], rng)
+
+    phases: List[Phase] = []
+    for index, (intensity, duration) in enumerate(_CATEGORY_PHASE_PLANS[category]):
+        # Each phase additionally shifts the cache behaviour a little so that
+        # phases differ in more than raw intensity.
+        phase_profile = replace(
+            base.scaled(intensity),
+            l1d_miss_rate=float(min(max(base.l1d_miss_rate * (0.8 + 0.15 * index), 0.001), 0.95)),
+            llc_miss_rate=float(min(max(base.llc_miss_rate * (1.1 - 0.1 * index), 0.001), 0.95)),
+        )
+        duration_jitter = int(rng.integers(-4, 5))
+        phases.append(
+            Phase(
+                profile=phase_profile,
+                duration_ticks=max(10, duration + duration_jitter),
+                name=f"{name.lower()}-phase{index}",
+            )
+        )
+    return WorkloadSpec(
+        name=name,
+        phases=tuple(phases),
+        category=category,
+        description=f"HiBench-like {category} workload {name}",
+    )
+
+
+def hibench_suite(categories: Sequence[str] = ()) -> Tuple[WorkloadSpec, ...]:
+    """All HiBench-like workloads, optionally filtered by category."""
+    wanted = set(categories) if categories else None
+    specs = []
+    for name, category in HIBENCH_WORKLOADS.items():
+        if wanted is None or category in wanted:
+            specs.append(hibench_workload(name))
+    return tuple(specs)

@@ -1,0 +1,71 @@
+"""Synthetic micro-workloads used by the error-scaling experiments (Fig. 1, Fig. 8)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Tuple
+
+from repro.uarch.profile import Phase, PhaseProfile, WorkloadSpec
+
+
+def steady_workload(name: str = "steady", *, ticks: int = 120, burstiness: float = 0.0) -> WorkloadSpec:
+    """A single-phase workload with optional burstiness and no phase changes.
+
+    With ``burstiness=0`` the only measurement error left is read noise, which
+    makes this workload useful for unit tests that isolate specific error
+    sources.
+    """
+    profile = PhaseProfile(burstiness=burstiness, burst_correlation=0.5)
+    return WorkloadSpec(
+        name=name,
+        phases=(Phase(profile=profile, duration_ticks=ticks, name=f"{name}-steady"),),
+        category="micro",
+        description="Single-phase steady workload",
+    )
+
+
+def multiplexing_stress_workload(name: str = "mux-stress") -> WorkloadSpec:
+    """The phase-rich workload used to characterise multiplexing error (Fig. 1).
+
+    Alternates compute-bound, memory-bound and IO-heavy phases so that stale
+    extrapolated counter values are maximally wrong across phase boundaries.
+    """
+    compute = PhaseProfile(
+        instructions_per_tick=2.8e6,
+        l1d_miss_rate=0.03,
+        l2_miss_rate=0.25,
+        llc_miss_rate=0.3,
+        dma_transactions_per_tick=1.5e3,
+        burstiness=0.6,
+        burst_correlation=0.45,
+    )
+    memory = PhaseProfile(
+        instructions_per_tick=1.4e6,
+        l1d_miss_rate=0.14,
+        l2_miss_rate=0.55,
+        llc_miss_rate=0.6,
+        dma_transactions_per_tick=4.0e3,
+        burstiness=0.6,
+        burst_correlation=0.45,
+    )
+    io_heavy = PhaseProfile(
+        instructions_per_tick=1.0e6,
+        l1d_miss_rate=0.08,
+        l2_miss_rate=0.4,
+        llc_miss_rate=0.45,
+        dma_transactions_per_tick=1.2e4,
+        burstiness=0.65,
+        burst_correlation=0.45,
+    )
+    phases: Tuple[Phase, ...] = (
+        Phase(profile=compute, duration_ticks=25, name="compute"),
+        Phase(profile=memory, duration_ticks=30, name="memory"),
+        Phase(profile=replace(compute, instructions_per_tick=2.0e6), duration_ticks=20, name="mixed"),
+        Phase(profile=io_heavy, duration_ticks=25, name="io"),
+    )
+    return WorkloadSpec(
+        name=name,
+        phases=phases,
+        category="micro",
+        description="Phase-rich workload for multiplexing-error characterisation",
+    )

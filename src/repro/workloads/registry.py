@@ -1,0 +1,25 @@
+"""Workload registry: uniform lookup across HiBench and micro workloads."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.uarch.profile import WorkloadSpec
+from repro.workloads.hibench import HIBENCH_WORKLOADS, hibench_workload
+from repro.workloads.micro import multiplexing_stress_workload, steady_workload
+
+
+def available_workloads() -> Tuple[str, ...]:
+    """Names of all registered workloads."""
+    return tuple(HIBENCH_WORKLOADS) + ("mux-stress", "steady")
+
+
+def get_workload(name: str) -> WorkloadSpec:
+    """Look up any registered workload by name."""
+    if name in HIBENCH_WORKLOADS:
+        return hibench_workload(name)
+    if name == "mux-stress":
+        return multiplexing_stress_workload()
+    if name == "steady":
+        return steady_workload()
+    raise KeyError(f"unknown workload {name!r}; available: {sorted(available_workloads())}")

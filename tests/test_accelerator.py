@@ -1,0 +1,126 @@
+"""Tests for the accelerator models (NoC, EP engines, latency, area/power)."""
+
+import pytest
+
+from repro.accelerator import (
+    AcceleratorConfig,
+    AcceleratorModel,
+    ButterflyNoC,
+    EPEngineUnit,
+    FPGAResourceModel,
+    MCMCSamplerIP,
+    ReadLatencyModel,
+    ReadPath,
+)
+
+
+class TestButterflyNoC:
+    def test_requires_power_of_two_ports(self):
+        with pytest.raises(ValueError):
+            ButterflyNoC(n_ports=10)
+
+    def test_hops_uniform(self):
+        noc = ButterflyNoC(n_ports=16)
+        assert noc.stages == 4
+        assert noc.hops(0, 15) == 4
+        assert noc.hops(3, 3) == 0
+
+    def test_transfer_latency_grows_with_payload(self):
+        noc = ButterflyNoC(n_ports=16)
+        small = noc.transfer(0, 5, 16).cycles
+        large = noc.transfer(0, 5, 1024).cycles
+        assert large > small
+
+    def test_port_validation(self):
+        noc = ButterflyNoC(n_ports=8)
+        with pytest.raises(ValueError):
+            noc.hops(0, 8)
+
+
+class TestComputeUnits:
+    def test_sampler_cycles_scale_with_samples(self):
+        sampler = MCMCSamplerIP()
+        assert sampler.sampling_cycles(200, 8) > sampler.sampling_cycles(100, 8)
+
+    def test_ep_engine_site_update(self):
+        engine = EPEngineUnit()
+        sampler = MCMCSamplerIP()
+        few = engine.site_update_cycles(5, 4, sampler, 128)
+        many = engine.site_update_cycles(50, 4, sampler, 128)
+        assert many > few
+
+    def test_invalid_dimensions(self):
+        engine = EPEngineUnit()
+        with pytest.raises(ValueError):
+            engine.site_update_cycles(0, 4, MCMCSamplerIP(), 128)
+
+
+class TestAcceleratorModel:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(transport="usb")
+        with pytest.raises(ValueError):
+            AcceleratorConfig(n_ep_engines=10, n_samplers=10, noc_ports=16)
+
+    def test_inference_latency_scales_with_sites(self):
+        model = AcceleratorModel()
+        one = model.inference_latency(1, 10, 8).total_cycles
+        eight = model.inference_latency(8, 10, 8).total_cycles
+        assert eight > one
+
+    def test_capi_has_lower_host_overhead_than_pcie(self):
+        capi = AcceleratorModel(AcceleratorConfig(transport="capi"))
+        pcie = AcceleratorModel(AcceleratorConfig(transport="pcie"))
+        assert capi.host_read_overhead_cycles() < pcie.host_read_overhead_cycles()
+
+    def test_sustained_throughput_positive(self):
+        model = AcceleratorModel()
+        assert model.sustained_inferences_per_second(4, 44, 12) > 0
+
+
+class TestReadLatencyModel:
+    @pytest.fixture
+    def model(self):
+        return ReadLatencyModel()
+
+    def test_ordering_matches_fig3(self, model):
+        paths = model.all_paths()
+        assert paths["linux+rdpmc"] < paths["linux"]
+        assert paths["linux"] < paths["bayesperf-accelerator"]
+        assert paths["bayesperf-accelerator"] < paths["bayesperf-cpu"]
+        assert paths["bayesperf-cpu"] < paths["counterminer"]
+
+    def test_cpu_inference_is_about_9x(self, model):
+        ratio = model.bayesperf_cpu_read_cycles() / model.linux_read_cycles()
+        assert 6.0 < ratio < 12.0
+
+    def test_accelerator_overhead_below_two_percent(self):
+        model = ReadLatencyModel(accelerator=AcceleratorModel(AcceleratorConfig(transport="capi")))
+        assert model.overhead_vs_linux(ReadPath.BAYESPERF_ACCELERATOR) < 0.02
+
+    def test_pcie_slower_than_capi(self):
+        capi = ReadLatencyModel(accelerator=AcceleratorModel(AcceleratorConfig(transport="capi")))
+        pcie = ReadLatencyModel(accelerator=AcceleratorModel(AcceleratorConfig(transport="pcie")))
+        ratio = pcie.bayesperf_accelerator_read_cycles() / capi.bayesperf_accelerator_read_cycles()
+        assert 1.05 < ratio < 1.30
+
+
+class TestFPGAResourceModel:
+    @pytest.fixture(params=["pcie", "capi"])
+    def report(self, request):
+        model = FPGAResourceModel(AcceleratorConfig(transport=request.param))
+        return model.report(request.param)
+
+    def test_design_fits_on_device(self, report):
+        assert report.over_budget() == {}
+        assert all(10.0 < v <= 100.0 for v in report.utilization_percent.values())
+
+    def test_power_in_expected_range(self, report):
+        assert 8.0 < report.vivado_power_w < 14.0
+        assert report.measured_power_w > report.vivado_power_w
+
+    def test_power_efficiency_vs_cpu(self):
+        capi = FPGAResourceModel(AcceleratorConfig(transport="capi")).report("ppc64")
+        assert 8.0 < capi.power_efficiency_vs(190.0) < 16.0
+        pcie = FPGAResourceModel(AcceleratorConfig(transport="pcie")).report("x86")
+        assert 4.0 < pcie.power_efficiency_vs(100.0) < 8.0

@@ -1,0 +1,146 @@
+"""Tests for the baseline correction methods and the error metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import CounterMiner, LinuxScaling, WeaverPin
+from repro.events import catalog_for
+from repro.events.profiles import standard_profiling_events
+from repro.metrics import dtw_distance, dtw_path, normalized_improvement, relative_series_error, trace_error
+from repro.metrics.error import ErrorReport
+from repro.pmu import MultiplexedSampler, NoiseModel, PollingReader
+from repro.scheduling import round_robin_schedule
+from repro.uarch import Machine, MachineConfig
+from repro.workloads import get_workload
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    """A small shared sampling pipeline for baseline tests."""
+    catalog = catalog_for("x86")
+    events = standard_profiling_events(catalog, n_events=16)
+    schedule = round_robin_schedule(catalog, events)
+    trace = Machine(MachineConfig(), get_workload("KMeans"), seed=1).run(60)
+    sampled = MultiplexedSampler(catalog, schedule, seed=2).sample(trace)
+    polled = PollingReader(catalog, sampled.events, seed=3).read(trace)
+    return catalog, events, schedule, sampled, polled
+
+
+class TestDTW:
+    def test_identical_series_zero_distance(self):
+        series = [1.0, 2.0, 3.0]
+        assert dtw_distance(series, series) == pytest.approx(0.0)
+
+    def test_shifted_series_aligned(self):
+        a = [0.0, 0.0, 1.0, 5.0, 1.0, 0.0]
+        b = [0.0, 1.0, 5.0, 1.0, 0.0, 0.0]
+        assert dtw_distance(a, b) < np.sum(np.abs(np.array(a) - np.array(b)))
+
+    def test_path_endpoints(self):
+        path = dtw_path([1.0, 2.0, 3.0], [1.0, 3.0])
+        assert path[0] == (0, 0)
+        assert path[-1] == (2, 1)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_distance([], [1.0])
+
+
+class TestErrorMetrics:
+    def test_relative_error_zero_for_identical(self):
+        series = np.array([1.0, 2.0, 3.0])
+        assert relative_series_error(series, series) == pytest.approx(0.0)
+
+    def test_pointwise_requires_equal_length(self):
+        with pytest.raises(ValueError):
+            relative_series_error([1.0], [1.0, 2.0], align=False)
+
+    def test_cap_limits_blowups(self):
+        error = relative_series_error([100.0], [1e-9], cap=10.0)
+        assert error == pytest.approx(10.0)
+
+    def test_error_report_aggregation(self):
+        report = ErrorReport(method="m", per_event={"a": 0.1, "b": 0.3})
+        assert report.mean_error == pytest.approx(0.2)
+        assert report.mean_error_percent == pytest.approx(20.0)
+        assert report.worst_events(1) == (("b", 0.3),)
+
+    def test_normalized_improvement(self):
+        base = ErrorReport(method="linux", per_event={"a": 0.4})
+        better = ErrorReport(method="bayesperf", per_event={"a": 0.08})
+        assert normalized_improvement(base, better) == pytest.approx(5.0)
+
+    @given(scale=st.floats(0.5, 2.0))
+    @settings(max_examples=20, deadline=None)
+    def test_scaling_both_series_preserves_relative_error(self, scale):
+        reference = np.array([1.0, 2.0, 4.0, 2.0])
+        estimate = reference * 1.1
+        base = relative_series_error(estimate, reference, align=False)
+        scaled = relative_series_error(estimate * scale, reference * scale, align=False)
+        assert scaled == pytest.approx(base, rel=1e-9)
+
+
+class TestLinuxScaling:
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            LinuxScaling(mode="bogus")
+
+    @pytest.mark.parametrize("mode", ["scaling", "hold", "cumulative"])
+    def test_produces_estimates_for_all_events(self, pipeline, mode):
+        _, _, _, sampled, _ = pipeline
+        estimates = LinuxScaling(mode=mode).correct(sampled)
+        assert len(estimates) == len(sampled)
+        assert set(estimates.events()) == set(sampled.events)
+
+    def test_measured_ticks_match_samples(self, pipeline):
+        _, _, _, sampled, _ = pipeline
+        estimates = LinuxScaling(mode="hold").correct(sampled)
+        record = sampled.records[5]
+        event = record.configuration.events[0]
+        assert estimates.at(5)[event] == pytest.approx(record.total(event))
+
+    def test_error_is_substantial_under_multiplexing(self, pipeline):
+        _, events, schedule, sampled, polled = pipeline
+        estimates = LinuxScaling().correct(sampled)
+        report = trace_error(estimates, polled, events=events, skip_ticks=schedule.rotation_ticks, aggregate_ticks=8)
+        assert report.mean_error > 0.10
+
+
+class TestCounterMiner:
+    def test_rejects_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            CounterMiner(window=1)
+        with pytest.raises(ValueError):
+            CounterMiner(significance=0.0)
+
+    def test_produces_estimates(self, pipeline):
+        _, _, _, sampled, _ = pipeline
+        estimates = CounterMiner().correct(sampled)
+        assert len(estimates) == len(sampled)
+
+    def test_outlier_rejection(self):
+        miner = CounterMiner(window=5, significance=2.0)
+        from collections import deque
+
+        history = deque([100.0, 101.0, 99.0, 1000.0], maxlen=5)
+        estimate = miner._robust_estimate(history)
+        assert estimate < 200.0
+
+
+class TestWeaverPin:
+    def test_corrects_only_instruction_counts(self, pipeline):
+        catalog, events, schedule, sampled, polled = pipeline
+        weaver = WeaverPin(catalog)
+        estimates = weaver.correct(sampled)
+        report = trace_error(estimates, polled, events=events, skip_ticks=schedule.rotation_ticks, aggregate_ticks=8)
+        instructions = catalog.event_for_semantic("instructions").name
+        other_errors = [v for k, v in report.per_event.items() if k != instructions]
+        assert report.per_event[instructions] < np.mean(other_errors)
+
+    def test_models_slowdown(self):
+        catalog = catalog_for("x86")
+        assert WeaverPin(catalog).slowdown > 100
+        with pytest.raises(ValueError):
+            WeaverPin(catalog, slowdown=0.5)

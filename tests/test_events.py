@@ -1,0 +1,155 @@
+"""Tests for the event model and catalogs."""
+
+import pytest
+
+from repro.events import (
+    EventCatalog,
+    EventDomain,
+    EventKind,
+    EventSpec,
+    available_catalogs,
+    catalog_for,
+    derived_metric_events,
+    standard_profiling_events,
+)
+from repro.events import semantics as sem
+from repro.events.catalog import CounterFile
+from repro.events.derived import DerivedEvent, DerivedEventSet, ratio, weighted_sum
+
+
+class TestEventSpec:
+    def test_requires_known_semantic(self):
+        with pytest.raises(ValueError):
+            EventSpec(name="X", semantic="not-a-semantic", domain=EventDomain.CORE)
+
+    def test_requires_nonempty_name(self):
+        with pytest.raises(ValueError):
+            EventSpec(name="", semantic=sem.CYCLES, domain=EventDomain.CORE)
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            EventSpec(name="X", semantic=sem.CYCLES, domain=EventDomain.CORE, scale=0.0)
+
+    def test_counter_mask_restricts_placement(self):
+        spec = EventSpec(
+            name="X", semantic=sem.CYCLES, domain=EventDomain.CORE, counter_mask=frozenset({2})
+        )
+        assert spec.can_use_counter(2)
+        assert not spec.can_use_counter(0)
+        assert spec.is_constrained
+
+    def test_fixed_event_cannot_use_programmable_counter(self):
+        spec = EventSpec(name="X", semantic=sem.CYCLES, domain=EventDomain.CORE, kind=EventKind.FIXED)
+        assert spec.is_fixed
+        assert not spec.can_use_counter(0)
+
+    def test_ground_truth_applies_scale(self):
+        spec = EventSpec(name="X", semantic=sem.CYCLES, domain=EventDomain.CORE, scale=0.5)
+        assert spec.ground_truth({sem.CYCLES: 100.0}) == pytest.approx(50.0)
+
+
+class TestCounterFile:
+    def test_smt_split_halves_programmable_budget(self):
+        cf = CounterFile(n_fixed=3, n_programmable=8, smt_split=True)
+        assert cf.usable_programmable == 4
+
+    def test_no_split_keeps_budget(self):
+        cf = CounterFile(n_fixed=2, n_programmable=4, smt_split=False)
+        assert cf.usable_programmable == 4
+
+    def test_rejects_zero_programmable(self):
+        with pytest.raises(ValueError):
+            CounterFile(n_fixed=1, n_programmable=0)
+
+
+class TestCatalogs:
+    @pytest.fixture(params=["x86", "ppc64"])
+    def catalog(self, request):
+        return catalog_for(request.param)
+
+    def test_available_catalogs(self):
+        assert set(available_catalogs()) == {"x86_64-skylake", "ppc64-power9"}
+
+    def test_catalog_lookup_aliases(self):
+        assert catalog_for("x86_64").name == "x86_64-skylake"
+        assert catalog_for("power9").name == "ppc64-power9"
+
+    def test_unknown_arch_raises(self):
+        with pytest.raises(KeyError):
+            catalog_for("sparc")
+
+    def test_catalog_has_enough_events(self, catalog):
+        assert len(catalog) >= 50
+
+    def test_catalog_has_fixed_events(self, catalog):
+        assert len(catalog.fixed_events) >= 2
+        semantics = {spec.semantic for spec in catalog.fixed_events}
+        assert sem.CYCLES in semantics
+        assert sem.INSTRUCTIONS in semantics
+
+    def test_every_event_has_unique_name(self, catalog):
+        names = catalog.names()
+        assert len(names) == len(set(names))
+
+    def test_event_for_semantic_roundtrip(self, catalog):
+        spec = catalog.event_for_semantic(sem.LLC_MISS)
+        assert catalog.semantic_of(spec.name) == sem.LLC_MISS
+
+    def test_unknown_event_raises(self, catalog):
+        with pytest.raises(KeyError):
+            catalog.get("NOT_AN_EVENT")
+
+    def test_ground_truth_covers_all_events(self, catalog):
+        values = {key: 1.0 for key in sem.ALL_SEMANTICS}
+        truth = catalog.ground_truth(values)
+        assert set(truth) == set(catalog.names())
+
+    def test_derived_metrics_exist(self, catalog):
+        assert len(catalog.derived) >= 10
+        names = [metric.name for metric in catalog.derived]
+        assert "ipc" in names
+        assert "dram_bandwidth" in names
+
+    def test_compute_derived_ipc(self, catalog):
+        cycles = catalog.event_for_semantic(sem.CYCLES).name
+        instructions = catalog.event_for_semantic(sem.INSTRUCTIONS).name
+        values = {cycles: 2e6, instructions: 3e6}
+        derived = catalog.compute_derived(values)
+        assert derived["ipc"] == pytest.approx(1.5)
+
+    def test_events_for_derived_dedupes(self, catalog):
+        events = catalog.events_for_derived(["ipc", "l1d_mpki"])
+        assert len(events) == len(set(events))
+
+    def test_standard_profiling_events(self, catalog):
+        events = standard_profiling_events(catalog)
+        assert len(events) >= 35
+        assert len(set(events)) == len(events)
+        capped = standard_profiling_events(catalog, n_events=10)
+        assert len(capped) == 10
+
+    def test_derived_metric_events(self, catalog):
+        events = derived_metric_events(catalog, n_metrics=10)
+        assert len(events) >= 10
+
+
+class TestDerivedEvent:
+    def test_compute_requires_all_inputs(self):
+        metric = DerivedEvent(name="m", inputs=("a", "b"), formula=ratio("a", "b"))
+        with pytest.raises(KeyError):
+            metric.compute({"a": 1.0})
+
+    def test_ratio_and_weighted_sum(self):
+        metric = DerivedEvent(name="m", inputs=("a", "b"), formula=weighted_sum({"a": 2.0, "b": 3.0}))
+        assert metric.compute({"a": 1.0, "b": 1.0}) == pytest.approx(5.0)
+
+    def test_duplicate_names_rejected(self):
+        metric = DerivedEvent(name="m", inputs=("a",), formula=lambda v: v["a"])
+        with pytest.raises(ValueError):
+            DerivedEventSet(name="s", metrics=(metric, metric))
+
+    def test_required_events_ordered_unique(self):
+        m1 = DerivedEvent(name="m1", inputs=("a", "b"), formula=ratio("a", "b"))
+        m2 = DerivedEvent(name="m2", inputs=("b", "c"), formula=ratio("b", "c"))
+        metrics = DerivedEventSet(name="s", metrics=(m1, m2))
+        assert metrics.required_events() == ("a", "b", "c")

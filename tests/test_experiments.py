@@ -1,0 +1,118 @@
+"""Integration tests: every experiment module runs and reproduces the paper's shape.
+
+These use reduced sweep sizes so the suite stays fast; the full-size runs live
+in ``benchmarks/``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    casestudy,
+    fig1_multiplexing_error,
+    fig3_read_latency,
+    fig6_hibench_error,
+    fig7_improvement,
+    fig8_scaling,
+    fig9_pcie_contention,
+    fig10_training,
+    table1_area_power,
+)
+
+
+class TestFig1:
+    def test_error_grows_with_multiplexing(self):
+        result = fig1_multiplexing_error.run(counter_counts=(10, 35), n_ticks=70, n_runs=1)
+        assert result.error_percent[35] > result.error_percent[10]
+        assert result.is_monotonically_increasing()
+        assert "avg error" in result.to_table()
+
+
+class TestFig3:
+    def test_latency_relationships(self):
+        result = fig3_read_latency.run()
+        for arch in ("x86", "ppc64"):
+            cycles = result.cycles[arch]
+            assert cycles["bayesperf-cpu"] > 5 * cycles["linux"]
+            assert cycles["counterminer"] > cycles["bayesperf-cpu"]
+        # CAPI (ppc64) accelerated reads are within ~2% of native.
+        assert result.overhead_vs_linux("ppc64", "bayesperf-accelerator") < 0.02
+        # The PCIe build pays more transport overhead than the CAPI build.
+        assert result.cycles["x86"]["bayesperf-accelerator"] > result.cycles["ppc64"]["bayesperf-accelerator"]
+
+
+class TestTable1:
+    def test_reports_and_efficiency(self):
+        result = table1_area_power.run()
+        assert set(result.reports) == {"x86-PCIe", "ppc64-CAPI"}
+        efficiency = result.power_efficiency()
+        assert efficiency["ppc64-CAPI"] > efficiency["x86-PCIe"] > 1.0
+        assert "Vivado (W)" in result.to_table()
+
+
+class TestFig6:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig6_hibench_error.run(
+            arches=("x86",), workloads=("KMeans", "Sort"), n_ticks=70, seed=1
+        )
+
+    def test_bayesperf_wins_every_workload(self, result):
+        for workload in result.workloads():
+            assert (
+                result.error_percent["x86"]["bayesperf"][workload]
+                < result.error_percent["x86"]["linux"][workload]
+            )
+
+    def test_reduction_factor_substantial(self, result):
+        assert result.reduction_factor("x86") > 2.0
+
+    def test_table_contains_average_row(self, result):
+        assert "AVERAGE" in result.to_table()
+
+
+class TestFig7:
+    def test_improvement_from_fig6(self):
+        fig6 = fig6_hibench_error.run(arches=("x86",), workloads=("KMeans",), n_ticks=70, seed=1)
+        fig7 = fig7_improvement.from_fig6(fig6)
+        assert fig7.average("x86", "linux") > 1.0
+
+
+class TestFig8:
+    def test_bayesperf_flat_and_best(self):
+        result = fig8_scaling.run(
+            arches=("x86",),
+            methods=("linux", "bayesperf"),
+            counter_counts=(10, 30),
+            n_ticks=70,
+            seed=1,
+        )
+        series = result.error_percent["x86"]
+        assert series["bayesperf"][30] < series["linux"][30]
+        assert result.error_growth("x86", "bayesperf") < result.error_growth("x86", "linux") + 3.0
+
+
+class TestFig9:
+    def test_contention_slowdown(self):
+        result = fig9_pcie_contention.run(message_sizes=(2**10, 2**18, 2**22))
+        assert 0.5 < result.max_slowdown() < 3.0
+        assert result.slowdown(2**10) < result.slowdown(2**22)
+        assert result.isolated_gbps[2**22] > 10.0
+
+
+class TestFig10:
+    def test_training_curves_produced(self):
+        result = fig10_training.run(iterations=150, seed=0)
+        assert set(result.curves) == {p.name for p in fig10_training.MONITORING_PROFILES}
+        assert all(len(curve) == 150 for curve in result.curves.values())
+        assert "reduction vs Linux" in result.to_table()
+
+
+class TestCaseStudy:
+    def test_decision_quality_structure(self):
+        result = casestudy.run(train_iterations=120, cf_observations=80, episodes=40, seed=0)
+        assert set(result.results) == {"collaborative-filtering", "reinforcement-learning"}
+        table = result.to_table()
+        assert "improvement vs Linux inputs" in table
+        for outcome in result.results.values():
+            assert set(outcome.mean_regret) == {p.name for p in casestudy.MONITORING_PROFILES}

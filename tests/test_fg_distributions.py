@@ -1,0 +1,152 @@
+"""Tests for the scalar distributions and multivariate Gaussian algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fg import Gaussian1D, GaussianDensity, StudentT
+
+
+class TestGaussian1D:
+    def test_rejects_nonpositive_variance(self):
+        with pytest.raises(ValueError):
+            Gaussian1D(mean=0.0, variance=0.0)
+
+    def test_log_pdf_matches_scipy(self):
+        from scipy import stats
+
+        g = Gaussian1D(mean=2.0, variance=4.0)
+        assert g.log_pdf(1.0) == pytest.approx(stats.norm.logpdf(1.0, 2.0, 2.0))
+
+    def test_multiply_precision_adds(self):
+        a = Gaussian1D(0.0, 1.0)
+        b = Gaussian1D(2.0, 1.0)
+        product = a.multiply(b)
+        assert product.mean == pytest.approx(1.0)
+        assert product.variance == pytest.approx(0.5)
+
+    def test_divide_inverts_multiply(self):
+        a = Gaussian1D(1.0, 2.0)
+        b = Gaussian1D(0.5, 4.0)
+        assert a.multiply(b).divide(b).mean == pytest.approx(a.mean)
+
+    def test_divide_improper_raises(self):
+        with pytest.raises(ValueError):
+            Gaussian1D(0.0, 2.0).divide(Gaussian1D(0.0, 1.0))
+
+    def test_interval_contains_mean(self):
+        low, high = Gaussian1D(3.0, 1.0).interval(0.9)
+        assert low < 3.0 < high
+
+    @given(mean=st.floats(-1e3, 1e3), variance=st.floats(0.01, 1e3))
+    @settings(max_examples=30, deadline=None)
+    def test_pdf_is_maximal_at_mean(self, mean, variance):
+        g = Gaussian1D(mean, variance)
+        assert g.log_pdf(mean) >= g.log_pdf(mean + np.sqrt(variance))
+
+
+class TestStudentT:
+    def test_log_pdf_matches_scipy(self):
+        from scipy import stats
+
+        t = StudentT(loc=1.0, scale=2.0, df=3.0)
+        assert t.log_pdf(0.0) == pytest.approx(stats.t.logpdf(0.0, 3.0, loc=1.0, scale=2.0))
+
+    def test_from_samples_recovers_mean(self):
+        rng = np.random.default_rng(0)
+        samples = rng.normal(10.0, 1.0, size=200)
+        t = StudentT.from_samples(samples)
+        assert t.loc == pytest.approx(10.0, abs=0.3)
+        assert t.df == pytest.approx(199)
+
+    def test_from_samples_single_sample(self):
+        t = StudentT.from_samples(np.array([5.0]))
+        assert t.loc == pytest.approx(5.0)
+        assert t.scale > 0
+
+    def test_from_samples_empty_raises(self):
+        with pytest.raises(ValueError):
+            StudentT.from_samples(np.array([]))
+
+    def test_to_gaussian_moment_match(self):
+        t = StudentT(loc=0.0, scale=1.0, df=5.0)
+        g = t.to_gaussian()
+        assert g.mean == pytest.approx(0.0)
+        assert g.variance == pytest.approx(5.0 / 3.0)
+
+    def test_low_df_variance_is_finite(self):
+        t = StudentT(loc=0.0, scale=1.0, df=1.5)
+        assert np.isfinite(t.variance)
+
+    def test_interval_widens_with_confidence(self):
+        t = StudentT(loc=0.0, scale=1.0, df=4.0)
+        narrow = t.interval(0.5)
+        wide = t.interval(0.99)
+        assert wide[1] - wide[0] > narrow[1] - narrow[0]
+
+
+class TestGaussianDensity:
+    def test_diagonal_roundtrip(self):
+        density = GaussianDensity.diagonal({"a": 1.0, "b": -2.0}, {"a": 4.0, "b": 0.25})
+        assert density.mean() == pytest.approx({"a": 1.0, "b": -2.0})
+        assert density.variance()["a"] == pytest.approx(4.0)
+
+    def test_from_moments_roundtrip(self):
+        mean = np.array([1.0, 2.0])
+        cov = np.array([[2.0, 0.3], [0.3, 1.0]])
+        density = GaussianDensity.from_moments(["x", "y"], mean, cov)
+        back_mean, back_cov = density.moments()
+        assert np.allclose(back_mean, mean)
+        assert np.allclose(back_cov, cov, atol=1e-8)
+
+    def test_multiply_then_divide_is_identity(self):
+        a = GaussianDensity.diagonal({"x": 0.0, "y": 1.0}, {"x": 1.0, "y": 2.0})
+        b = GaussianDensity.diagonal({"x": 3.0}, {"x": 5.0})
+        roundtrip = a.multiply(b).divide(b)
+        assert np.allclose(roundtrip.precision, a.precision)
+        assert np.allclose(roundtrip.shift, a.shift)
+
+    def test_multiply_requires_subset(self):
+        a = GaussianDensity.diagonal({"x": 0.0}, {"x": 1.0})
+        b = GaussianDensity.diagonal({"z": 0.0}, {"z": 1.0})
+        with pytest.raises(ValueError):
+            a.multiply(b)
+
+    def test_marginal_preserves_moments(self):
+        mean = np.array([1.0, 2.0, 3.0])
+        cov = np.diag([1.0, 2.0, 3.0])
+        density = GaussianDensity.from_moments(["a", "b", "c"], mean, cov)
+        marginal = density.marginal(["b"])
+        assert marginal.mean()["b"] == pytest.approx(2.0)
+        assert marginal.variance()["b"] == pytest.approx(2.0, rel=1e-6)
+
+    def test_uninformative_is_improper(self):
+        density = GaussianDensity.uninformative(["a", "b"])
+        with pytest.raises(ValueError):
+            density.moments(jitter=0.0)
+
+    def test_damped_towards(self):
+        a = GaussianDensity.diagonal({"x": 0.0}, {"x": 1.0})
+        b = GaussianDensity.diagonal({"x": 2.0}, {"x": 1.0})
+        halfway = a.damped_towards(b, 0.5)
+        assert halfway.mean()["x"] == pytest.approx(1.0)
+
+    def test_log_density_peaks_at_mean(self):
+        density = GaussianDensity.diagonal({"x": 1.0, "y": -1.0}, {"x": 1.0, "y": 1.0})
+        at_mean = density.log_density({"x": 1.0, "y": -1.0})
+        away = density.log_density({"x": 2.0, "y": 0.0})
+        assert at_mean > away
+
+    @given(
+        mean_a=st.floats(-10, 10),
+        mean_b=st.floats(-10, 10),
+        var_a=st.floats(0.1, 10),
+        var_b=st.floats(0.1, 10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_product_precision_is_sum(self, mean_a, mean_b, var_a, var_b):
+        a = GaussianDensity.diagonal({"x": mean_a}, {"x": var_a})
+        b = GaussianDensity.diagonal({"x": mean_b}, {"x": var_b})
+        product = a.multiply(b)
+        assert product.precision[0, 0] == pytest.approx(1 / var_a + 1 / var_b)

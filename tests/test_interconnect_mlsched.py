@@ -1,0 +1,168 @@
+"""Tests for the PCIe contention model and the ML-scheduler case study."""
+
+import numpy as np
+import pytest
+
+from repro.interconnect import (
+    ContentionModel,
+    PCIeDevice,
+    PCIeLink,
+    PCIeTopology,
+    Transfer,
+    build_case_study_topology,
+)
+from repro.mlsched import (
+    ActorCriticScheduler,
+    CollaborativeFilteringScheduler,
+    HPCFeatureExtractor,
+    ShuffleSchedulingEnv,
+    ShuffleTask,
+)
+from repro.mlsched.training import MONITORING_PROFILES, convergence_summary, training_time_comparison
+
+
+class TestTopology:
+    def test_case_study_topology_devices(self):
+        topo = build_case_study_topology()
+        assert len(topo.devices("gpu")) == 5
+        assert len(topo.devices("nic")) == 2
+        assert topo.device("fpga").kind == "fpga"
+
+    def test_route_crosses_sockets(self):
+        topo = build_case_study_topology()
+        route = topo.route("mem1", "nic0")
+        endpoints = {link.first for link in route} | {link.second for link in route}
+        assert "cpu0" in endpoints and "cpu1" in endpoints
+
+    def test_shared_links_detection(self):
+        topo = build_case_study_topology()
+        halo = topo.route("gpu0", "gpu2")
+        shuffle = topo.route("mem1", "nic1")
+        assert topo.shared_links(halo, shuffle)
+
+    def test_duplicate_device_rejected(self):
+        topo = PCIeTopology()
+        topo.add_device(PCIeDevice("a", "cpu"))
+        with pytest.raises(ValueError):
+            topo.add_device(PCIeDevice("a", "cpu"))
+
+    def test_link_requires_known_devices(self):
+        topo = PCIeTopology()
+        topo.add_device(PCIeDevice("a", "cpu"))
+        with pytest.raises(KeyError):
+            topo.add_link(PCIeLink("a", "b", 10.0))
+
+
+class TestContentionModel:
+    @pytest.fixture
+    def model(self):
+        return ContentionModel(build_case_study_topology())
+
+    def test_isolated_transfer_gets_bottleneck_bandwidth(self, model):
+        transfer = Transfer("t", "mem1", "nic1", 1e9)
+        results = model.allocate([transfer])
+        assert results["t"].bandwidth_gbps == pytest.approx(12.5)
+
+    def test_contention_reduces_bandwidth(self, model):
+        probe = Transfer("probe", "gpu0", "gpu2", 1e9)
+        halo = Transfer("halo", "mem1", "nic1", 1e9)
+        alone = model.allocate([probe])["probe"].bandwidth_gbps
+        together = model.allocate([probe, halo])["probe"].bandwidth_gbps
+        assert together < alone
+
+    def test_small_messages_latency_bound(self, model):
+        sweep = model.bandwidth_sweep("gpu0", "gpu2", [256, 2**22])
+        assert sweep[256] < sweep[2**22]
+
+    def test_slowdown_positive_under_contention(self, model):
+        probe = Transfer("probe", "gpu0", "gpu2", 1e9)
+        background = [Transfer("bg", "mem1", "nic1", 1e9)]
+        assert model.slowdown(probe, background) > 0.0
+
+    def test_empty_allocation(self, model):
+        assert model.allocate([]) == {}
+
+
+class TestSchedulingEnvironment:
+    def test_observation_shape(self):
+        env = ShuffleSchedulingEnv(seed=0)
+        observation = env.reset()
+        assert observation.shape == (env.feature_spec.size,)
+
+    def test_completion_time_depends_on_action(self):
+        env = ShuffleSchedulingEnv(seed=0)
+        task = ShuffleTask(size_bytes=1e9, numa_node=1, halo_active=True, dataload_active=False)
+        nic0 = env.completion_time_us(task, 0)
+        nic1 = env.completion_time_us(task, 1)
+        assert nic0 < nic1  # halo contends with NIC1's uplink
+
+    def test_best_action_switches_with_contention_side(self):
+        env = ShuffleSchedulingEnv(seed=0)
+        halo_task = ShuffleTask(1e9, 1, halo_active=True, dataload_active=False)
+        load_task = ShuffleTask(1e9, 1, halo_active=False, dataload_active=True)
+        assert env.best_action(halo_task) == 0
+        assert env.best_action(load_task) == 1
+
+    def test_step_returns_reward_and_regret(self):
+        env = ShuffleSchedulingEnv(seed=0)
+        env.reset()
+        _, reward, info = env.step(0)
+        assert reward <= -1.0 + 1e-9
+        assert info["regret"] >= 0.0
+
+    def test_feature_noise_applied(self):
+        clean = HPCFeatureExtractor(error_level=0.0, seed=0)
+        noisy = HPCFeatureExtractor(error_level=0.4, seed=0)
+        activity = {name: 0.5 for name in clean.spec.hpc_features}
+        a = clean.extract(activity, shuffle_bytes=1e9, numa_node=0)
+        b = noisy.extract(activity, shuffle_bytes=1e9, numa_node=0)
+        assert not np.allclose(a[: len(clean.spec.hpc_features)], b[: len(clean.spec.hpc_features)])
+        # Task metadata is never perturbed.
+        assert np.allclose(a[-2:], b[-2:])
+
+
+class TestSchedulers:
+    def test_actor_critic_learns_low_noise_environment(self):
+        env = ShuffleSchedulingEnv(HPCFeatureExtractor(error_level=0.0, seed=1), seed=1)
+        scheduler = ActorCriticScheduler(n_features=env.feature_spec.size, learning_rate=0.05, seed=1)
+        curve = scheduler.train(env, 900)
+        early = float(np.mean(curve.losses[:100]))
+        late = float(np.mean(curve.losses[-100:]))
+        assert late <= early
+        assert scheduler.evaluate(env, 100)["mean_regret"] < 0.15
+
+    def test_policy_is_a_distribution(self):
+        scheduler = ActorCriticScheduler(n_features=12)
+        probabilities = scheduler.policy(np.ones(12))
+        assert probabilities.shape == (2,)
+        assert np.isclose(probabilities.sum(), 1.0)
+
+    def test_collaborative_filtering_recommends(self):
+        env = ShuffleSchedulingEnv(HPCFeatureExtractor(error_level=0.05, seed=2), seed=2)
+        model = CollaborativeFilteringScheduler(seed=2)
+        rng = np.random.default_rng(0)
+        observation = env.reset()
+        for _ in range(200):
+            action = int(rng.integers(0, 2))
+            task = env._task
+            completion = env.completion_time_us(task, action)
+            model.record(observation, action, 1.0 / completion)
+            observation = env.reset()
+        model.fit()
+        assert model.recommend(observation) in (0, 1)
+        assert model.n_observations == 200
+
+    def test_cf_validation(self):
+        with pytest.raises(ValueError):
+            CollaborativeFilteringScheduler(sparsity=1.0)
+        model = CollaborativeFilteringScheduler()
+        with pytest.raises(RuntimeError):
+            model.fit()
+
+    def test_training_comparison_profiles(self):
+        curves = training_time_comparison(MONITORING_PROFILES[:2], iterations=60, seed=0)
+        assert set(curves) == {"bayesperf-acc", "bayesperf-cpu"}
+        summary = convergence_summary(
+            {**curves, "linux": curves["bayesperf-acc"]}, baseline="linux"
+        )
+        assert "convergence_iteration" in summary["bayesperf-acc"]

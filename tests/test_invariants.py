@@ -1,0 +1,102 @@
+"""Tests for the invariant library and its catalog instantiation."""
+
+import pytest
+
+from repro.events import catalog_for
+from repro.events import semantics as sem
+from repro.invariants import LinearRelation, standard_invariants
+from repro.uarch.profile import PhaseProfile
+from repro.uarch.synthesis import synthesize_semantics
+
+
+class TestLinearRelation:
+    def test_requires_two_terms(self):
+        with pytest.raises(ValueError):
+            LinearRelation(name="bad", terms={sem.CYCLES: 1.0})
+
+    def test_rejects_unknown_semantic(self):
+        with pytest.raises(ValueError):
+            LinearRelation(name="bad", terms={"nope": 1.0, sem.CYCLES: -1.0})
+
+    def test_rejects_zero_coefficient(self):
+        with pytest.raises(ValueError):
+            LinearRelation(name="bad", terms={sem.CYCLES: 0.0, sem.ACTIVE_CYCLES: 1.0})
+
+    def test_residual_and_satisfaction(self):
+        relation = LinearRelation(
+            name="r", terms={sem.BRANCHES: 1.0, sem.BRANCH_TAKEN: -1.0, sem.BRANCH_NOT_TAKEN: -1.0}
+        )
+        values = {sem.BRANCHES: 10.0, sem.BRANCH_TAKEN: 6.0, sem.BRANCH_NOT_TAKEN: 4.0}
+        assert relation.residual(values) == pytest.approx(0.0)
+        assert relation.is_satisfied(values)
+        values[sem.BRANCH_TAKEN] = 9.0
+        assert not relation.is_satisfied(values)
+        assert relation.relative_residual(values) > 0.1
+
+    def test_instantiation_maps_to_event_names(self):
+        catalog = catalog_for("x86")
+        relation = standard_invariants().get("llc_split")
+        event_relation = relation.instantiate(catalog)
+        assert set(event_relation.events) == {
+            catalog.event_for_semantic(sem.LLC_ACCESS).name,
+            catalog.event_for_semantic(sem.LLC_HIT).name,
+            catalog.event_for_semantic(sem.LLC_MISS).name,
+        }
+
+
+class TestStandardInvariants:
+    @pytest.fixture
+    def library(self):
+        return standard_invariants()
+
+    def test_library_size(self, library):
+        assert len(library) >= 25
+
+    def test_unique_names(self, library):
+        names = library.names()
+        assert len(names) == len(set(names))
+
+    def test_key_relations_present(self, library):
+        for name in ("cycle_decomposition", "l2_source", "dram_bytes_identity", "uops_split"):
+            assert library.get(name) is not None
+
+    def test_relations_for_semantic(self, library):
+        relations = library.relations_for(sem.LLC_MISS)
+        assert len(relations) >= 2
+
+    @pytest.mark.parametrize("arch", ["x86", "ppc64"])
+    def test_instantiation_on_catalogs(self, library, arch):
+        catalog = catalog_for(arch)
+        relations = library.for_catalog(catalog)
+        assert len(relations) == len(library)  # every relation resolvable
+        for relation in relations:
+            for event in relation.events:
+                assert event in catalog
+
+    def test_restriction_to_event_subset(self, library):
+        catalog = catalog_for("x86")
+        events = (
+            catalog.event_for_semantic(sem.LLC_ACCESS).name,
+            catalog.event_for_semantic(sem.L2_MISS).name,
+        )
+        relations = library.for_catalog(catalog, events=events)
+        assert all(set(r.events) <= set(events) for r in relations)
+        assert any(r.name == "llc_source" for r in relations)
+
+    @pytest.mark.parametrize("intensity", [0.5, 1.0, 2.5])
+    def test_machine_ground_truth_satisfies_all_invariants(self, library, intensity):
+        values = synthesize_semantics(PhaseProfile(), intensity=intensity)
+        violated = library.violated(values, rtol=1e-9)
+        # The *_model relations are calibrated (5% tolerance) rather than
+        # structural, but the default profile satisfies them exactly too.
+        assert violated == ()
+
+    def test_verify_reports_every_relation(self, library):
+        values = synthesize_semantics(PhaseProfile())
+        report = library.verify(values)
+        assert set(report) == set(library.names())
+
+    def test_violation_detected_when_value_corrupted(self, library):
+        values = synthesize_semantics(PhaseProfile())
+        values[sem.LLC_MISS] *= 2.0
+        assert "llc_split" in library.violated(values, rtol=1e-3)

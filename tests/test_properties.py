@@ -1,0 +1,95 @@
+"""Property-based tests on core data structures and end-to-end invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.ringbuffer import RingBuffer
+from repro.events import catalog_for
+from repro.events.profiles import standard_profiling_events
+from repro.invariants import standard_invariants
+from repro.metrics.dtw import dtw_distance
+from repro.pmu import ValidityChecker
+from repro.scheduling import overlap_schedule, round_robin_schedule
+from repro.uarch.profile import PhaseProfile
+from repro.uarch.synthesis import synthesize_semantics
+
+
+@given(
+    instructions=st.floats(1e5, 1e8),
+    branch_fraction=st.floats(0.01, 0.4),
+    miss=st.floats(0.001, 0.6),
+    dma=st.floats(0.0, 1e5),
+    intensity=st.floats(0.1, 5.0),
+)
+@settings(max_examples=40, deadline=None)
+def test_synthesized_semantics_always_satisfy_invariants(
+    instructions, branch_fraction, miss, dma, intensity
+):
+    """The machine model can never emit values violating the invariant library."""
+    profile = PhaseProfile(
+        instructions_per_tick=instructions,
+        branch_fraction=branch_fraction,
+        l1d_miss_rate=miss,
+        l2_miss_rate=miss,
+        llc_miss_rate=miss,
+        dma_transactions_per_tick=dma,
+    )
+    values = synthesize_semantics(profile, intensity=intensity)
+    assert standard_invariants().violated(values, rtol=1e-8) == ()
+    assert all(v >= 0 for v in values.values())
+
+
+@given(n_events=st.integers(5, 40), arch=st.sampled_from(["x86", "ppc64"]))
+@settings(max_examples=20, deadline=None)
+def test_schedules_cover_events_and_stay_valid(n_events, arch):
+    """Both schedulers always produce valid configurations covering every event."""
+    catalog = catalog_for(arch)
+    events = standard_profiling_events(catalog, n_events=n_events)
+    checker = ValidityChecker(catalog)
+    _, programmable = checker.split_events(events)
+    for builder in (round_robin_schedule, overlap_schedule):
+        schedule = builder(catalog, events)
+        assert set(programmable) <= set(schedule.events)
+        for configuration in schedule.configurations:
+            assert checker.is_valid(configuration)
+            assert len(configuration) <= checker.n_counters
+
+
+@given(
+    series=st.lists(st.floats(0.0, 1e6), min_size=1, max_size=30),
+)
+@settings(max_examples=40, deadline=None)
+def test_dtw_identity_and_symmetry(series):
+    """DTW distance of a series with itself is zero and the metric is symmetric."""
+    other = list(reversed(series))
+    assert dtw_distance(series, series) == pytest.approx(0.0, abs=1e-9)
+    assert dtw_distance(series, other) == pytest.approx(dtw_distance(other, series), rel=1e-9)
+
+
+@given(capacity=st.integers(1, 50), pushes=st.integers(0, 120))
+@settings(max_examples=40, deadline=None)
+def test_ring_buffer_never_exceeds_capacity(capacity, pushes):
+    """The ring buffer drops on overflow and preserves FIFO order."""
+    buffer = RingBuffer(capacity=capacity)
+    for value in range(pushes):
+        buffer.push(value)
+    assert len(buffer) <= capacity
+    assert buffer.dropped == max(0, pushes - capacity)
+    drained = buffer.drain()
+    assert drained == sorted(drained)
+
+
+@given(
+    taken=st.floats(0.0, 1.0),
+    mispredict=st.floats(0.0, 0.5),
+    intensity=st.floats(0.2, 3.0),
+)
+@settings(max_examples=30, deadline=None)
+def test_branch_accounting_is_consistent(taken, mispredict, intensity):
+    """Branch taken/not-taken always sum to total branches and misses never exceed them."""
+    profile = PhaseProfile(branch_taken_fraction=taken, branch_mispredict_rate=mispredict)
+    values = synthesize_semantics(profile, intensity=intensity)
+    assert values["branch_taken"] + values["branch_not_taken"] == pytest.approx(values["branches"])
+    assert values["branch_misses"] <= values["branches"] + 1e-9

@@ -1,0 +1,149 @@
+"""Tests for round-robin and overlap-aware scheduling."""
+
+import pytest
+
+from repro.events import catalog_for
+from repro.events.profiles import standard_profiling_events
+from repro.fg.markov import blankets_overlap
+from repro.pmu import ValidityChecker
+from repro.scheduling import (
+    BayesPerfScheduler,
+    Schedule,
+    build_event_adjacency,
+    build_structure_graph,
+    overlap_schedule,
+    round_robin_schedule,
+)
+from repro.pmu.configuration import CounterConfiguration
+from repro.scheduling.overlap import condense_common_step, remove_redundant_steps
+from repro.scheduling.structure import connectivity_order, instantiate_relations
+
+
+@pytest.fixture(params=["x86", "ppc64"])
+def catalog(request):
+    return catalog_for(request.param)
+
+
+@pytest.fixture
+def events(catalog):
+    return standard_profiling_events(catalog, n_events=24)
+
+
+class TestSchedule:
+    def test_config_rotation(self):
+        configs = (
+            CounterConfiguration(events=("A", "B")),
+            CounterConfiguration(events=("C", "D")),
+        )
+        schedule = Schedule(configurations=configs, quantum_ticks=2)
+        assert schedule.rotation_ticks == 4
+        assert schedule.config_at(0).events == ("A", "B")
+        assert schedule.config_at(2).events == ("C", "D")
+        assert schedule.config_at(4).events == ("A", "B")
+        assert schedule.enabled_fraction("A") == pytest.approx(0.5)
+
+    def test_overlap_accounting(self):
+        configs = (
+            CounterConfiguration(events=("A", "B")),
+            CounterConfiguration(events=("B", "C")),
+            CounterConfiguration(events=("C", "A")),
+        )
+        schedule = Schedule(configurations=configs)
+        assert schedule.min_overlap() == 1
+        assert schedule.consecutive_overlaps() == (("B",), ("C",), ("A",))
+
+    def test_requires_configurations(self):
+        with pytest.raises(ValueError):
+            Schedule(configurations=())
+
+
+class TestRoundRobin:
+    def test_covers_all_events(self, catalog, events):
+        schedule = round_robin_schedule(catalog, events)
+        checker = ValidityChecker(catalog)
+        _, programmable = checker.split_events(events)
+        assert set(schedule.events) == set(programmable)
+
+    def test_configurations_are_valid(self, catalog, events):
+        schedule = round_robin_schedule(catalog, events)
+        checker = ValidityChecker(catalog)
+        for configuration in schedule.configurations:
+            assert checker.is_valid(configuration)
+            assert len(configuration) <= checker.n_counters
+
+    def test_needs_programmable_events(self, catalog):
+        fixed = [spec.name for spec in catalog.fixed_events]
+        with pytest.raises(ValueError):
+            round_robin_schedule(catalog, fixed)
+
+
+class TestStructure:
+    def test_adjacency_connects_related_events(self, catalog):
+        relations = instantiate_relations(catalog)
+        adjacency = build_event_adjacency(relations)
+        llc_access = catalog.event_for_semantic("llc_access").name
+        l2_miss = catalog.event_for_semantic("l2_miss").name
+        assert adjacency.has_edge(llc_access, l2_miss)
+
+    def test_connectivity_order_keeps_all_events(self, catalog, events):
+        relations = instantiate_relations(catalog)
+        adjacency = build_event_adjacency(relations)
+        ordered = connectivity_order(adjacency, events)
+        assert sorted(ordered) == sorted(events)
+
+    def test_structure_graph_blankets(self, catalog):
+        relations = instantiate_relations(catalog)
+        graph = build_structure_graph(relations)
+        llc_miss = catalog.event_for_semantic("llc_miss").name
+        assert len(graph.neighbors(llc_miss)) >= 2
+
+
+class TestOverlapScheduler:
+    def test_covers_all_events(self, catalog, events):
+        schedule = overlap_schedule(catalog, events)
+        checker = ValidityChecker(catalog)
+        _, programmable = checker.split_events(events)
+        assert set(programmable) <= set(schedule.events)
+
+    def test_configurations_valid(self, catalog, events):
+        schedule = overlap_schedule(catalog, events)
+        checker = ValidityChecker(catalog)
+        for configuration in schedule.configurations:
+            assert checker.is_valid(configuration)
+
+    def test_consecutive_slices_statistically_connected(self, catalog, events):
+        scheduler = BayesPerfScheduler(catalog)
+        schedule = scheduler.build(events)
+        structure = scheduler.structure_graph(schedule.events)
+        pairs = list(zip(schedule.configurations, schedule.configurations[1:]))
+        for current, following in pairs:
+            connected = bool(current.overlap(following)) or blankets_overlap(
+                structure, current.events, following.events
+            )
+            assert connected
+
+    def test_more_overlap_than_round_robin(self, catalog, events):
+        rr = round_robin_schedule(catalog, events)
+        overlap = overlap_schedule(catalog, events)
+        assert overlap.min_overlap() >= rr.min_overlap()
+
+    def test_small_event_set_single_configuration(self, catalog):
+        events = [spec.name for spec in catalog.programmable_events[:3]]
+        schedule = overlap_schedule(catalog, events)
+        assert len(schedule) == 1
+
+    def test_remove_redundant_steps(self, catalog):
+        scheduler = BayesPerfScheduler(catalog)
+        events = standard_profiling_events(catalog, n_events=16)
+        structure = scheduler.structure_graph(events)
+        config = CounterConfiguration(events=(events[3],))
+        pruned = remove_redundant_steps([config, config, config], structure)
+        assert len(pruned) == 1
+
+    def test_condense_common_step(self, catalog):
+        scheduler = BayesPerfScheduler(catalog)
+        structure = scheduler.structure_graph(standard_profiling_events(catalog))
+        llc_hit = catalog.event_for_semantic("llc_hit").name
+        llc_miss = catalog.event_for_semantic("llc_miss").name
+        condensed = condense_common_step([llc_hit, llc_miss], structure)
+        assert len(condensed) == 1
