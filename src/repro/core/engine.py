@@ -21,6 +21,7 @@ conditioned.
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -40,6 +41,25 @@ from repro.invariants.library import InvariantLibrary, standard_invariants
 from repro.core.posterior import EventEstimate, PosteriorReport
 from repro.pmu.sampling import SampledTrace, SamplingRecord
 from repro.pmu.traces import EstimateTrace
+
+
+@dataclass
+class EngineState:
+    """Snapshot of one monitoring run's temporal state.
+
+    A :class:`BayesPerfEngine` carries state between consecutive slices (the
+    previous posterior means, the per-event normalisation scales, the tick
+    counter and — for MCMC moment estimation — the RNG stream).  Capturing
+    that state lets one engine instance serve many interleaved monitoring
+    runs — the fleet worker pool checkpoints a host's state after each batch
+    and restores it before the next, instead of constructing a fresh engine
+    per host.
+    """
+
+    prior_mean: Dict[str, Optional[float]] = field(default_factory=dict)
+    scale: Dict[str, float] = field(default_factory=dict)
+    tick: int = 0
+    rng_state: Optional[Dict] = None
 
 
 class BayesPerfEngine:
@@ -122,6 +142,7 @@ class BayesPerfEngine:
         self.ep_damping = ep_damping
         self.mcmc_samples = mcmc_samples
         self.use_intensity_chain = use_intensity_chain
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
         self.name = "bayesperf"
 
@@ -131,10 +152,40 @@ class BayesPerfEngine:
     # -- lifecycle ----------------------------------------------------------
 
     def reset(self) -> None:
-        """Forget all temporal state (start of a new monitoring run)."""
+        """Forget all temporal state (start of a new monitoring run).
+
+        The RNG is re-seeded too, so two runs over the same records produce
+        identical results even with ``moment_estimator="mcmc"``.
+        """
         self._prior_mean: Dict[str, Optional[float]] = {event: None for event in self.events}
         self._scale: Dict[str, float] = {event: 1.0 for event in self.events}
         self._tick = 0
+        self._rng = np.random.default_rng(self._seed)
+
+    def snapshot(self) -> EngineState:
+        """Capture the temporal state of the current monitoring run."""
+        return EngineState(
+            prior_mean=dict(self._prior_mean),
+            scale=dict(self._scale),
+            tick=self._tick,
+            rng_state=self._rng.bit_generator.state,
+        )
+
+    def restore(self, state: EngineState) -> None:
+        """Resume a monitoring run from a previously captured snapshot.
+
+        Unknown events in the snapshot are rejected: a snapshot can only be
+        restored into an engine built for the same (catalog, event-set) key.
+        """
+        unknown = [event for event in state.prior_mean if event not in self._prior_mean]
+        if unknown:
+            raise ValueError(f"snapshot mentions events unknown to this engine: {unknown}")
+        self.reset()
+        self._prior_mean.update(state.prior_mean)
+        self._scale.update(state.scale)
+        self._tick = state.tick
+        if state.rng_state is not None:
+            self._rng.bit_generator.state = state.rng_state
 
     # -- construction helpers -------------------------------------------------
 

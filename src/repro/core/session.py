@@ -23,8 +23,7 @@ from repro.metrics.error import ErrorReport, trace_error
 from repro.pmu.noise import NoiseModel
 from repro.pmu.sampling import MultiplexedSampler, PolledTrace, PollingReader, SampledTrace
 from repro.pmu.traces import EstimateTrace
-from repro.scheduling.overlap import BayesPerfScheduler
-from repro.scheduling.round_robin import round_robin_schedule
+from repro.scheduling.cache import cached_schedule
 from repro.scheduling.schedule import Schedule
 from repro.uarch.machine import Machine, MachineConfig, MachineTrace
 from repro.uarch.profile import WorkloadSpec
@@ -134,10 +133,8 @@ class PerfSession:
     # -- construction -------------------------------------------------------
 
     def _build_schedule(self) -> Schedule:
-        if self.method in _BAYESPERF_METHODS:
-            scheduler = BayesPerfScheduler(self.catalog)
-            return scheduler.build(self.events)
-        return round_robin_schedule(self.catalog, self.events)
+        kind = "overlap" if self.method in _BAYESPERF_METHODS else "round-robin"
+        return cached_schedule(self.catalog, self.events, kind=kind)
 
     def _build_method(self):
         if self.method == "bayesperf":
@@ -161,6 +158,12 @@ class PerfSession:
     ) -> SessionResult:
         """Run the full pipeline on one workload and return all artefacts."""
         spec = get_workload(workload) if isinstance(workload, str) else workload
+        if not isinstance(spec, WorkloadSpec):
+            raise TypeError(
+                f"workload {getattr(spec, 'name', spec)!r} is not a simulatable "
+                "WorkloadSpec (recorded traces replay through repro.fleet, not "
+                "through PerfSession)"
+            )
         ticks = n_ticks if n_ticks is not None else spec.total_ticks
 
         machine = Machine(self.machine_config, spec, seed=seed)

@@ -118,6 +118,11 @@ class BayesPerfShim:
         if not self._handles:
             raise ShimError("register at least one event before attach()")
         spec = get_workload(workload) if isinstance(workload, str) else workload
+        if not isinstance(spec, WorkloadSpec):
+            raise ShimError(
+                f"workload {getattr(spec, 'name', spec)!r} is not a simulatable "
+                "WorkloadSpec (recorded traces replay through repro.fleet)"
+            )
         ticks = n_ticks if n_ticks is not None else spec.total_ticks
         machine = Machine(self.machine_config, spec, seed=self.seed)
         self._machine_trace = machine.run(ticks)

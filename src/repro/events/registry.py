@@ -8,12 +8,20 @@ from repro.events.catalog import EventCatalog
 from repro.events.ppc64 import build_ppc64_catalog
 from repro.events.x86 import build_x86_catalog
 
+#: Alias -> canonical catalog name.  Every alias of one microarchitecture
+#: resolves to the same canonical entry (and therefore the same cached
+#: catalog instance).
+_CANONICAL: Dict[str, str] = {
+    "x86": "x86_64-skylake",
+    "x86_64": "x86_64-skylake",
+    "x86_64-skylake": "x86_64-skylake",
+    "ppc64": "ppc64-power9",
+    "power9": "ppc64-power9",
+    "ppc64-power9": "ppc64-power9",
+}
+
 _BUILDERS: Dict[str, Callable[[], EventCatalog]] = {
-    "x86": build_x86_catalog,
-    "x86_64": build_x86_catalog,
     "x86_64-skylake": build_x86_catalog,
-    "ppc64": build_ppc64_catalog,
-    "power9": build_ppc64_catalog,
     "ppc64-power9": build_ppc64_catalog,
 }
 
@@ -22,7 +30,17 @@ _CACHE: Dict[str, EventCatalog] = {}
 
 def available_catalogs() -> Tuple[str, ...]:
     """Canonical names of the available catalogs."""
-    return ("x86_64-skylake", "ppc64-power9")
+    return tuple(sorted(_BUILDERS))
+
+
+def canonical_arch(arch: str) -> str:
+    """Resolve an architecture alias to its canonical catalog name."""
+    key = arch.strip().lower()
+    if key not in _CANONICAL:
+        raise KeyError(
+            f"unknown microarchitecture {arch!r}; available: {sorted(set(_CANONICAL))}"
+        )
+    return _CANONICAL[key]
 
 
 def catalog_for(arch: str) -> EventCatalog:
@@ -30,13 +48,16 @@ def catalog_for(arch: str) -> EventCatalog:
 
     Accepts common aliases (``"x86"``, ``"x86_64"``, ``"ppc64"``,
     ``"power9"``) as well as the canonical catalog names.  Catalogs are
-    immutable in practice and cached after first construction.
+    immutable in practice and cached after first construction; aliases of the
+    same microarchitecture share one instance, so repeated session
+    construction (the fleet worker pool's hot path) never rebuilds a catalog.
     """
-    key = arch.strip().lower()
-    if key not in _BUILDERS:
-        raise KeyError(
-            f"unknown microarchitecture {arch!r}; available: {sorted(set(_BUILDERS))}"
-        )
-    if key not in _CACHE:
-        _CACHE[key] = _BUILDERS[key]()
-    return _CACHE[key]
+    canonical = canonical_arch(arch)
+    if canonical not in _CACHE:
+        _CACHE[canonical] = _BUILDERS[canonical]()
+    return _CACHE[canonical]
+
+
+def clear_catalog_cache() -> None:
+    """Drop all cached catalogs (useful in tests that mutate builders)."""
+    _CACHE.clear()

@@ -1,0 +1,80 @@
+"""Fleet telemetry service: many concurrent BayesPerf corrections.
+
+The paper corrects one host's multiplexed counters; production profile
+collection aggregates counters from whole fleets.  This subsystem scales the
+reproduction accordingly:
+
+* :mod:`repro.fleet.ingest` — per-host record streams feeding bounded ring
+  buffers with explicit backpressure accounting;
+* :mod:`repro.fleet.workers` — hosts sharded across inference workers that
+  batch per-slice EP solves and share one engine + cached catalog/schedule
+  per (arch, event-set) key;
+* :mod:`repro.fleet.tracefile` — a versioned JSONL record/replay format, so
+  externally captured or previously recorded runs become replayable
+  workloads;
+* :mod:`repro.fleet.events` — a unified observability event stream with
+  push-based processors and pull-based iteration;
+* :mod:`repro.fleet.service` — the :class:`FleetService` facade tying it all
+  together.
+
+Run the synthetic demo or replay a trace from the command line with
+``python -m repro.fleet``.
+"""
+
+from repro.fleet.events import (
+    BackpressureDetected,
+    EstimateReady,
+    EventDispatcher,
+    EventLog,
+    EventProcessor,
+    FleetEvent,
+    LoggingProcessor,
+    MetricsProcessor,
+    SessionCompleted,
+    SessionStarted,
+    SliceCompleted,
+    TypedEventProcessor,
+)
+from repro.fleet.ingest import FleetIngest, HostChannel, ReplayHostSource, SyntheticHostSource
+from repro.fleet.service import FleetResult, FleetService
+from repro.fleet.tracefile import (
+    TraceFile,
+    TraceFormatError,
+    TraceWorkload,
+    read_trace,
+    record_session_trace,
+    register_trace_workload,
+    write_trace,
+)
+from repro.fleet.workers import EngineCache, InferenceWorker, WorkerPool
+
+__all__ = [
+    "BackpressureDetected",
+    "EstimateReady",
+    "EventDispatcher",
+    "EventLog",
+    "EventProcessor",
+    "FleetEvent",
+    "LoggingProcessor",
+    "MetricsProcessor",
+    "SessionCompleted",
+    "SessionStarted",
+    "SliceCompleted",
+    "TypedEventProcessor",
+    "FleetIngest",
+    "HostChannel",
+    "ReplayHostSource",
+    "SyntheticHostSource",
+    "FleetResult",
+    "FleetService",
+    "TraceFile",
+    "TraceFormatError",
+    "TraceWorkload",
+    "read_trace",
+    "record_session_trace",
+    "register_trace_workload",
+    "write_trace",
+    "EngineCache",
+    "InferenceWorker",
+    "WorkerPool",
+]

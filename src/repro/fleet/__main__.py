@@ -1,0 +1,149 @@
+"""Command-line front end for the fleet service (``python -m repro.fleet``).
+
+Three subcommands:
+
+* ``demo`` — run a synthetic fleet and report throughput for the serial
+  baseline vs. the sharded worker pool;
+* ``record`` — run one monitoring session and write a replayable trace file;
+* ``replay`` — feed a recorded trace back through the service and (when the
+  file carries the original estimates) verify the round-trip is exact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.fleet.service import FleetService
+from repro.fleet.tracefile import read_trace, record_session_trace
+
+
+def _add_demo_parser(subparsers) -> None:
+    parser = subparsers.add_parser("demo", help="run the synthetic fleet demo")
+    parser.add_argument("--hosts", type=int, default=64, help="number of simulated hosts")
+    parser.add_argument("--ticks", type=int, default=6, help="scheduler quanta per host")
+    parser.add_argument("--workers", type=int, default=4, help="inference workers")
+    parser.add_argument("--arch", default="x86", help="microarchitecture")
+    parser.add_argument(
+        "--workload", default="steady", help="workload driven on every host"
+    )
+    parser.add_argument(
+        "--metrics",
+        default="ipc,l1d_mpki",
+        help="comma-separated derived metrics selecting the monitored events",
+    )
+    parser.add_argument(
+        "--serial", action="store_true", help="also run the per-host serial baseline"
+    )
+
+
+def _build_demo_service(args, *, n_workers: int) -> FleetService:
+    metrics = tuple(m for m in args.metrics.split(",") if m) or None
+    service = FleetService(args.arch, metrics=metrics, n_workers=n_workers)
+    for index in range(args.hosts):
+        service.add_host(args.workload, seed=index, n_ticks=args.ticks)
+    return service
+
+
+def _run_demo(args) -> int:
+    print(
+        f"Fleet demo: {args.hosts} hosts x {args.ticks} quanta on {args.arch} "
+        f"({args.workload!r})"
+    )
+    results = {}
+    modes = (("pool", args.workers),) + ((("serial", 1),) if args.serial else ())
+    for mode, workers in modes:
+        service = _build_demo_service(args, n_workers=workers)
+        results[mode] = service.run(mode=mode)
+    for mode, result in results.items():
+        cache = result.engine_cache
+        print(
+            f"  {mode:6s}: {result.total_slices} slices in "
+            f"{result.elapsed_seconds:.2f}s = {result.slices_per_second:7.1f} slices/s "
+            f"(engines built: {cache['engines_built']}, cache hits: {cache['hits']}, "
+            f"dropped: {result.total_dropped})"
+        )
+    if "serial" in results:
+        speedup = results["pool"].slices_per_second / max(
+            results["serial"].slices_per_second, 1e-9
+        )
+        print(f"  worker pool speedup over per-host serial construction: {speedup:.2f}x")
+    sample_host = next(iter(results["pool"].estimates))
+    estimates = results["pool"].estimates[sample_host]
+    last = estimates.at(len(estimates) - 1)
+    shown = ", ".join(f"{k}={v:.3g}" for k, v in list(last.items())[:3])
+    print(f"  e.g. {sample_host} final slice: {shown}")
+    return 0
+
+
+def _run_record(args) -> int:
+    trace = record_session_trace(
+        args.output,
+        args.workload,
+        arch=args.arch,
+        n_ticks=args.ticks,
+        seed=args.seed,
+    )
+    print(
+        f"Recorded {trace.n_ticks} quanta of {trace.workload!r} ({trace.arch}) "
+        f"-> {args.output}"
+    )
+    return 0
+
+
+def _run_replay(args) -> int:
+    trace = read_trace(args.trace)
+    service = FleetService(trace.arch or "x86", events=trace.events, n_workers=1)
+    host_id = service.add_trace(trace)
+    result = service.run()
+    estimates = result.estimates[host_id]
+    print(
+        f"Replayed {len(estimates)} quanta of {trace.workload!r} ({trace.arch}) at "
+        f"{result.slices_per_second:.1f} slices/s"
+    )
+    if trace.estimates is not None:
+        recorded_method = trace.metadata.get("method", trace.estimates.method)
+        if recorded_method != "bayesperf":
+            # The fleet always replays through the BayesPerf engine, so
+            # estimates recorded by another correction method are expected to
+            # differ — comparing them would be misleading, not a failure.
+            print(
+                f"Round-trip check skipped: the file's estimates were recorded "
+                f"with method {recorded_method!r}, replay uses 'bayesperf'"
+            )
+        elif estimates.values_equal(trace.estimates):
+            print("Round-trip check: replayed estimates match the recorded ones exactly")
+        else:
+            print("Round-trip check FAILED: replayed estimates differ from the file")
+            return 1
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-fleet", description="BayesPerf fleet telemetry service"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    _add_demo_parser(subparsers)
+
+    record = subparsers.add_parser("record", help="record a replayable trace file")
+    record.add_argument("-o", "--output", required=True, help="trace file to write")
+    record.add_argument("--workload", default="steady", help="workload to record")
+    record.add_argument("--arch", default="x86", help="microarchitecture")
+    record.add_argument("--ticks", type=int, default=None, help="quanta to record")
+    record.add_argument("--seed", type=int, default=0, help="simulation seed")
+
+    replay = subparsers.add_parser("replay", help="replay a recorded trace file")
+    replay.add_argument("trace", help="trace file to replay")
+
+    args = parser.parse_args(argv)
+    if args.command == "demo":
+        return _run_demo(args)
+    if args.command == "record":
+        return _run_record(args)
+    return _run_replay(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,253 @@
+"""Unified observability event stream for the fleet service.
+
+Events are the primitive; processors consume them.  Every stage of the fleet
+pipeline (ingestion, workers, service) emits plain dataclass events into one
+:class:`EventDispatcher`, and pluggable :class:`EventProcessor` instances
+handle logging, metrics aggregation or buffering.  Consumption is push-based
+(implement ``on_event``) or pull-based (attach an :class:`EventLog` and walk
+its ``iter()``).
+
+Dispatch is best-effort: a failing processor never breaks the data path.
+"""
+
+from __future__ import annotations
+
+import logging
+from collections import Counter, deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
+
+logger = logging.getLogger(__name__)
+
+
+# -- event types ------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetEvent:
+    """Base class: every fleet event names the host it concerns."""
+
+    host: str
+
+
+@dataclass(frozen=True)
+class SessionStarted(FleetEvent):
+    """A host joined the fleet and its record stream is open."""
+
+    arch: str = ""
+    workload: str = ""
+    n_events: int = 0
+
+
+@dataclass(frozen=True)
+class SliceCompleted(FleetEvent):
+    """One scheduler time slice of one host went through inference."""
+
+    tick: int = 0
+    worker: int = -1
+    n_measured: int = 0
+
+
+@dataclass(frozen=True)
+class EstimateReady(FleetEvent):
+    """A batch of posterior estimates for a host is available to consumers."""
+
+    first_tick: int = 0
+    last_tick: int = 0
+    n_slices: int = 0
+
+
+@dataclass(frozen=True)
+class BackpressureDetected(FleetEvent):
+    """A host's ingest ring buffer dropped records while full."""
+
+    dropped: int = 0
+    total_dropped: int = 0
+    buffered: int = 0
+    capacity: int = 0
+
+
+@dataclass(frozen=True)
+class SessionCompleted(FleetEvent):
+    """A host's record stream is exhausted and fully processed."""
+
+    n_slices: int = 0
+
+
+# -- processors -------------------------------------------------------------
+
+
+class EventProcessor:
+    """Base class for push-based event consumers.
+
+    Subclass and override :meth:`on_event` to receive every event, or use
+    :class:`TypedEventProcessor` for per-type dispatch.
+    """
+
+    def on_event(self, event: FleetEvent) -> None:
+        """Called for every event.  Override in subclasses."""
+
+    def shutdown(self) -> None:
+        """Called once when the run completes.  Override to flush buffers."""
+
+
+#: Event class name -> typed handler method name.
+_EVENT_METHOD_MAP: Dict[str, str] = {
+    "SessionStarted": "on_session_started",
+    "SliceCompleted": "on_slice_completed",
+    "EstimateReady": "on_estimate_ready",
+    "BackpressureDetected": "on_backpressure",
+    "SessionCompleted": "on_session_completed",
+}
+
+
+class TypedEventProcessor(EventProcessor):
+    """Dispatches :meth:`on_event` to typed handlers; unknown types are ignored."""
+
+    def on_event(self, event: FleetEvent) -> None:
+        method_name = _EVENT_METHOD_MAP.get(type(event).__name__)
+        if method_name is not None:
+            getattr(self, method_name)(event)
+
+    def on_session_started(self, event: SessionStarted) -> None: ...
+
+    def on_slice_completed(self, event: SliceCompleted) -> None: ...
+
+    def on_estimate_ready(self, event: EstimateReady) -> None: ...
+
+    def on_backpressure(self, event: BackpressureDetected) -> None: ...
+
+    def on_session_completed(self, event: SessionCompleted) -> None: ...
+
+
+class LoggingProcessor(EventProcessor):
+    """Writes every event to a :mod:`logging` logger (one line per event)."""
+
+    def __init__(
+        self, log: Optional[logging.Logger] = None, *, level: int = logging.INFO
+    ) -> None:
+        self.log = log if log is not None else logger
+        self.level = level
+
+    def on_event(self, event: FleetEvent) -> None:
+        self.log.log(self.level, "%s %s", type(event).__name__, event)
+
+
+class MetricsProcessor(TypedEventProcessor):
+    """In-memory aggregation of the event stream into fleet-level metrics."""
+
+    def __init__(self) -> None:
+        self.events_by_kind: Counter = Counter()
+        self.slices_by_host: Counter = Counter()
+        self.dropped_by_host: Counter = Counter()
+        self.backpressure_events = 0
+        self.hosts_started = 0
+        self.hosts_completed = 0
+
+    def on_event(self, event: FleetEvent) -> None:
+        self.events_by_kind[type(event).__name__] += 1
+        super().on_event(event)
+
+    def on_session_started(self, event: SessionStarted) -> None:
+        self.hosts_started += 1
+
+    def on_slice_completed(self, event: SliceCompleted) -> None:
+        self.slices_by_host[event.host] += 1
+
+    def on_backpressure(self, event: BackpressureDetected) -> None:
+        self.backpressure_events += 1
+        self.dropped_by_host[event.host] = event.total_dropped
+
+    def on_session_completed(self, event: SessionCompleted) -> None:
+        self.hosts_completed += 1
+
+    @property
+    def total_slices(self) -> int:
+        return sum(self.slices_by_host.values())
+
+    @property
+    def total_dropped(self) -> int:
+        return sum(self.dropped_by_host.values())
+
+    def summary(self) -> Dict[str, int]:
+        """Scalar counters, ready for printing or assertions."""
+        return {
+            "hosts_started": self.hosts_started,
+            "hosts_completed": self.hosts_completed,
+            "total_slices": self.total_slices,
+            "total_dropped": self.total_dropped,
+            "backpressure_events": self.backpressure_events,
+        }
+
+
+class EventLog(EventProcessor):
+    """Bounded buffer over the stream, for pull-based consumption.
+
+    ``iter()`` drains buffered events in arrival order; events arriving while
+    iterating are seen by the same iterator.  When the buffer overflows the
+    oldest events are discarded (``discarded`` counts them).
+    """
+
+    def __init__(self, maxlen: Optional[int] = 65536) -> None:
+        self._buffer: Deque[FleetEvent] = deque(maxlen=maxlen)
+        self.discarded = 0
+
+    def on_event(self, event: FleetEvent) -> None:
+        if self._buffer.maxlen is not None and len(self._buffer) == self._buffer.maxlen:
+            self.discarded += 1
+        self._buffer.append(event)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def iter(self) -> Iterator[FleetEvent]:
+        """Drain buffered events (pull-based consumption)."""
+        while self._buffer:
+            yield self._buffer.popleft()
+
+    def snapshot(self) -> Tuple[FleetEvent, ...]:
+        """Buffered events without consuming them."""
+        return tuple(self._buffer)
+
+
+# -- dispatcher -------------------------------------------------------------
+
+
+class EventDispatcher:
+    """Fans events out to registered processors, best-effort."""
+
+    def __init__(self, processors: Optional[Sequence[EventProcessor]] = None) -> None:
+        self._processors: List[EventProcessor] = list(processors) if processors else []
+
+    @property
+    def active(self) -> bool:
+        """True when at least one processor is registered."""
+        return bool(self._processors)
+
+    def add(self, processor: EventProcessor) -> None:
+        self._processors.append(processor)
+
+    def emit(self, event: FleetEvent) -> None:
+        """Send *event* to every processor; a failing processor is logged."""
+        for processor in self._processors:
+            try:
+                processor.on_event(event)
+            except Exception:
+                logger.warning(
+                    "EventProcessor %s failed on %s",
+                    type(processor).__name__,
+                    type(event).__name__,
+                    exc_info=True,
+                )
+
+    def shutdown(self) -> None:
+        """Shut every processor down, best-effort."""
+        for processor in self._processors:
+            try:
+                processor.shutdown()
+            except Exception:
+                logger.warning(
+                    "EventProcessor %s failed during shutdown",
+                    type(processor).__name__,
+                    exc_info=True,
+                )

@@ -1,0 +1,254 @@
+"""Fleet ingestion: per-host record streams feeding bounded ring buffers.
+
+Each simulated (or replayed) host produces a stream of
+:class:`~repro.pmu.sampling.SamplingRecord`s — what the kernel side of the
+BayesPerf shim would push over the wire in a real deployment.  The ingestion
+layer gives every host a bounded :class:`~repro.core.ringbuffer.RingBuffer`
+with explicit backpressure accounting: when inference falls behind, new
+records are dropped (never blocking the producer, exactly like the perf mmap
+buffer) and a :class:`~repro.fleet.events.BackpressureDetected` event is
+emitted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.core.ringbuffer import RingBuffer
+from repro.events.catalog import EventCatalog
+from repro.events.registry import canonical_arch, catalog_for
+from repro.fleet.events import BackpressureDetected, EventDispatcher, SessionStarted
+from repro.fleet.tracefile import TraceFile
+from repro.pmu.noise import NoiseModel
+from repro.pmu.sampling import MultiplexedSampler, SamplingRecord
+from repro.scheduling.cache import cached_schedule
+from repro.scheduling.overlap import BayesPerfScheduler
+from repro.uarch.machine import Machine, MachineConfig
+from repro.uarch.profile import WorkloadSpec
+
+
+class SyntheticHostSource:
+    """Record stream for one simulated host.
+
+    The machine trace and the multiplexed sampler are built lazily on first
+    iteration, so constructing a large fleet is cheap and the simulation cost
+    lands in the ingestion (pump) phase.
+    """
+
+    def __init__(
+        self,
+        host_id: str,
+        spec: WorkloadSpec,
+        *,
+        arch: str = "x86",
+        events: Tuple[str, ...],
+        n_ticks: Optional[int] = None,
+        seed: int = 0,
+        samples_per_tick: int = 4,
+        noise: Optional[NoiseModel] = None,
+        machine_config: Optional[MachineConfig] = None,
+        use_schedule_cache: bool = True,
+    ) -> None:
+        self.host_id = host_id
+        self.spec = spec
+        self.arch = canonical_arch(arch)
+        self.events = tuple(events)
+        self.seed = seed
+        self.n_ticks = n_ticks if n_ticks is not None else spec.total_ticks
+        self.samples_per_tick = samples_per_tick
+        self.noise = noise
+        self.machine_config = machine_config
+        #: When false every host builds its own schedule — the per-host
+        #: construction cost the fleet's shared caches exist to amortise
+        #: (kept as the serial baseline's behaviour).
+        self.use_schedule_cache = use_schedule_cache
+        self.workload_name = spec.name
+
+    def records(self) -> Iterator[SamplingRecord]:
+        catalog: EventCatalog = catalog_for(self.arch)
+        config = self.machine_config if self.machine_config is not None else MachineConfig(
+            name=catalog.name
+        )
+        machine = Machine(config, self.spec, seed=self.seed)
+        trace = machine.run(self.n_ticks)
+        if self.use_schedule_cache:
+            schedule = cached_schedule(catalog, self.events, kind="overlap")
+        else:
+            schedule = BayesPerfScheduler(catalog).build(list(self.events))
+        sampler = MultiplexedSampler(
+            catalog,
+            schedule,
+            noise=self.noise,
+            samples_per_tick=self.samples_per_tick,
+            seed=self.seed + 1,
+        )
+        yield from sampler.sample(trace).records
+
+
+class ReplayHostSource:
+    """Record stream backed by a recorded trace file."""
+
+    def __init__(self, host_id: str, trace: TraceFile, *, workload_name: str = "") -> None:
+        if trace.sampled is None:
+            raise ValueError(
+                f"trace for host {host_id!r} holds no sampled records; nothing to replay"
+            )
+        self.host_id = host_id
+        self.trace = trace
+        self.arch = canonical_arch(trace.arch) if trace.arch else trace.arch
+        self.events = tuple(trace.events)
+        self.seed = trace.seed
+        self.n_ticks = trace.n_ticks
+        self.samples_per_tick = trace.samples_per_tick
+        self.workload_name = workload_name or trace.workload or "replay"
+
+    def records(self) -> Iterator[SamplingRecord]:
+        assert self.trace.sampled is not None
+        yield from self.trace.sampled.records
+
+
+@dataclass
+class PumpStats:
+    """Outcome of one pump round for one host."""
+
+    accepted: int = 0
+    dropped: int = 0
+    exhausted: bool = False
+
+
+class HostChannel:
+    """One host's ingest state: its source iterator and its ring buffer."""
+
+    def __init__(self, source, *, capacity: int, dispatcher: EventDispatcher) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.source = source
+        self.host_id: str = source.host_id
+        self.buffer: RingBuffer[SamplingRecord] = RingBuffer(capacity)
+        self._dispatcher = dispatcher
+        self._iterator: Optional[Iterator[SamplingRecord]] = None
+        self._exhausted = False
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the source has no further records."""
+        return self._exhausted
+
+    @property
+    def done(self) -> bool:
+        """True when the source is exhausted and the buffer fully drained."""
+        return self._exhausted and self.buffer.is_empty
+
+    @property
+    def dropped(self) -> int:
+        """Total records dropped on the floor by backpressure so far."""
+        return self.buffer.dropped
+
+    def pump(self, max_records: int) -> PumpStats:
+        """Move up to *max_records* records from the source into the buffer.
+
+        Producers never block: when the buffer is full the record is dropped,
+        counted, and a backpressure event is emitted for the round.
+        """
+        if max_records <= 0:
+            raise ValueError("max_records must be positive")
+        stats = PumpStats()
+        if self._exhausted:
+            stats.exhausted = True
+            return stats
+        if self._iterator is None:
+            self._iterator = self.source.records()
+        for _ in range(max_records):
+            record = next(self._iterator, None)
+            if record is None:
+                self._exhausted = True
+                stats.exhausted = True
+                break
+            if self.buffer.push(record):
+                stats.accepted += 1
+            else:
+                stats.dropped += 1
+        if stats.dropped:
+            self._dispatcher.emit(
+                BackpressureDetected(
+                    host=self.host_id,
+                    dropped=stats.dropped,
+                    total_dropped=self.buffer.dropped,
+                    buffered=len(self.buffer),
+                    capacity=self.buffer.capacity,
+                )
+            )
+        return stats
+
+    def take(self, max_records: int) -> List[SamplingRecord]:
+        """Dequeue up to *max_records* buffered records (consumer side)."""
+        if max_records <= 0:
+            raise ValueError("max_records must be positive")
+        records: List[SamplingRecord] = []
+        while len(records) < max_records:
+            record = self.buffer.pop()
+            if record is None:
+                break
+            records.append(record)
+        return records
+
+
+class FleetIngest:
+    """The fleet's front door: N host channels with bounded buffering."""
+
+    def __init__(
+        self, *, buffer_capacity: int = 256, dispatcher: Optional[EventDispatcher] = None
+    ) -> None:
+        self.buffer_capacity = buffer_capacity
+        self.dispatcher = dispatcher if dispatcher is not None else EventDispatcher()
+        self._channels: Dict[str, HostChannel] = {}
+
+    def __len__(self) -> int:
+        return len(self._channels)
+
+    @property
+    def channels(self) -> Tuple[HostChannel, ...]:
+        return tuple(self._channels.values())
+
+    def channel(self, host_id: str) -> HostChannel:
+        return self._channels[host_id]
+
+    def add(self, source) -> HostChannel:
+        """Register a host source and announce its session on the stream."""
+        if source.host_id in self._channels:
+            raise ValueError(f"host {source.host_id!r} already registered")
+        channel = HostChannel(
+            source, capacity=self.buffer_capacity, dispatcher=self.dispatcher
+        )
+        self._channels[source.host_id] = channel
+        self.dispatcher.emit(
+            SessionStarted(
+                host=source.host_id,
+                arch=getattr(source, "arch", ""),
+                workload=getattr(source, "workload_name", ""),
+                n_events=len(getattr(source, "events", ())),
+            )
+        )
+        return channel
+
+    def pump_all(self, max_records_per_host: int) -> Dict[str, PumpStats]:
+        """One ingestion round: pump every non-exhausted host."""
+        return {
+            host_id: channel.pump(max_records_per_host)
+            for host_id, channel in self._channels.items()
+            if not channel.exhausted
+        }
+
+    @property
+    def all_done(self) -> bool:
+        """True once every channel is exhausted and drained."""
+        return all(channel.done for channel in self._channels.values())
+
+    def drop_report(self) -> Dict[str, int]:
+        """Per-host dropped-record counts (hosts with drops only)."""
+        return {
+            host_id: channel.dropped
+            for host_id, channel in self._channels.items()
+            if channel.dropped
+        }

@@ -1,0 +1,269 @@
+"""Versioned JSONL trace files: record once, replay anywhere.
+
+The format follows the ``perf script`` philosophy — a self-describing line
+stream that external tooling can grep, filter and post-process — while
+staying replayable: a recorded sampled trace fed back through a fresh engine
+reproduces the original estimates exactly (analytic moments are
+deterministic).
+
+Layout (one JSON object per line):
+
+* line 1 — header: ``{"format": "bayesperf-trace", "version": 1, "arch": ...,
+  "events": [...], "workload": ..., "seed": ..., ...}``
+* ``{"type": "sample", "tick": t, "config": [...], "samples": {event: [...]}}``
+  — one multiplexed scheduler quantum (the engine's input).
+* ``{"type": "poll", "tick": t, "values": {...}}`` — one polled reference
+  reading (optional; lets a replay re-score errors).
+* ``{"type": "estimate", "tick": t, "values": {...}, "sigma": {...}}`` — one
+  tick of a correction method's output (optional; lets a replay verify
+  round-trip fidelity without re-running inference).
+
+Recorded traces can be registered as replayable workloads
+(:func:`register_trace_workload`), after which any fleet host can be backed
+by the file instead of the simulator.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.pmu.configuration import CounterConfiguration
+from repro.pmu.sampling import PolledTrace, SampledTrace, SamplingRecord
+from repro.pmu.traces import EstimateTrace
+from repro.workloads.registry import register_workload
+
+FORMAT_NAME = "bayesperf-trace"
+FORMAT_VERSION = 1
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file is malformed or has an unsupported version."""
+
+
+@dataclass
+class TraceFile:
+    """In-memory form of one trace file."""
+
+    arch: str
+    events: tuple
+    workload: str = ""
+    seed: int = 0
+    samples_per_tick: int = 0
+    metadata: Dict = field(default_factory=dict)
+    sampled: Optional[SampledTrace] = None
+    polled: Optional[PolledTrace] = None
+    estimates: Optional[EstimateTrace] = None
+
+    @property
+    def n_ticks(self) -> int:
+        """Number of recorded sampled quanta (0 when the trace is output-only)."""
+        return len(self.sampled.records) if self.sampled is not None else 0
+
+
+@dataclass
+class TraceWorkload:
+    """A recorded trace registered as a replayable workload.
+
+    Quacks enough like a :class:`~repro.uarch.profile.WorkloadSpec` for
+    registry listings (``name``, ``total_ticks``) but is replayed by the
+    fleet ingestion layer rather than simulated by the machine model.
+    """
+
+    name: str
+    trace: TraceFile
+
+    @property
+    def total_ticks(self) -> int:
+        return self.trace.n_ticks
+
+
+# -- writing ----------------------------------------------------------------
+
+
+def _header(trace: TraceFile) -> Dict:
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "arch": trace.arch,
+        "events": list(trace.events),
+        "workload": trace.workload,
+        "seed": trace.seed,
+        "samples_per_tick": trace.samples_per_tick,
+        "metadata": trace.metadata,
+    }
+
+
+def write_trace(path: Union[str, Path], trace: TraceFile) -> Path:
+    """Serialise *trace* to JSONL at *path* (parent directories must exist)."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as stream:
+        stream.write(json.dumps(_header(trace)) + "\n")
+        if trace.sampled is not None:
+            for record in trace.sampled.records:
+                line = {
+                    "type": "sample",
+                    "tick": record.tick,
+                    "config": list(record.configuration.events),
+                    "samples": {
+                        event: [float(v) for v in samples]
+                        for event, samples in record.samples.items()
+                    },
+                }
+                stream.write(json.dumps(line) + "\n")
+        if trace.polled is not None:
+            for tick, values in enumerate(trace.polled.values):
+                stream.write(
+                    json.dumps({"type": "poll", "tick": tick, "values": values}) + "\n"
+                )
+        if trace.estimates is not None:
+            for record in trace.estimates.to_records():
+                line = {"type": "estimate", "method": trace.estimates.method, **record}
+                stream.write(json.dumps(line) + "\n")
+    return path
+
+
+# -- reading ----------------------------------------------------------------
+
+
+def _parse_header(line: str) -> Dict:
+    try:
+        header = json.loads(line)
+    except json.JSONDecodeError as error:
+        raise TraceFormatError(f"trace header is not valid JSON: {error}") from error
+    if not isinstance(header, dict) or header.get("format") != FORMAT_NAME:
+        raise TraceFormatError(f"not a {FORMAT_NAME} file (bad header line)")
+    version = header.get("version")
+    if version != FORMAT_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace version {version!r} (this reader understands "
+            f"version {FORMAT_VERSION})"
+        )
+    return header
+
+
+def read_trace(path: Union[str, Path]) -> TraceFile:
+    """Parse a JSONL trace file back into a :class:`TraceFile`."""
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as stream:
+        first = stream.readline()
+        if not first.strip():
+            raise TraceFormatError(f"{path} is empty")
+        header = _parse_header(first)
+        trace = TraceFile(
+            arch=header.get("arch", ""),
+            events=tuple(header.get("events", ())),
+            workload=header.get("workload", ""),
+            seed=int(header.get("seed", 0)),
+            samples_per_tick=int(header.get("samples_per_tick", 0)),
+            metadata=dict(header.get("metadata", {})),
+        )
+        samples: List[SamplingRecord] = []
+        polled_lines: List[Dict] = []
+        estimate_lines: List[Dict] = []
+        estimate_method = "replay"
+        for lineno, line in enumerate(stream, start=2):
+            if not line.strip():
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceFormatError(f"{path}:{lineno}: invalid JSON: {error}") from error
+            kind = payload.get("type")
+            if kind == "sample":
+                record = SamplingRecord(
+                    tick=int(payload["tick"]),
+                    configuration=CounterConfiguration(events=tuple(payload["config"])),
+                )
+                for event, values in payload["samples"].items():
+                    record.samples[event] = np.asarray(values, dtype=float)
+                samples.append(record)
+            elif kind == "poll":
+                polled_lines.append(payload)
+            elif kind == "estimate":
+                estimate_method = payload.get("method", estimate_method)
+                estimate_lines.append(payload)
+            else:
+                raise TraceFormatError(f"{path}:{lineno}: unknown record type {kind!r}")
+
+    if samples:
+        samples.sort(key=lambda record: record.tick)
+        sampled = SampledTrace(catalog_name=trace.arch, events=trace.events)
+        for record in samples:
+            sampled.records.append(record)
+            for event in record.samples:
+                sampled.enabled_ticks[event] = sampled.enabled_ticks.get(event, 0) + 1
+        trace.sampled = sampled
+    if polled_lines:
+        polled_lines.sort(key=lambda payload: payload["tick"])
+        events = tuple(polled_lines[0]["values"]) if polled_lines else ()
+        polled = PolledTrace(catalog_name=trace.arch, events=events)
+        polled.values.extend(
+            {name: float(value) for name, value in payload["values"].items()}
+            for payload in polled_lines
+        )
+        trace.polled = polled
+    if estimate_lines:
+        trace.estimates = EstimateTrace.from_records(estimate_method, estimate_lines)
+    return trace
+
+
+# -- recording helpers ------------------------------------------------------
+
+
+def record_session_trace(
+    path: Union[str, Path],
+    workload: str = "steady",
+    *,
+    arch: str = "x86",
+    events: Optional[Sequence[str]] = None,
+    metrics: Optional[Sequence[str]] = None,
+    n_ticks: Optional[int] = None,
+    seed: int = 0,
+    include_polled: bool = True,
+    include_estimates: bool = True,
+    method: str = "bayesperf",
+) -> TraceFile:
+    """Run one :class:`~repro.core.session.PerfSession` and record it.
+
+    The sampled quanta (and optionally the polled reference and the method's
+    estimates) are written to *path*; the returned :class:`TraceFile` is the
+    in-memory equivalent.
+    """
+    from repro.core.session import PerfSession  # local import: avoids a cycle
+
+    session = PerfSession(arch, method=method, events=events, metrics=metrics)
+    result = session.run(workload, n_ticks=n_ticks, seed=seed)
+    # The header records the *registered* event set (what the monitoring
+    # application asked for): replaying must rebuild the engine over exactly
+    # this set, in this order, to reproduce the recorded estimates.
+    trace = TraceFile(
+        arch=arch,
+        events=tuple(session.events),
+        workload=result.workload,
+        seed=seed,
+        samples_per_tick=session.samples_per_tick,
+        metadata={"method": method, "schedule": result.schedule.name},
+        sampled=result.sampled,
+        polled=result.polled if include_polled else None,
+        estimates=result.estimates if include_estimates else None,
+    )
+    write_trace(path, trace)
+    return trace
+
+
+def register_trace_workload(
+    name: str, path: Union[str, Path], *, overwrite: bool = False
+) -> None:
+    """Register the trace at *path* as a replayable workload named *name*.
+
+    The file is re-read on every lookup so a re-recorded trace is picked up
+    without re-registering.
+    """
+    path = Path(path)
+    read_trace(path)  # validate eagerly so registration fails fast
+    register_workload(name, lambda: TraceWorkload(name=name, trace=read_trace(path)), overwrite=overwrite)

@@ -1,0 +1,264 @@
+"""Inference workers: shard hosts, batch slices, share engines.
+
+A fleet runs many hosts whose monitoring configuration is frequently
+identical — same microarchitecture, same registered event set.  Building a
+:class:`~repro.core.engine.BayesPerfEngine` and an overlap-aware schedule per
+host repeats identical work, so the pool keys both on ``(arch, event-set,
+engine-kwargs)`` and shares one engine per key per worker.  Per-host temporal
+state (the previous slice's posterior) is checkpointed with
+:meth:`~repro.core.engine.BayesPerfEngine.snapshot` after each batch and
+restored before the next, which makes the sharing exact: a host's estimates
+are bit-identical to what a dedicated engine would produce (the snapshot
+includes the RNG stream, so this holds for MCMC moment estimation too).
+
+Hosts are sharded across workers round-robin; each worker drains its hosts'
+ring buffers in batches, so one host's EP solves amortise one state swap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.engine import BayesPerfEngine, EngineState
+from repro.events.registry import canonical_arch, catalog_for
+from repro.fleet.events import (
+    EstimateReady,
+    EventDispatcher,
+    SessionCompleted,
+    SliceCompleted,
+)
+from repro.fleet.ingest import FleetIngest, HostChannel
+from repro.pmu.traces import EstimateTrace
+
+#: Cache key: (canonical arch, monitored events, frozen engine kwargs).
+EngineKey = Tuple[str, Tuple[str, ...], Tuple[Tuple[str, object], ...]]
+
+
+def engine_key(
+    arch: str, events: Tuple[str, ...], engine_kwargs: Optional[Dict] = None
+) -> EngineKey:
+    """Normalised cache key for an (arch, event-set, engine-config) triple."""
+    frozen = tuple(sorted((engine_kwargs or {}).items()))
+    return (canonical_arch(arch), tuple(events), frozen)
+
+
+class EngineCache:
+    """Engines and schedules shared across hosts with the same key."""
+
+    def __init__(self) -> None:
+        self._engines: Dict[EngineKey, BayesPerfEngine] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def engine_for(
+        self, arch: str, events: Tuple[str, ...], engine_kwargs: Optional[Dict] = None
+    ) -> BayesPerfEngine:
+        return self.engine_for_key(engine_key(arch, events, engine_kwargs), engine_kwargs)
+
+    def engine_for_key(
+        self, key: EngineKey, engine_kwargs: Optional[Dict] = None
+    ) -> BayesPerfEngine:
+        """Lookup by a prebuilt key (the worker hot path: one dict get)."""
+        engine = self._engines.get(key)
+        if engine is not None:
+            self.hits += 1
+            return engine
+        self.misses += 1
+        catalog = catalog_for(key[0])
+        engine = BayesPerfEngine(catalog, list(key[1]), **(engine_kwargs or {}))
+        self._engines[key] = engine
+        return engine
+
+    def __len__(self) -> int:
+        return len(self._engines)
+
+
+@dataclass
+class HostRun:
+    """Per-host inference state owned by exactly one worker."""
+
+    channel: HostChannel
+    key: EngineKey
+    estimates: EstimateTrace
+    engine_state: Optional[EngineState] = None
+    #: Dedicated engine used when sharing is disabled (the serial baseline
+    #: constructs one engine per host instead of hitting the cache).
+    private_engine: Optional[BayesPerfEngine] = None
+    slices: int = 0
+    completed: bool = False
+
+
+class InferenceWorker:
+    """Runs batched per-slice EP solves for its shard of hosts."""
+
+    def __init__(
+        self,
+        worker_id: int,
+        *,
+        dispatcher: EventDispatcher,
+        batch_size: int = 8,
+        share_engines: bool = True,
+        engine_kwargs: Optional[Dict] = None,
+    ) -> None:
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.worker_id = worker_id
+        self.dispatcher = dispatcher
+        self.batch_size = batch_size
+        self.share_engines = share_engines
+        self.engine_kwargs = dict(engine_kwargs) if engine_kwargs else {}
+        self.cache = EngineCache()
+        #: Engines constructed outside the cache (per-host baseline mode).
+        self.private_builds = 0
+        self._runs: Dict[str, HostRun] = {}
+
+    def assign(self, channel: HostChannel, *, arch: str, events: Tuple[str, ...]) -> None:
+        """Give this worker responsibility for one host."""
+        key = engine_key(arch, events, self.engine_kwargs)
+        self._runs[channel.host_id] = HostRun(
+            channel=channel,
+            key=key,
+            estimates=EstimateTrace(method="bayesperf"),
+        )
+
+    @property
+    def hosts(self) -> Tuple[str, ...]:
+        return tuple(self._runs)
+
+    def _engine_for(self, run: HostRun) -> BayesPerfEngine:
+        if self.share_engines:
+            return self.cache.engine_for_key(run.key, self.engine_kwargs)
+        # Per-host construction baseline: every host gets its own engine.
+        if run.private_engine is None:
+            catalog = catalog_for(run.key[0])
+            run.private_engine = BayesPerfEngine(
+                catalog, list(run.key[1]), **self.engine_kwargs
+            )
+            self.private_builds += 1
+        return run.private_engine
+
+    def process_available(self) -> int:
+        """Drain one batch per host; returns the number of slices processed."""
+        processed = 0
+        for run in self._runs.values():
+            if run.completed:
+                continue
+            records = run.channel.take(self.batch_size)
+            if records:
+                engine = self._engine_for(run)
+                if run.engine_state is not None:
+                    engine.restore(run.engine_state)
+                else:
+                    engine.reset()
+                first_tick = records[0].tick
+                for record in records:
+                    report = engine.process_record(record)
+                    run.estimates.append(report.means(), report.stds())
+                    run.slices += 1
+                    processed += 1
+                    self.dispatcher.emit(
+                        SliceCompleted(
+                            host=run.channel.host_id,
+                            tick=record.tick,
+                            worker=self.worker_id,
+                            n_measured=len(record.measured_events),
+                        )
+                    )
+                run.engine_state = engine.snapshot()
+                self.dispatcher.emit(
+                    EstimateReady(
+                        host=run.channel.host_id,
+                        first_tick=first_tick,
+                        last_tick=records[-1].tick,
+                        n_slices=len(records),
+                    )
+                )
+            if run.channel.done and not run.completed:
+                run.completed = True
+                self.dispatcher.emit(
+                    SessionCompleted(host=run.channel.host_id, n_slices=run.slices)
+                )
+        return processed
+
+    @property
+    def all_completed(self) -> bool:
+        return all(run.completed for run in self._runs.values())
+
+    def estimates(self) -> Dict[str, EstimateTrace]:
+        return {host_id: run.estimates for host_id, run in self._runs.items()}
+
+
+class WorkerPool:
+    """Shards fleet hosts across N inference workers and drives them."""
+
+    def __init__(
+        self,
+        n_workers: int = 4,
+        *,
+        dispatcher: Optional[EventDispatcher] = None,
+        batch_size: int = 8,
+        share_engines: bool = True,
+        engine_kwargs: Optional[Dict] = None,
+    ) -> None:
+        if n_workers <= 0:
+            raise ValueError("n_workers must be positive")
+        self.dispatcher = dispatcher if dispatcher is not None else EventDispatcher()
+        self.workers: List[InferenceWorker] = [
+            InferenceWorker(
+                worker_id,
+                dispatcher=self.dispatcher,
+                batch_size=batch_size,
+                share_engines=share_engines,
+                engine_kwargs=engine_kwargs,
+            )
+            for worker_id in range(n_workers)
+        ]
+        self._next = 0
+
+    def assign(self, channel: HostChannel, *, arch: str, events: Tuple[str, ...]) -> int:
+        """Shard one host onto a worker (round-robin); returns the worker id."""
+        worker = self.workers[self._next % len(self.workers)]
+        worker.assign(channel, arch=arch, events=events)
+        self._next += 1
+        return worker.worker_id
+
+    def run_until_drained(self, ingest: FleetIngest, *, pump_records: int = 16) -> int:
+        """Alternate ingestion rounds and inference rounds until the fleet drains.
+
+        Returns the total number of slices processed across all workers.
+        """
+        total = 0
+        while True:
+            pumped = ingest.pump_all(pump_records)
+            round_accepted = sum(stats.accepted for stats in pumped.values())
+            round_processed = sum(worker.process_available() for worker in self.workers)
+            total += round_processed
+            if ingest.all_done and all(worker.all_completed for worker in self.workers):
+                return total
+            if round_processed == 0 and round_accepted == 0:
+                # Nothing moved and nothing can move any more — e.g. a channel
+                # was registered with the ingest but never assigned to a
+                # worker, so its buffer will never drain.  Bail out instead of
+                # spinning.
+                return total
+
+    def estimates(self) -> Dict[str, EstimateTrace]:
+        merged: Dict[str, EstimateTrace] = {}
+        for worker in self.workers:
+            merged.update(worker.estimates())
+        return merged
+
+    def cache_stats(self) -> Dict[str, int]:
+        """Aggregate engine statistics across workers.
+
+        ``engines_built`` counts every engine construction (cache misses plus
+        per-host baseline builds); ``hits`` counts cache reuses.
+        """
+        return {
+            "engines_built": sum(
+                worker.cache.misses + worker.private_builds for worker in self.workers
+            ),
+            "hits": sum(worker.cache.hits for worker in self.workers),
+            "misses": sum(worker.cache.misses for worker in self.workers),
+        }

@@ -56,3 +56,41 @@ class EstimateTrace:
     def at(self, tick: int) -> Dict[str, float]:
         """Estimates for one tick."""
         return dict(self.estimates[tick])
+
+    # -- serialization ------------------------------------------------------
+
+    def to_records(self) -> List[Dict]:
+        """One JSON-serialisable dict per tick (the trace-file line format)."""
+        records: List[Dict] = []
+        for tick, values in enumerate(self.estimates):
+            record: Dict = {"tick": tick, "values": dict(values)}
+            if self.uncertainties[tick]:
+                record["sigma"] = dict(self.uncertainties[tick])
+            records.append(record)
+        return records
+
+    @classmethod
+    def from_records(cls, method: str, records: List[Mapping]) -> "EstimateTrace":
+        """Rebuild a trace from :meth:`to_records` output (sorted by tick).
+
+        Tick indices must be consecutive: the trace is index-addressed, so a
+        gap or duplicate would silently shift every later tick.  Externally
+        produced files with holes are rejected instead.
+        """
+        trace = cls(method=method)
+        ordered = sorted(records, key=lambda r: r["tick"])
+        for position, record in enumerate(ordered):
+            expected = ordered[0]["tick"] + position
+            if record["tick"] != expected:
+                raise ValueError(
+                    f"estimate ticks must be consecutive: expected tick {expected}, "
+                    f"got {record['tick']} (gap or duplicate in the record stream)"
+                )
+            trace.append(record["values"], record.get("sigma"))
+        return trace
+
+    def values_equal(self, other: "EstimateTrace") -> bool:
+        """Exact per-tick equality of estimates and uncertainties."""
+        return (
+            self.estimates == other.estimates and self.uncertainties == other.uncertainties
+        )

@@ -15,6 +15,7 @@ from repro.scheduling.schedule import Schedule
 from repro.scheduling.round_robin import round_robin_schedule
 from repro.scheduling.structure import build_event_adjacency, build_structure_graph
 from repro.scheduling.overlap import BayesPerfScheduler, overlap_schedule
+from repro.scheduling.cache import cached_schedule, clear_schedule_cache, schedule_cache_stats
 
 __all__ = [
     "Schedule",
@@ -23,4 +24,7 @@ __all__ = [
     "build_event_adjacency",
     "BayesPerfScheduler",
     "overlap_schedule",
+    "cached_schedule",
+    "clear_schedule_cache",
+    "schedule_cache_stats",
 ]

@@ -1,0 +1,79 @@
+"""Process-wide schedule cache.
+
+Building an overlap-aware schedule walks the relation structure graph
+(shortest paths, Markov-blanket closures) and is pure: for a given catalog,
+event set and scheduler kind the result is always the same immutable
+:class:`~repro.scheduling.schedule.Schedule`.  Sessions and the fleet worker
+pool construct schedules for the same (arch, event-set) key over and over, so
+the cache turns that hot path into a dictionary lookup.
+"""
+
+from __future__ import annotations
+
+from threading import Lock
+from typing import Dict, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+from repro.events.catalog import EventCatalog
+from repro.scheduling.overlap import BayesPerfScheduler
+from repro.scheduling.round_robin import round_robin_schedule
+from repro.scheduling.schedule import Schedule
+
+_KINDS = ("overlap", "round-robin")
+
+#: Keyed by catalog *identity* (not name): two different catalog objects that
+#: happen to share a name must not see each other's schedules, and dropping a
+#: catalog (e.g. ``clear_catalog_cache`` in tests) releases its schedules.
+_CACHE: "WeakKeyDictionary[EventCatalog, Dict[Tuple[Tuple[str, ...], str], Schedule]]" = (
+    WeakKeyDictionary()
+)
+_LOCK = Lock()
+#: Cumulative (hits, misses) counters, exposed for tests and benchmarks.
+_STATS = {"hits": 0, "misses": 0}
+
+
+def cached_schedule(
+    catalog: EventCatalog, events: Sequence[str], *, kind: str = "overlap"
+) -> Schedule:
+    """Return the schedule for (catalog, events, kind), building it at most once.
+
+    ``kind`` selects the scheduler: ``"overlap"`` (the paper's overlap-aware
+    scheduler, used by BayesPerf) or ``"round-robin"`` (the Linux baseline
+    behaviour used by every other method).
+    """
+    if kind not in _KINDS:
+        raise ValueError(f"unknown schedule kind {kind!r}; expected one of {_KINDS}")
+    key = (tuple(events), kind)
+    with _LOCK:
+        per_catalog = _CACHE.get(catalog)
+        schedule = per_catalog.get(key) if per_catalog is not None else None
+        if schedule is not None:
+            _STATS["hits"] += 1
+            return schedule
+        _STATS["misses"] += 1
+    if kind == "overlap":
+        schedule = BayesPerfScheduler(catalog).build(list(events))
+    else:
+        schedule = round_robin_schedule(catalog, list(events))
+    with _LOCK:
+        return _CACHE.setdefault(catalog, {}).setdefault(key, schedule)
+
+
+def schedule_cache_stats() -> Dict[str, int]:
+    """Snapshot of the cumulative cache hit/miss counters."""
+    with _LOCK:
+        return dict(_STATS)
+
+
+def clear_schedule_cache() -> None:
+    """Drop all cached schedules and reset the counters."""
+    with _LOCK:
+        _CACHE.clear()
+        _STATS["hits"] = 0
+        _STATS["misses"] = 0
+
+
+def schedule_cache_size() -> int:
+    """Number of cached schedules across all live catalogs."""
+    with _LOCK:
+        return sum(len(per_catalog) for per_catalog in _CACHE.values())

@@ -9,7 +9,12 @@ HiBench rather than running Spark jobs.
 
 from repro.workloads.hibench import HIBENCH_WORKLOADS, hibench_suite, hibench_workload
 from repro.workloads.micro import multiplexing_stress_workload, steady_workload
-from repro.workloads.registry import available_workloads, get_workload
+from repro.workloads.registry import (
+    available_workloads,
+    get_workload,
+    register_workload,
+    unregister_workload,
+)
 
 __all__ = [
     "HIBENCH_WORKLOADS",
@@ -19,4 +24,6 @@ __all__ = [
     "steady_workload",
     "available_workloads",
     "get_workload",
+    "register_workload",
+    "unregister_workload",
 ]

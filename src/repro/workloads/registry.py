@@ -1,25 +1,63 @@
-"""Workload registry: uniform lookup across HiBench and micro workloads."""
+"""Workload registry: uniform lookup across HiBench, micro and registered workloads."""
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Callable, Dict, Tuple
 
-from repro.uarch.profile import WorkloadSpec
 from repro.workloads.hibench import HIBENCH_WORKLOADS, hibench_workload
 from repro.workloads.micro import multiplexing_stress_workload, steady_workload
 
+#: Dynamically registered workloads (name -> zero-argument factory).  The
+#: factory may return a :class:`WorkloadSpec` or any workload-like object a
+#: specific runner understands (e.g. a recorded trace replayed by
+#: :mod:`repro.fleet`).
+_REGISTERED: Dict[str, Callable[[], object]] = {}
 
-def available_workloads() -> Tuple[str, ...]:
-    """Names of all registered workloads."""
+
+def _builtin_workloads() -> Tuple[str, ...]:
     return tuple(HIBENCH_WORKLOADS) + ("mux-stress", "steady")
 
 
-def get_workload(name: str) -> WorkloadSpec:
-    """Look up any registered workload by name."""
+def available_workloads() -> Tuple[str, ...]:
+    """Names of all registered workloads (built-in plus dynamic)."""
+    return _builtin_workloads() + tuple(_REGISTERED)
+
+
+def register_workload(
+    name: str, factory: Callable[[], object], *, overwrite: bool = False
+) -> None:
+    """Register a workload factory under *name*.
+
+    Built-in names cannot be shadowed.  Re-registering a dynamic name raises
+    unless ``overwrite`` is true (replayable traces are often re-recorded).
+    """
+    if not name:
+        raise ValueError("workload name must be non-empty")
+    if name in _builtin_workloads():
+        raise ValueError(f"cannot shadow built-in workload {name!r}")
+    if name in _REGISTERED and not overwrite:
+        raise ValueError(f"workload {name!r} already registered (pass overwrite=True)")
+    _REGISTERED[name] = factory
+
+
+def unregister_workload(name: str) -> None:
+    """Remove a dynamically registered workload (missing names are ignored)."""
+    _REGISTERED.pop(name, None)
+
+
+def get_workload(name: str):
+    """Look up any registered workload by name.
+
+    Returns a :class:`WorkloadSpec` for built-in workloads; dynamically
+    registered names return whatever their factory produces (for recorded
+    traces, a :class:`repro.fleet.tracefile.TraceWorkload`).
+    """
     if name in HIBENCH_WORKLOADS:
         return hibench_workload(name)
     if name == "mux-stress":
         return multiplexing_stress_workload()
     if name == "steady":
         return steady_workload()
+    if name in _REGISTERED:
+        return _REGISTERED[name]()
     raise KeyError(f"unknown workload {name!r}; available: {sorted(available_workloads())}")

@@ -1,0 +1,76 @@
+"""Ring-buffer backpressure semantics (the fleet ingestion layer depends on them)."""
+
+import pytest
+
+from repro.core.ringbuffer import RingBuffer
+
+
+def test_rejects_non_positive_capacity():
+    with pytest.raises(ValueError):
+        RingBuffer(0)
+    with pytest.raises(ValueError):
+        RingBuffer(-3)
+
+
+def test_push_pop_fifo_order():
+    buffer = RingBuffer(4)
+    for value in (10, 20, 30):
+        assert buffer.push(value)
+    assert len(buffer) == 3
+    assert buffer.peek() == 10
+    assert [buffer.pop(), buffer.pop(), buffer.pop()] == [10, 20, 30]
+    assert buffer.pop() is None
+    assert buffer.is_empty
+
+
+def test_overflow_drops_new_entries_and_counts_them():
+    buffer = RingBuffer(2)
+    assert buffer.push("a")
+    assert buffer.push("b")
+    assert buffer.is_full
+    # Full buffer: new entries are dropped (perf mmap behaviour), old ones kept.
+    assert not buffer.push("c")
+    assert not buffer.push("d")
+    assert buffer.dropped == 2
+    assert buffer.total_pushed == 4
+    assert len(buffer) == 2
+    assert buffer.drain() == ["a", "b"]
+
+
+def test_wraparound_after_drain_accepts_again():
+    """Capacity frees as entries are consumed; drop counting is cumulative."""
+    buffer = RingBuffer(2)
+    buffer.push(1)
+    buffer.push(2)
+    assert not buffer.push(3)  # dropped
+    assert buffer.pop() == 1
+    assert buffer.push(4)  # slot freed by the pop
+    assert buffer.dropped == 1
+    assert buffer.pop() == 2
+    assert buffer.pop() == 4
+    # Many wrap cycles: push/pop interleaved far beyond capacity.
+    for value in range(100):
+        assert buffer.push(value)
+        assert buffer.pop() == value
+    assert buffer.dropped == 1
+    assert buffer.total_pushed == 104
+
+
+def test_push_many_partial_acceptance():
+    buffer = RingBuffer(3)
+    accepted = buffer.push_many(range(5))
+    assert accepted == 3
+    assert buffer.dropped == 2
+    assert buffer.drain() == [0, 1, 2]
+    # Drain resets occupancy but not the cumulative counters.
+    assert buffer.dropped == 2
+    assert buffer.total_pushed == 5
+    assert buffer.push_many([7, 8]) == 2
+
+
+def test_peek_does_not_consume():
+    buffer = RingBuffer(2)
+    buffer.push("x")
+    assert buffer.peek() == "x"
+    assert buffer.peek() == "x"
+    assert len(buffer) == 1

@@ -1,0 +1,471 @@
+"""Fleet telemetry service: ingestion, workers, trace record/replay, events."""
+
+import logging
+
+import pytest
+
+from repro.core.engine import BayesPerfEngine
+from repro.core.session import PerfSession
+from repro.events.registry import catalog_for
+from repro.fleet.events import (
+    BackpressureDetected,
+    EstimateReady,
+    EventDispatcher,
+    EventLog,
+    EventProcessor,
+    LoggingProcessor,
+    MetricsProcessor,
+    SessionCompleted,
+    SessionStarted,
+    SliceCompleted,
+    TypedEventProcessor,
+)
+from repro.fleet.ingest import FleetIngest, ReplayHostSource, SyntheticHostSource
+from repro.fleet.service import FleetService
+from repro.fleet.tracefile import (
+    TraceFile,
+    TraceFormatError,
+    read_trace,
+    record_session_trace,
+    register_trace_workload,
+    write_trace,
+)
+from repro.fleet.workers import EngineCache, WorkerPool, engine_key
+from repro.pmu.traces import EstimateTrace
+from repro.scheduling.cache import cached_schedule, schedule_cache_stats
+from repro.workloads.registry import (
+    available_workloads,
+    get_workload,
+    register_workload,
+    unregister_workload,
+)
+
+#: A small but schedulable event selection (3 events, 1 configuration).
+METRICS = ("ipc", "l1d_mpki")
+
+
+def small_fleet(n_hosts=4, *, n_ticks=5, n_workers=2, **kwargs):
+    service = FleetService("x86", metrics=METRICS, n_workers=n_workers, **kwargs)
+    for index in range(n_hosts):
+        service.add_host("mux-stress", seed=index, n_ticks=n_ticks)
+    return service
+
+
+# -- observability event stream --------------------------------------------
+
+
+class _Recorder(TypedEventProcessor):
+    def __init__(self):
+        self.seen = []
+
+    def on_session_started(self, event):
+        self.seen.append(("start", event.host))
+
+    def on_slice_completed(self, event):
+        self.seen.append(("slice", event.tick))
+
+
+def test_typed_processor_dispatches_by_event_type():
+    recorder = _Recorder()
+    dispatcher = EventDispatcher([recorder])
+    dispatcher.emit(SessionStarted(host="h0", arch="x86", workload="steady", n_events=3))
+    dispatcher.emit(SliceCompleted(host="h0", tick=7, worker=0, n_measured=3))
+    dispatcher.emit(EstimateReady(host="h0", first_tick=0, last_tick=7, n_slices=8))
+    assert recorder.seen == [("start", "h0"), ("slice", 7)]
+
+
+def test_dispatcher_is_best_effort(caplog):
+    class Exploding(EventProcessor):
+        def on_event(self, event):
+            raise RuntimeError("boom")
+
+    log = EventLog()
+    dispatcher = EventDispatcher([Exploding(), log])
+    with caplog.at_level(logging.WARNING):
+        dispatcher.emit(SessionStarted(host="h0"))
+    # The failing processor is logged; later processors still receive the event.
+    assert len(log) == 1
+    assert any("Exploding" in record.message for record in caplog.records)
+
+
+def test_event_log_pull_iteration_drains():
+    log = EventLog(maxlen=2)
+    for tick in range(3):
+        log.on_event(SliceCompleted(host="h0", tick=tick))
+    assert log.discarded == 1  # oldest event fell out of the bounded buffer
+    ticks = [event.tick for event in log.iter()]
+    assert ticks == [1, 2]
+    assert len(log) == 0
+
+
+def test_logging_processor_writes_lines(caplog):
+    processor = LoggingProcessor(logging.getLogger("fleet-test"))
+    with caplog.at_level(logging.INFO, logger="fleet-test"):
+        processor.on_event(BackpressureDetected(host="h9", dropped=3))
+    assert any("BackpressureDetected" in record.message for record in caplog.records)
+
+
+def test_metrics_processor_aggregates():
+    metrics = MetricsProcessor()
+    metrics.on_event(SessionStarted(host="a"))
+    metrics.on_event(SliceCompleted(host="a", tick=0))
+    metrics.on_event(SliceCompleted(host="a", tick=1))
+    metrics.on_event(BackpressureDetected(host="a", dropped=2, total_dropped=2))
+    metrics.on_event(SessionCompleted(host="a", n_slices=2))
+    summary = metrics.summary()
+    assert summary["hosts_started"] == 1
+    assert summary["hosts_completed"] == 1
+    assert summary["total_slices"] == 2
+    assert summary["total_dropped"] == 2
+    assert summary["backpressure_events"] == 1
+
+
+# -- ingestion ---------------------------------------------------------------
+
+
+def _source(host_id="h0", *, n_ticks=6, seed=0):
+    catalog = catalog_for("x86")
+    events = catalog.events_for_derived(METRICS)
+    return SyntheticHostSource(
+        host_id, get_workload("steady"), events=events, n_ticks=n_ticks, seed=seed
+    )
+
+
+def test_ingest_pump_and_take():
+    ingest = FleetIngest(buffer_capacity=16)
+    channel = ingest.add(_source(n_ticks=6))
+    stats = channel.pump(4)
+    assert stats.accepted == 4 and stats.dropped == 0 and not stats.exhausted
+    records = channel.take(2)
+    assert [record.tick for record in records] == [0, 1]
+    stats = channel.pump(10)
+    assert stats.exhausted
+    assert not channel.done  # buffered records remain
+    channel.take(100)
+    assert channel.done
+
+
+def test_ingest_backpressure_drops_and_emits():
+    log = EventLog()
+    ingest = FleetIngest(buffer_capacity=2, dispatcher=EventDispatcher([log]))
+    channel = ingest.add(_source(n_ticks=8))
+    stats = channel.pump(8)
+    assert stats.accepted == 2
+    assert stats.dropped == 6
+    assert channel.dropped == 6
+    drops = [e for e in log.iter() if isinstance(e, BackpressureDetected)]
+    assert len(drops) == 1
+    assert drops[0].total_dropped == 6
+    assert drops[0].capacity == 2
+    assert ingest.drop_report() == {"h0": 6}
+
+
+def test_ingest_rejects_duplicate_host():
+    ingest = FleetIngest()
+    ingest.add(_source("dup"))
+    with pytest.raises(ValueError, match="dup"):
+        ingest.add(_source("dup"))
+
+
+def test_ingest_emits_session_started():
+    log = EventLog()
+    ingest = FleetIngest(dispatcher=EventDispatcher([log]))
+    ingest.add(_source("h7"))
+    events = list(log.iter())
+    assert isinstance(events[0], SessionStarted)
+    assert events[0].host == "h7"
+    assert events[0].n_events == 3
+
+
+# -- engine state checkpointing ---------------------------------------------
+
+
+def test_engine_snapshot_restore_is_exact():
+    catalog = catalog_for("x86")
+    events = catalog.events_for_derived(METRICS)
+    source = _source(n_ticks=6)
+    records = list(source.records())
+
+    continuous = BayesPerfEngine(catalog, events)
+    continuous.reset()
+    expected = [continuous.process_record(record).means() for record in records]
+
+    # Same records, but the engine round-trips through another host's run
+    # between the two halves (the worker-pool interleaving pattern).
+    shared = BayesPerfEngine(catalog, events)
+    shared.reset()
+    first = [shared.process_record(record).means() for record in records[:3]]
+    state = shared.snapshot()
+    shared.reset()
+    for record in records[:2]:  # some other host's slices
+        shared.process_record(record)
+    shared.restore(state)
+    second = [shared.process_record(record).means() for record in records[3:]]
+    assert first + second == expected
+
+
+def test_engine_restore_rejects_unknown_events():
+    catalog = catalog_for("x86")
+    engine = BayesPerfEngine(catalog, catalog.events_for_derived(METRICS))
+    state = engine.snapshot()
+    state.prior_mean["NOT_AN_EVENT"] = 1.0
+    with pytest.raises(ValueError, match="NOT_AN_EVENT"):
+        engine.restore(state)
+
+
+# -- shared caches -----------------------------------------------------------
+
+
+def test_catalog_cache_shares_instances_across_aliases():
+    assert catalog_for("x86") is catalog_for("x86_64")
+    assert catalog_for("x86") is catalog_for("x86_64-skylake")
+    assert catalog_for("ppc64") is catalog_for("power9")
+    assert catalog_for("x86") is not catalog_for("ppc64")
+
+
+def test_schedule_cache_reuses_schedules():
+    catalog = catalog_for("x86")
+    events = catalog.events_for_derived(METRICS)
+    before = schedule_cache_stats()
+    first = cached_schedule(catalog, events, kind="overlap")
+    second = cached_schedule(catalog, events, kind="overlap")
+    assert first is second
+    after = schedule_cache_stats()
+    assert after["hits"] >= before["hits"] + 1
+
+
+def test_engine_cache_keys_on_arch_and_events():
+    cache = EngineCache()
+    catalog = catalog_for("x86")
+    events = catalog.events_for_derived(METRICS)
+    one = cache.engine_for("x86", events)
+    two = cache.engine_for("x86_64-skylake", events)  # alias: same key
+    assert one is two
+    assert cache.hits == 1 and cache.misses == 1
+    other = cache.engine_for("x86", events[:2])
+    assert other is not one
+    assert engine_key("x86", events) == engine_key("x86_64", events)
+
+
+# -- workload registry -------------------------------------------------------
+
+
+def test_register_workload_roundtrip():
+    marker = object()
+    register_workload("fleet-test-workload", lambda: marker)
+    try:
+        assert "fleet-test-workload" in available_workloads()
+        assert get_workload("fleet-test-workload") is marker
+        with pytest.raises(ValueError, match="already registered"):
+            register_workload("fleet-test-workload", lambda: None)
+        register_workload("fleet-test-workload", lambda: 42, overwrite=True)
+        assert get_workload("fleet-test-workload") == 42
+    finally:
+        unregister_workload("fleet-test-workload")
+    assert "fleet-test-workload" not in available_workloads()
+
+
+def test_register_workload_cannot_shadow_builtin():
+    with pytest.raises(ValueError, match="built-in"):
+        register_workload("steady", lambda: None)
+
+
+# -- trace files -------------------------------------------------------------
+
+
+def test_trace_file_roundtrips_all_sections(tmp_path):
+    path = tmp_path / "run.jsonl"
+    recorded = record_session_trace(
+        path, "steady", metrics=METRICS, n_ticks=6, seed=11
+    )
+    loaded = read_trace(path)
+    assert loaded.arch == "x86"
+    assert loaded.events == recorded.events
+    assert loaded.workload == "steady"
+    assert loaded.seed == 11
+    assert loaded.n_ticks == 6
+    # Sampled records survive exactly (ticks, configurations, float samples).
+    for original, parsed in zip(recorded.sampled.records, loaded.sampled.records):
+        assert parsed.tick == original.tick
+        assert parsed.configuration.events == original.configuration.events
+        for event in original.samples:
+            assert list(parsed.samples[event]) == list(original.samples[event])
+    assert loaded.polled.values == recorded.polled.values
+    assert loaded.estimates.values_equal(recorded.estimates)
+
+
+def test_trace_file_rejects_bad_header(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"format": "something-else", "version": 1}\n')
+    with pytest.raises(TraceFormatError, match="bad header"):
+        read_trace(path)
+    path.write_text('{"format": "bayesperf-trace", "version": 99}\n')
+    with pytest.raises(TraceFormatError, match="version"):
+        read_trace(path)
+    path.write_text("")
+    with pytest.raises(TraceFormatError, match="empty"):
+        read_trace(path)
+
+
+def test_estimate_trace_records_roundtrip():
+    trace = EstimateTrace(method="bayesperf")
+    trace.append({"A": 1.5, "B": 2.0}, {"A": 0.1, "B": 0.2})
+    trace.append({"A": 3.25})
+    rebuilt = EstimateTrace.from_records("bayesperf", trace.to_records())
+    assert rebuilt.values_equal(trace)
+
+
+def test_registered_trace_workload_replays_and_is_rejected_by_session(tmp_path):
+    path = tmp_path / "replayable.jsonl"
+    record_session_trace(path, "steady", metrics=METRICS, n_ticks=5, seed=2)
+    register_trace_workload("fleet-test-trace", path)
+    try:
+        service = FleetService("x86", n_workers=1)
+        host = service.add_host("fleet-test-trace")
+        result = service.run()
+        assert len(result.estimates[host]) == 5
+        # The simulator-facing session API refuses replay-only workloads.
+        with pytest.raises(TypeError, match="repro.fleet"):
+            PerfSession("x86", metrics=METRICS).run("fleet-test-trace")
+    finally:
+        unregister_workload("fleet-test-trace")
+
+
+def test_write_trace_estimates_only(tmp_path):
+    estimates = EstimateTrace(method="bayesperf")
+    estimates.append({"A": 1.0})
+    trace = TraceFile(arch="x86", events=("A",), estimates=estimates)
+    path = write_trace(tmp_path / "est.jsonl", trace)
+    loaded = read_trace(path)
+    assert loaded.sampled is None
+    assert loaded.estimates.values_equal(estimates)
+    with pytest.raises(ValueError, match="nothing to replay"):
+        ReplayHostSource("h0", loaded)
+
+
+# -- the service -------------------------------------------------------------
+
+
+def test_pool_and_serial_produce_identical_estimates():
+    pool = small_fleet(n_hosts=5, n_ticks=4, n_workers=3, batch_size=2).run(mode="pool")
+    serial = small_fleet(n_hosts=5, n_ticks=4, n_workers=3, batch_size=2).run(mode="serial")
+    assert pool.estimates.keys() == serial.estimates.keys()
+    for host in pool.estimates:
+        assert pool.estimates[host].values_equal(serial.estimates[host])
+    # The pool shared engines across its 5 hosts; serial built one per host.
+    assert pool.engine_cache["engines_built"] <= 3
+    assert pool.engine_cache["hits"] >= 2
+    assert serial.engine_cache["engines_built"] == 5
+    assert serial.engine_cache["hits"] == 0
+
+
+def test_recorded_trace_replay_matches_original_estimates(tmp_path):
+    """Acceptance: record -> replay reproduces EstimateTrace values exactly."""
+    path = tmp_path / "roundtrip.jsonl"
+    recorded = record_session_trace(path, "KMeans", metrics=METRICS, n_ticks=8, seed=5)
+    service = FleetService("x86", n_workers=2)
+    host = service.add_trace(path)
+    result = service.run()
+    assert result.estimates[host].values_equal(recorded.estimates)
+
+
+def test_service_runs_sixteen_hosts_end_to_end():
+    log = EventLog()
+    service = small_fleet(n_hosts=16, n_ticks=3, n_workers=4, processors=(log,))
+    result = service.run()
+    assert result.n_hosts == 16
+    assert result.total_slices == 48
+    assert result.metrics["hosts_completed"] == 16
+    assert result.slices_per_second > 0
+    assert len(result.estimates) == 16
+    assert all(len(trace) == 3 for trace in result.estimates.values())
+    kinds = {type(event).__name__ for event in log.iter()}
+    assert {"SessionStarted", "SliceCompleted", "EstimateReady", "SessionCompleted"} <= kinds
+
+
+def test_service_backpressure_is_visible_in_result():
+    service = small_fleet(
+        n_hosts=2, n_ticks=10, n_workers=1, buffer_capacity=2, pump_records=10
+    )
+    result = service.run()
+    assert result.total_dropped > 0
+    assert result.metrics["backpressure_events"] > 0
+    # Dropped slices are simply absent from the host's estimate trace.
+    assert all(len(trace) < 10 for trace in result.estimates.values())
+
+
+def test_service_guards_misuse():
+    service = small_fleet(n_hosts=1, n_ticks=2)
+    with pytest.raises(ValueError, match="mode"):
+        service.run(mode="turbo")
+    service.run()
+    with pytest.raises(RuntimeError, match="runs once"):
+        service.run()
+    with pytest.raises(RuntimeError, match="after run"):
+        service.add_host("steady", seed=1)
+    empty = FleetService("x86", metrics=METRICS)
+    with pytest.raises(RuntimeError, match="at least one host"):
+        empty.run()
+
+
+def test_long_streams_do_not_drop_by_default():
+    """Default pump rate never outruns the drain rate, whatever the length."""
+    service = small_fleet(n_hosts=1, n_ticks=30, n_workers=1, batch_size=2, buffer_capacity=4)
+    result = service.run()
+    assert result.total_dropped == 0
+    assert len(result.estimates["host-000"]) == 30
+
+
+def test_mcmc_pool_matches_serial():
+    """RNG state rides along in engine snapshots, so sharing stays exact."""
+    kwargs = {"moment_estimator": "mcmc", "mcmc_samples": 25}
+    pool = small_fleet(n_hosts=2, n_ticks=3, batch_size=2, engine_kwargs=kwargs).run("pool")
+    serial = small_fleet(n_hosts=2, n_ticks=3, batch_size=2, engine_kwargs=kwargs).run("serial")
+    for host in pool.estimates:
+        assert pool.estimates[host].values_equal(serial.estimates[host])
+
+
+def test_unassigned_channel_does_not_hang_pool():
+    ingest = FleetIngest()
+    ingest.add(_source("orphan", n_ticks=3))
+    pool = WorkerPool(1, dispatcher=ingest.dispatcher)  # orphan never assigned
+    assert pool.run_until_drained(ingest) == 0
+
+
+def test_trace_host_rejects_synthetic_overrides(tmp_path):
+    path = tmp_path / "t.jsonl"
+    record_session_trace(path, "steady", metrics=METRICS, n_ticks=3, seed=0)
+    register_trace_workload("fleet-test-override", path)
+    try:
+        service = FleetService("x86", metrics=METRICS)
+        with pytest.raises(ValueError, match="n_ticks"):
+            service.add_host("fleet-test-override", n_ticks=2)
+    finally:
+        unregister_workload("fleet-test-override")
+
+
+def test_mixed_arch_fleet_resolves_events_per_catalog():
+    service = FleetService("x86", metrics=METRICS, n_workers=2)
+    x86_host = service.add_host("steady", seed=0, n_ticks=2)
+    ppc_host = service.add_host("steady", seed=1, n_ticks=2, arch="ppc64")
+    result = service.run()
+    # Each host monitors its own architecture's counterpart events.
+    x86_events = set(result.estimates[x86_host].at(0))
+    ppc_events = set(result.estimates[ppc_host].at(0))
+    assert x86_events and ppc_events and x86_events != ppc_events
+    # Misconfigured hosts fail at registration, naming the offending event.
+    with pytest.raises(KeyError, match="NOT_A_COUNTER"):
+        FleetService("x86", metrics=METRICS).add_host("steady", events=("NOT_A_COUNTER",))
+
+
+def test_worker_pool_shards_round_robin():
+    ingest = FleetIngest()
+    pool = WorkerPool(3, dispatcher=ingest.dispatcher)
+    catalog = catalog_for("x86")
+    events = catalog.events_for_derived(METRICS)
+    assigned = [
+        pool.assign(ingest.add(_source(f"h{i}", n_ticks=2, seed=i)), arch="x86", events=events)
+        for i in range(7)
+    ]
+    assert assigned == [0, 1, 2, 0, 1, 2, 0]
+    assert pool.workers[0].hosts == ("h0", "h3", "h6")
