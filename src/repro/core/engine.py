@@ -27,6 +27,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.events.catalog import EventCatalog
+from repro.fg.compiled import CompiledEPKernel, compile_factor_graph
 from repro.fg.distributions import StudentT
 from repro.fg.ep import EPSite, ExpectationPropagation
 from repro.fg.factors import (
@@ -62,6 +63,29 @@ class EngineState:
     rng_state: Optional[Dict] = None
 
 
+@dataclass
+class _PreparedSlice:
+    """One record's slice-local model, built before (batched) inference.
+
+    Captures everything :meth:`BayesPerfEngine.process_record` derives from
+    the engine's temporal state *before* running EP, so a batch of slices
+    from different monitoring runs can be prepared sequentially and then
+    solved in one vectorized kernel call.
+    """
+
+    record: SamplingRecord
+    #: Measured events, in record order.  Doubles as the graph-structure
+    #: signature: which events were measured fully determines the slice's
+    #: factor-graph shape (the constraint topology is fixed per engine).
+    measured: Tuple[str, ...]
+    site_lists: List[Tuple[str, List[Factor]]]
+    prior: GaussianDensity
+    scale: Dict[str, float]
+    tick: int
+    rng_state: Optional[Dict]
+    state: Optional[EngineState]
+
+
 class BayesPerfEngine:
     """Turns multiplexed counter samples into posterior event estimates.
 
@@ -87,6 +111,14 @@ class BayesPerfEngine:
         Multiplier on every relation's tolerance (ablation knob).
     ep_max_iterations, ep_damping, mcmc_samples, seed:
         EP and MCMC controls.
+    use_compiled_kernel:
+        Route analytic-estimator slices through the vectorized
+        :class:`~repro.fg.compiled.CompiledEPKernel` (compiled graph
+        structures are cached per measured-event signature, alongside the
+        catalog and schedule caches).  The reference
+        :class:`~repro.fg.ep.ExpectationPropagation` remains the fallback
+        and always serves the MCMC estimator.  Disable for A/B comparison
+        against the reference loop.
     """
 
     def __init__(
@@ -104,6 +136,7 @@ class BayesPerfEngine:
         ep_damping: float = 1.0,
         mcmc_samples: int = 300,
         use_intensity_chain: bool = True,
+        use_compiled_kernel: bool = True,
         seed: int = 0,
     ) -> None:
         if observation_model not in ("student_t", "gaussian"):
@@ -142,11 +175,15 @@ class BayesPerfEngine:
         self.ep_damping = ep_damping
         self.mcmc_samples = mcmc_samples
         self.use_intensity_chain = use_intensity_chain
+        self.use_compiled_kernel = use_compiled_kernel
         self._seed = seed
         self._rng = np.random.default_rng(seed)
         self.name = "bayesperf"
 
         self._relation_groups = self._group_relations()
+        #: Compiled kernels per measured-event signature (``None`` marks a
+        #: signature that failed to compile and should use reference EP).
+        self._kernel_cache: Dict[Tuple[str, ...], Optional[CompiledEPKernel]] = {}
         self.reset()
 
     # -- lifecycle ----------------------------------------------------------
@@ -339,73 +376,240 @@ class BayesPerfEngine:
 
     # -- inference -------------------------------------------------------------
 
-    def process_record(self, record: SamplingRecord) -> PosteriorReport:
-        """Infer the posterior for one scheduler time slice."""
+    def _site_factor_lists(
+        self,
+        observation_factors: List[Factor],
+        constraint_groups: List[List[Factor]],
+    ) -> List[Tuple[str, List[Factor]]]:
+        """Named EP site partition of one slice's factors (in site order)."""
+        site_lists: List[Tuple[str, List[Factor]]] = []
+        if observation_factors:
+            site_lists.append(("slice-observations", observation_factors))
+        for group_index, factors in enumerate(constraint_groups):
+            if factors:
+                site_lists.append((f"constraints-{group_index}", factors))
+        return site_lists
+
+    def _assemble_graph(
+        self, site_lists: List[Tuple[str, List[Factor]]]
+    ) -> Tuple[FactorGraph, List[EPSite]]:
+        """Materialise the FactorGraph + EPSite objects for one slice.
+
+        Only needed on a kernel-cache miss (to compile the structure) and on
+        the reference-EP fallback; the compiled hot path binds factor
+        objects directly.
+        """
+        graph = FactorGraph(variables=self.events)
+        sites: List[EPSite] = []
+        for name, factors in site_lists:
+            for factor in factors:
+                graph.add_factor(factor)
+            sites.append(EPSite(name=name, factor_names=tuple(f.name for f in factors)))
+        return graph, sites
+
+    def _compiled_kernel(
+        self,
+        signature: Tuple[str, ...],
+        site_lists: List[Tuple[str, List[Factor]]],
+    ) -> Optional[CompiledEPKernel]:
+        """Cached compiled kernel for this slice's graph structure.
+
+        The structure is fully determined by which monitored events the
+        slice measured (the constraint topology is fixed per engine), so
+        kernels are cached per measured-event signature — one compilation
+        per schedule rotation position.
+        """
+        if not (self.use_compiled_kernel and self.moment_estimator == "analytic"):
+            return None
+        try:
+            return self._kernel_cache[signature]
+        except KeyError:
+            pass
+        graph, sites = self._assemble_graph(site_lists)
+        structure = compile_factor_graph(graph, sites, variables=self.events)
+        kernel = (
+            CompiledEPKernel(
+                structure,
+                damping=self.ep_damping,
+                max_iterations=self.ep_max_iterations,
+            )
+            if structure is not None
+            else None
+        )
+        self._kernel_cache[signature] = kernel
+        return kernel
+
+    def _solve_reference(
+        self,
+        site_lists: List[Tuple[str, List[Factor]]],
+        prior: GaussianDensity,
+    ) -> Tuple[Dict[str, float], Dict[str, float], int, bool]:
+        """Run the reference EP loop (MCMC estimator, or kernel fallback)."""
+        graph, sites = self._assemble_graph(site_lists)
+        ep = ExpectationPropagation(
+            graph,
+            sites,
+            prior,
+            moment_estimator=self.moment_estimator,
+            damping=self.ep_damping,
+            max_iterations=self.ep_max_iterations,
+            mcmc_samples=self.mcmc_samples,
+            rng=self._rng,
+        )
+        result = ep.run()
+        return result.posterior.mean(), result.posterior.variance(), result.iterations, result.converged
+
+    def _prepare_slice(self, record: SamplingRecord) -> _PreparedSlice:
+        """Advance the temporal state and build one slice's factors + prior."""
         observations = self._observation_summaries(record)
         intensity_ratio = self._intensity_ratio(observations)
         self._ensure_scales(observations)
         observation_factors, constraint_groups = self._build_factors(observations)
-
-        graph = FactorGraph(variables=self.events)
-        sites: List[EPSite] = []
-        if observation_factors:
-            for factor in observation_factors:
-                graph.add_factor(factor)
-            sites.append(
-                EPSite(name="slice-observations", factor_names=tuple(f.name for f in observation_factors))
-            )
-        for group_index, factors in enumerate(constraint_groups):
-            if not factors:
-                continue
-            for factor in factors:
-                graph.add_factor(factor)
-            sites.append(
-                EPSite(
-                    name=f"constraints-{group_index}",
-                    factor_names=tuple(f.name for f in factors),
-                )
-            )
-
         prior = self._build_prior(intensity_ratio)
-        if sites:
-            ep = ExpectationPropagation(
-                graph,
-                sites,
-                prior,
-                moment_estimator=self.moment_estimator,
-                damping=self.ep_damping,
-                max_iterations=self.ep_max_iterations,
-                mcmc_samples=self.mcmc_samples,
-                rng=self._rng,
-            )
-            result = ep.run()
-            posterior = result.posterior
-            iterations = result.iterations
-            converged = result.converged
-        else:
-            posterior = prior
-            iterations = 0
-            converged = True
+        return _PreparedSlice(
+            record=record,
+            measured=tuple(observations),
+            site_lists=self._site_factor_lists(observation_factors, constraint_groups),
+            prior=prior,
+            scale=dict(self._scale),
+            tick=self._tick,
+            rng_state=self._rng.bit_generator.state,
+            state=None,
+        )
 
-        means = posterior.mean()
-        variances = posterior.variance()
-
+    def _finalize(
+        self,
+        prepared: _PreparedSlice,
+        means: Mapping[str, float],
+        variances: Mapping[str, float],
+        iterations: int,
+        converged: bool,
+    ) -> Tuple[PosteriorReport, EngineState]:
+        """Turn one slice's posterior into a report + successor state."""
         report = PosteriorReport(
-            tick=record.tick,
-            measured_events=tuple(observations),
+            tick=prepared.record.tick,
+            measured_events=prepared.measured,
             ep_iterations=iterations,
             ep_converged=converged,
         )
+        prior_mean: Dict[str, Optional[float]] = {}
         for event in self.events:
-            scale = self._scale[event]
+            scale = prepared.scale[event]
             mean = max(means[event] * scale, 0.0)
             std = math.sqrt(max(variances[event], 0.0)) * scale
             if event in self.monitored_events:
                 report.estimates[event] = EventEstimate(event=event, mean=mean, std=std)
-            # Update the temporal state for the next slice (latent events too).
-            self._prior_mean[event] = max(mean, 1e-9)
-        self._tick += 1
+            # The temporal state for the next slice (latent events too).
+            prior_mean[event] = max(mean, 1e-9)
+        state = EngineState(
+            prior_mean=prior_mean,
+            scale=prepared.scale,
+            tick=prepared.tick + 1,
+            rng_state=prepared.rng_state,
+        )
+        return report, state
+
+    def process_record(self, record: SamplingRecord) -> PosteriorReport:
+        """Infer the posterior for one scheduler time slice."""
+        prepared = self._prepare_slice(record)
+        if prepared.site_lists:
+            kernel = self._compiled_kernel(prepared.measured, prepared.site_lists)
+            if kernel is not None:
+                binding = kernel.structure.bind([f for _, f in prepared.site_lists])
+                result = kernel.run([binding], [prepared.prior])
+                means: Mapping[str, float] = result.mean_dict(0)
+                variances: Mapping[str, float] = result.variance_dict(0)
+                iterations = int(result.iterations[0])
+                converged = bool(result.converged[0])
+            else:
+                means, variances, iterations, converged = self._solve_reference(
+                    prepared.site_lists, prepared.prior
+                )
+        else:
+            means = prepared.prior.mean()
+            variances = prepared.prior.variance()
+            iterations = 0
+            converged = True
+
+        report, state = self._finalize(prepared, means, variances, iterations, converged)
+        # process_record mutates the engine in place; restore() of the
+        # successor state is bit-identical to this (the worker pool relies
+        # on the equivalence of both paths).
+        self._prior_mean.update(state.prior_mean)
+        self._tick = state.tick
         return report
+
+    def process_batch(
+        self, items: Sequence[Tuple[Optional[EngineState], SamplingRecord]]
+    ) -> List[Tuple[PosteriorReport, EngineState]]:
+        """Solve many independent slices in vectorized batches.
+
+        Each item pairs a monitoring run's temporal state (``None`` for a
+        fresh run) with its next record.  Slices are prepared sequentially
+        (the cheap, state-dependent part), grouped by graph-structure
+        signature, and every group is solved in one
+        :meth:`CompiledEPKernel.run` call.  Returns, in input order, each
+        slice's report and successor state — exactly what
+        ``restore(); process_record(); snapshot()`` would produce, slice for
+        slice, bit for bit.
+        """
+        items = list(items)
+        if not items:
+            return []
+        if not (self.use_compiled_kernel and self.moment_estimator == "analytic"):
+            # Reference path (e.g. the MCMC estimator): per-slice solves.
+            results: List[Tuple[PosteriorReport, EngineState]] = []
+            for state, record in items:
+                self.restore(state) if state is not None else self.reset()
+                report = self.process_record(record)
+                results.append((report, self.snapshot()))
+            return results
+
+        prepared: List[_PreparedSlice] = []
+        for state, record in items:
+            self.restore(state) if state is not None else self.reset()
+            slice_ = self._prepare_slice(record)
+            slice_.state = state
+            prepared.append(slice_)
+
+        outputs: List[Optional[Tuple[PosteriorReport, EngineState]]] = [None] * len(items)
+        groups: Dict[Tuple[str, ...], List[int]] = {}
+        for index, slice_ in enumerate(prepared):
+            groups.setdefault(slice_.measured, []).append(index)
+
+        for signature, indices in groups.items():
+            first = prepared[indices[0]]
+            if not first.site_lists:
+                for index in indices:
+                    slice_ = prepared[index]
+                    outputs[index] = self._finalize(
+                        slice_, slice_.prior.mean(), slice_.prior.variance(), 0, True
+                    )
+                continue
+            kernel = self._compiled_kernel(signature, first.site_lists)
+            if kernel is None:
+                # Non-compilable structure: reference EP per slice.
+                for index in indices:
+                    slice_ = prepared[index]
+                    self.restore(slice_.state) if slice_.state is not None else self.reset()
+                    outputs[index] = (self.process_record(slice_.record), self.snapshot())
+                continue
+            bindings = [
+                kernel.structure.bind([f for _, f in prepared[index].site_lists])
+                for index in indices
+            ]
+            result = kernel.run(bindings, [prepared[index].prior for index in indices])
+            for position, index in enumerate(indices):
+                outputs[index] = self._finalize(
+                    prepared[index],
+                    result.mean_dict(position),
+                    result.variance_dict(position),
+                    int(result.iterations[position]),
+                    bool(result.converged[position]),
+                )
+        if any(output is None for output in outputs):
+            raise RuntimeError("process_batch left a slice unsolved (internal error)")
+        return outputs  # type: ignore[return-value]
 
     def correct(self, sampled: SampledTrace) -> EstimateTrace:
         """Correct a full sampled trace, returning per-tick estimates."""

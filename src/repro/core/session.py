@@ -83,8 +83,15 @@ class PerfSession:
         Number of multiplexing quanta between two userspace reads; errors are
         evaluated at this granularity and the Linux baseline scales its
         counts over the same interval.
+    use_compiled_kernel:
+        Route the BayesPerf engine's analytic EP solves through the
+        vectorized :class:`~repro.fg.compiled.CompiledEPKernel` (default).
+        Set to ``False`` to run the reference EP loop instead — the A/B
+        ablation the EP-kernel benchmark uses.
     engine_kwargs:
-        Extra keyword arguments forwarded to :class:`BayesPerfEngine`.
+        Extra keyword arguments forwarded to :class:`BayesPerfEngine`
+        (an explicit ``use_compiled_kernel`` entry here wins over the
+        session-level flag).
     """
 
     def __init__(
@@ -99,6 +106,7 @@ class PerfSession:
         samples_per_tick: int = 4,
         reference: str = "same-run",
         read_interval_ticks: int = 8,
+        use_compiled_kernel: bool = True,
         engine_kwargs: Optional[Dict] = None,
     ) -> None:
         if method not in KNOWN_METHODS:
@@ -118,6 +126,7 @@ class PerfSession:
             name=self.catalog.name
         )
         self.engine_kwargs = dict(engine_kwargs) if engine_kwargs else {}
+        self.engine_kwargs.setdefault("use_compiled_kernel", use_compiled_kernel)
 
         if events is not None:
             self.events: Tuple[str, ...] = tuple(events)

@@ -7,7 +7,9 @@ This package implements the machinery behind the BayesPerf ML model (§4):
 * a bipartite factor graph over event variables with Markov-blanket queries,
 * random-walk Metropolis MCMC for sampling factor subsets,
 * Expectation Propagation (Alg. 1) with either analytic or MCMC moment
-  estimation per site, and
+  estimation per site,
+* a compiled, vectorized EP kernel (index-compiled graph structures,
+  Cholesky-based updates, batched multi-record solves), and
 * maximum-likelihood extraction of point estimates from posteriors.
 """
 
@@ -24,9 +26,21 @@ from repro.fg.graph import FactorGraph
 from repro.fg.markov import markov_blanket, markov_blanket_of_set
 from repro.fg.mcmc import MCMCResult, RandomWalkMetropolis
 from repro.fg.ep import EPResult, ExpectationPropagation
+from repro.fg.compiled import (
+    CompiledEPKernel,
+    CompiledEPResult,
+    CompiledGraph,
+    compile_factor_graph,
+    site_factor_lists,
+)
 from repro.fg.mle import credible_interval, map_estimate
 
 __all__ = [
+    "CompiledEPKernel",
+    "CompiledEPResult",
+    "CompiledGraph",
+    "compile_factor_graph",
+    "site_factor_lists",
     "Gaussian1D",
     "StudentT",
     "GaussianDensity",

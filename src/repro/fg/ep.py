@@ -118,6 +118,7 @@ class ExpectationPropagation:
                 self.graph.factor(name)  # validates existence
                 covered.add(name)
         self._site_variables: Dict[str, Tuple[str, ...]] = {}
+        self._site_anchor_free: Dict[str, bool] = {}
         for site in self.sites:
             variables: List[str] = []
             seen = set()
@@ -127,6 +128,9 @@ class ExpectationPropagation:
                         seen.add(variable)
                         variables.append(variable)
             self._site_variables[site.name] = tuple(variables)
+            self._site_anchor_free[site.name] = all(
+                self.graph.factor(name).anchor_free for name in site.factor_names
+            )
 
     # -- moment estimation -------------------------------------------------
 
@@ -140,6 +144,25 @@ class ExpectationPropagation:
             factor = self.graph.factor(factor_name)
             tilted = tilted.multiply(factor.to_gaussian(anchor))
         return tilted
+
+    def _analytic_site_update(self, site: EPSite) -> GaussianDensity:
+        """Exact analytic site update: the product of the site's projections.
+
+        Every factor family projects to a Gaussian independently of the
+        linearisation anchor, so the ``tilted = cavity x factors`` /
+        ``new_site = tilted / cavity`` round trip cancels algebraically.
+        Computing the factor product directly skips the cancellation —
+        which matters numerically, not just for speed: with tight
+        constraint factors the cavity precision dwarfs the site block, and
+        ``(cavity + site) - cavity`` in floating point would smear
+        ``eps * |cavity|``-sized noise over the update.  (The MCMC
+        estimator keeps the explicit division: its tilted moments really do
+        depend on the cavity.)
+        """
+        product = GaussianDensity.uninformative(self._site_variables[site.name])
+        for factor_name in site.factor_names:
+            product = product.multiply(self.graph.factor(factor_name).to_gaussian(None))
+        return product
 
     def _mcmc_tilted(self, site: EPSite, cavity_marginal: GaussianDensity) -> GaussianDensity:
         """MCMC moment estimate of the tilted distribution.
@@ -199,22 +222,27 @@ class ExpectationPropagation:
                 current_site = site_approx[site.name]
                 site_vars = self._site_variables[site.name]
 
-                # Cavity distribution: g_-k = g / g_k  (line 3 of Alg. 1).
-                cavity = global_approx.divide(current_site)
-                try:
-                    cavity_marginal = cavity.marginal(site_vars)
-                except (ValueError, np.linalg.LinAlgError):
-                    # Improper cavity: fall back to the prior's marginal.
-                    cavity_marginal = self.prior.marginal(site_vars)
-
-                # Tilted distribution moments (line 4: MCMC or analytic).
-                if self.moment_estimator == "mcmc":
-                    tilted = self._mcmc_tilted(site, cavity_marginal)
+                if self.moment_estimator == "analytic" and self._site_anchor_free[site.name]:
+                    # Anchor-free analytic site: the tilted/cavity division
+                    # cancels exactly (see _analytic_site_update); only PD
+                    # repair remains of lines 3-6.
+                    new_site_marginal = _pd_repaired(self._analytic_site_update(site))
                 else:
-                    tilted = self._analytic_tilted(site, cavity_marginal)
-
-                # Local update (lines 5-6): new site approx = tilted / cavity.
-                new_site_marginal = _safe_divide(tilted, cavity_marginal)
+                    # Cavity distribution: g_-k = g / g_k  (line 3 of Alg. 1).
+                    cavity = global_approx.divide(current_site)
+                    try:
+                        cavity_marginal = cavity.marginal(site_vars)
+                    except (ValueError, np.linalg.LinAlgError):
+                        # Improper cavity: fall back to the prior's marginal.
+                        cavity_marginal = self.prior.marginal(site_vars)
+                    # Tilted moments (line 4: MCMC sampling, or the Gaussian
+                    # projection anchored at the cavity mean), then the local
+                    # update (lines 5-6): new site approx = tilted / cavity.
+                    if self.moment_estimator == "mcmc":
+                        tilted = self._mcmc_tilted(site, cavity_marginal)
+                    else:
+                        tilted = self._analytic_tilted(site, cavity_marginal)
+                    new_site_marginal = _safe_divide(tilted, cavity_marginal)
 
                 # Embed the site marginal back into the full variable space.
                 new_site = _embed(new_site_marginal, variables)
@@ -247,12 +275,27 @@ def _safe_divide(numerator: GaussianDensity, denominator: GaussianDensity) -> Ga
     artefact); clipping to a tiny positive precision keeps the algorithm
     stable, matching common EP implementations.
     """
-    quotient = numerator.divide(denominator)
-    precision = quotient.precision
-    eigenvalues = np.linalg.eigvalsh(0.5 * (precision + precision.T))
+    return _pd_repaired(numerator.divide(denominator))
+
+
+def _pd_repaired(density: GaussianDensity) -> GaussianDensity:
+    """Clip a density's precision to positive definiteness (EP site repair).
+
+    A Cholesky factorisation certifies the common PD case at the cost of one
+    factorisation; only on failure does the eigendecomposition repair of the
+    historical implementation run.
+    """
+    precision = density.precision
+    symmetric = 0.5 * (precision + precision.T)
+    try:
+        np.linalg.cholesky(symmetric)
+        return density
+    except np.linalg.LinAlgError:
+        pass
+    eigenvalues = np.linalg.eigvalsh(symmetric)
     if eigenvalues.min() <= 0:
-        precision = precision + (abs(eigenvalues.min()) + 1e-9) * np.eye(len(quotient.variables))
-    return GaussianDensity(quotient.variables, precision, quotient.shift)
+        precision = precision + (abs(eigenvalues.min()) + 1e-9) * np.eye(len(density.variables))
+    return GaussianDensity(density.variables, precision, density.shift)
 
 
 def _embed(density: GaussianDensity, variables: Sequence[str]) -> GaussianDensity:

@@ -52,6 +52,18 @@ class Factor:
         """Whether :meth:`to_gaussian` is exact rather than an approximation."""
         return False
 
+    @property
+    def anchor_free(self) -> bool:
+        """Whether :meth:`to_gaussian` ignores the linearisation anchor.
+
+        Anchor-free sites make the analytic EP update independent of the
+        cavity (the tilted/cavity division cancels algebraically), which is
+        what lets both the reference loop and the compiled kernel compute
+        it exactly.  Factor types that linearise around the anchor must
+        leave this ``False`` so EP keeps anchoring them at the cavity mean.
+        """
+        return False
+
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}({self.name!r}, vars={list(self.variables)})"
 
@@ -79,6 +91,10 @@ class GaussianObservation(Factor):
     def is_gaussian(self) -> bool:
         return True
 
+    @property
+    def anchor_free(self) -> bool:
+        return True
+
 
 class StudentTObservation(Factor):
     """Observation of a single variable through the paper's Student-t model."""
@@ -104,6 +120,11 @@ class StudentTObservation(Factor):
     @property
     def is_gaussian(self) -> bool:
         return False
+
+    @property
+    def anchor_free(self) -> bool:
+        # The moment-matched projection depends only on the distribution.
+        return True
 
 
 class LinearConstraintFactor(Factor):
@@ -141,6 +162,10 @@ class LinearConstraintFactor(Factor):
     def is_gaussian(self) -> bool:
         return True
 
+    @property
+    def anchor_free(self) -> bool:
+        return True
+
 
 class GaussianPriorFactor(Factor):
     """Independent Gaussian prior over one or more variables."""
@@ -169,4 +194,8 @@ class GaussianPriorFactor(Factor):
 
     @property
     def is_gaussian(self) -> bool:
+        return True
+
+    @property
+    def anchor_free(self) -> bool:
         return True

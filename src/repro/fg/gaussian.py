@@ -13,6 +13,8 @@ from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.fg.linalg import cholesky_inverse, cholesky_moments
+
 
 class GaussianDensity:
     """A (possibly improper) multivariate Gaussian over named variables."""
@@ -99,6 +101,15 @@ class GaussianDensity:
         n = len(self.variables)
         precision = self.precision + jitter * np.eye(n)
         try:
+            # Cholesky solve: one factorisation, PD check included, and the
+            # covariance comes out exactly symmetric.
+            return cholesky_moments(precision, self.shift)
+        except np.linalg.LinAlgError:
+            pass
+        # Not positive definite.  EP cavities are occasionally indefinite yet
+        # invertible; keep the historical LU route for them and only raise
+        # when the precision is outright singular.
+        try:
             cov = np.linalg.inv(precision)
         except np.linalg.LinAlgError as exc:
             raise ValueError("cannot compute moments of an improper Gaussian") from exc
@@ -122,8 +133,16 @@ class GaussianDensity:
         mean, cov = self.moments()
         idx = [self._index[name] for name in names]
         sub_mean = mean[idx]
-        sub_cov = cov[np.ix_(idx, idx)]
-        return GaussianDensity.from_moments(names, sub_mean, sub_cov, jitter=1e-12)
+        sub_cov = cov[np.ix_(idx, idx)] + 1e-12 * np.eye(len(idx))
+        # Back to information form directly from the projected moments —
+        # one d x d inversion instead of from_moments' validate/jitter/invert
+        # round trip on data we just computed.
+        try:
+            sub_precision = cholesky_inverse(sub_cov)
+        except np.linalg.LinAlgError:
+            sub_precision = np.linalg.inv(sub_cov)
+            sub_precision = 0.5 * (sub_precision + sub_precision.T)
+        return GaussianDensity(names, sub_precision, sub_precision @ sub_mean)
 
     # -- algebra in information form ---------------------------------------
 

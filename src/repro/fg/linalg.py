@@ -1,0 +1,73 @@
+"""Cholesky-based linear algebra shared by the Gaussian types and the kernel.
+
+Every helper accepts either a single matrix ``(n, n)`` or a stack
+``(..., n, n)`` and applies the operation slice-wise through numpy's linalg
+gufuncs.  Crucially, the batched and the single-matrix paths execute the
+*same* per-slice LAPACK calls, so a computation run with batch size 1 is
+bit-identical to the same slice inside a larger batch — the fleet worker
+pool relies on this to keep batched and per-record inference exactly equal.
+
+Only numpy is required: the triangular factor is inverted with
+``np.linalg.inv`` (one LAPACK call on an ``n x n`` triangle) instead of
+scipy's ``solve_triangular``, which keeps the package importable in minimal
+environments while preserving the Cholesky route's positive-definiteness
+check and symmetric result.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "cholesky_inverse",
+    "cholesky_mean_and_variance",
+    "cholesky_moments",
+]
+
+
+def cholesky_inverse(precision: np.ndarray) -> np.ndarray:
+    """Inverse of a symmetric positive-definite matrix (or stack of them).
+
+    Factors ``P = L L^T`` and returns ``L^{-T} L^{-1}``, which is exactly
+    symmetric by construction (no explicit symmetrisation pass needed).
+    Raises :class:`numpy.linalg.LinAlgError` when any slice is not positive
+    definite — callers use that as the cheap PD probe that replaces an
+    unconditional eigendecomposition.
+    """
+    factor = np.linalg.cholesky(precision)
+    factor_inv = np.linalg.inv(factor)
+    return np.swapaxes(factor_inv, -1, -2) @ factor_inv
+
+
+def cholesky_moments(
+    precision: np.ndarray, shift: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """(mean, covariance) of an information-form Gaussian via Cholesky.
+
+    ``shift`` has shape ``(..., n)`` matching the batch shape of
+    ``precision``.  Raises ``LinAlgError`` when a slice is not PD.
+    """
+    cov = cholesky_inverse(precision)
+    mean = (cov @ shift[..., None])[..., 0]
+    return mean, cov
+
+
+def cholesky_mean_and_variance(
+    precision: np.ndarray, shift: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Posterior mean and marginal variances without forming the covariance.
+
+    With ``P = L L^T``: the mean solves ``P m = h`` as
+    ``m = L^{-T} (L^{-1} h)`` and the marginal variances are the column
+    norms of ``L^{-1}`` (``diag(L^{-T} L^{-1})``).  One factorisation, no
+    ``n x n`` covariance materialised — this is the compiled kernel's final
+    read-out of a batch of posteriors.
+    """
+    factor = np.linalg.cholesky(precision)
+    factor_inv = np.linalg.inv(factor)
+    half = factor_inv @ shift[..., None]
+    mean = (np.swapaxes(factor_inv, -1, -2) @ half)[..., 0]
+    variance = np.sum(factor_inv * factor_inv, axis=-2)
+    return mean, variance
