@@ -1,0 +1,30 @@
+"""Shared I/O for the benchmark suite's perf-trajectory file.
+
+``BENCH_ep.json`` is co-owned by several benchmarks (the EP-kernel bench
+writes the top-level trajectory, the MCMC bench its ``mcmc`` entry); every
+writer must merge its own keys into the existing payload rather than
+overwrite the file, so the single merge protocol lives here.
+"""
+
+import json
+from pathlib import Path
+from typing import Dict
+
+#: The perf trajectory file in the repo root (uploaded as a CI artifact).
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_ep.json"
+
+
+def merge_bench_entries(entries: Dict, path: Path = BENCH_PATH) -> None:
+    """Merge top-level *entries* into the JSON trajectory file at *path*.
+
+    Existing keys owned by other benchmarks are preserved; an unreadable or
+    corrupt file is replaced rather than crashing the benchmark.
+    """
+    payload = {}
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text())
+        except (json.JSONDecodeError, OSError):
+            payload = {}
+    payload.update(entries)
+    path.write_text(json.dumps(payload, indent=2) + "\n")

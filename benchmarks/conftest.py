@@ -1,4 +1,5 @@
-"""Benchmark bootstrap: make ``src/`` importable without an installed package."""
+"""Benchmark bootstrap: make ``src/`` (and this directory) importable
+without an installed package."""
 
 import sys
 from pathlib import Path
@@ -6,3 +7,8 @@ from pathlib import Path
 _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
+
+# The benchmarks share helpers (bench_io) as sibling modules.
+_HERE = Path(__file__).resolve().parent
+if str(_HERE) not in sys.path:
+    sys.path.insert(0, str(_HERE))

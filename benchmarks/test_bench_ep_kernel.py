@@ -14,13 +14,12 @@ its posterior means agree with the reference within 1e-8 (relative).  The
 measured trajectory is written to ``BENCH_ep.json`` in the repo root.
 """
 
-import json
 import os
 import time
-from pathlib import Path
 
 import pytest
 
+from bench_io import merge_bench_entries
 from repro.core.engine import BayesPerfEngine
 from repro.events.profiles import standard_profiling_events
 from repro.events.registry import catalog_for
@@ -36,8 +35,6 @@ TICKS_PER_HOST = 3 if _FULL else 2
 ROUNDS = 2  # initial timed rounds per mode; best-of is compared
 MAX_ROUNDS = 6  # escalation ceiling when a loaded machine makes timing noisy
 MODES = ("reference", "compiled", "batched")
-
-BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_ep.json"
 
 
 def _fleet_records():
@@ -132,25 +129,24 @@ def test_bench_ep_kernel_vs_reference(benchmark):
         )
     print(f"  max relative posterior-mean gap vs reference: {max_gap:.3e}")
 
-    BENCH_PATH.write_text(
-        json.dumps(
-            {
-                "benchmark": "ep-kernel",
-                "workload": {
-                    "arch": "x86",
-                    "n_hosts": N_HOSTS,
-                    "ticks_per_host": TICKS_PER_HOST,
-                    "total_slices": total_slices,
-                    "n_events": len(events),
-                },
-                "slices_per_second": {m: round(throughput[m], 2) for m in MODES},
-                "speedup_vs_reference": {m: round(speedup[m], 2) for m in MODES},
-                "max_relative_posterior_gap": max_gap,
-                "rounds": {m: len(timings[m]) for m in MODES},
+    # Merge into the existing trajectory file rather than overwrite it, so
+    # entries owned by other benchmarks (e.g. the batched-MCMC bench's
+    # ``mcmc`` section) survive a re-run of this one.
+    merge_bench_entries(
+        {
+            "benchmark": "ep-kernel",
+            "workload": {
+                "arch": "x86",
+                "n_hosts": N_HOSTS,
+                "ticks_per_host": TICKS_PER_HOST,
+                "total_slices": total_slices,
+                "n_events": len(events),
             },
-            indent=2,
-        )
-        + "\n"
+            "slices_per_second": {m: round(throughput[m], 2) for m in MODES},
+            "speedup_vs_reference": {m: round(speedup[m], 2) for m in MODES},
+            "max_relative_posterior_gap": max_gap,
+            "rounds": {m: len(timings[m]) for m in MODES},
+        }
     )
 
     # The point of the kernel: batched vectorized solves crush the

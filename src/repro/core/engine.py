@@ -12,10 +12,20 @@ monitored events:
 
 Inference runs Expectation Propagation (Alg. 1) with the slice's observation
 factors and each connected group of constraints as EP sites; tilted moments
-are computed analytically by default or by MCMC (the accelerator's workload)
-when ``moment_estimator="mcmc"``.  All inference happens in a per-event
-normalised space so that counts spanning many orders of magnitude stay well
-conditioned.
+are computed analytically by default or by MCMC (the accelerator's workload).
+All inference happens in a per-event normalised space so that counts spanning
+many orders of magnitude stay well conditioned.
+
+The hot path is **array-native end to end**: per-slice observation summaries
+are plain ndarrays (no Student-t objects), site blocks come out of the
+signature-cached :class:`~repro.fg.compiled.CompiledBinder` (no factor
+objects), and batches solve through
+:meth:`~repro.fg.compiled.CompiledEPKernel.run_stacked` or the batched MCMC
+estimator.  Every fast path keeps a reference twin — the object-walking
+:class:`~repro.fg.ep.ExpectationPropagation` loop for the analytic kernel,
+:class:`~repro.fg.mcmc.ReferenceMCMC` for the batched sampler — selectable
+with ``use_compiled_kernel=False`` so differential tests can pin the pairs
+together.
 """
 
 from __future__ import annotations
@@ -27,8 +37,14 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.events.catalog import EventCatalog
-from repro.fg.compiled import CompiledEPKernel, compile_factor_graph
-from repro.fg.distributions import StudentT
+from repro.fg.compiled import (
+    CompiledBinder,
+    CompiledEPKernel,
+    ConstraintSiteBinder,
+    ObservationSiteBinder,
+    compile_factor_graph,
+)
+from repro.fg.distributions import StudentT, student_t_moment_variance
 from repro.fg.ep import EPSite, ExpectationPropagation
 from repro.fg.factors import (
     Factor,
@@ -38,10 +54,17 @@ from repro.fg.factors import (
 )
 from repro.fg.gaussian import GaussianDensity
 from repro.fg.graph import FactorGraph
+from repro.fg.mcmc import BatchedMCMC, ReferenceMCMC, StudentTTail
 from repro.invariants.library import InvariantLibrary, standard_invariants
 from repro.core.posterior import EventEstimate, PosteriorReport
 from repro.pmu.sampling import SampledTrace, SamplingRecord
 from repro.pmu.traces import EstimateTrace
+
+#: Moment estimators that solve through the compiled kernel's array path.
+_COMPILED_ESTIMATORS = ("analytic", "batched-mcmc")
+#: All supported moment estimators ("mcmc" = per-site tilted MCMC inside
+#: the reference EP loop, the paper's accelerator workload).
+KNOWN_ESTIMATORS = ("analytic", "mcmc", "batched-mcmc")
 
 
 @dataclass
@@ -63,14 +86,34 @@ class EngineState:
     rng_state: Optional[Dict] = None
 
 
+@dataclass(frozen=True)
+class ObservationSummaries:
+    """Array-native per-slice observation summaries (§4.2).
+
+    One row per measured event, in record order: the quantum total, its
+    Student-t scale and the degrees of freedom.  Replaces the historical
+    ``Dict[str, StudentT]`` so batch preparation never materialises
+    distribution objects; the ``events`` tuple doubles as the slice's
+    graph-structure signature.
+    """
+
+    events: Tuple[str, ...]
+    loc: np.ndarray
+    scale: np.ndarray
+    df: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+
 @dataclass
 class _PreparedSlice:
     """One record's slice-local model, built before (batched) inference.
 
     Captures everything :meth:`BayesPerfEngine.process_record` derives from
-    the engine's temporal state *before* running EP, so a batch of slices
-    from different monitoring runs can be prepared sequentially and then
-    solved in one vectorized kernel call.
+    the engine's temporal state *before* running inference, as plain
+    ndarrays, so a batch of slices from different monitoring runs can be
+    prepared sequentially and then solved in one vectorized kernel call.
     """
 
     record: SamplingRecord
@@ -78,12 +121,22 @@ class _PreparedSlice:
     #: signature: which events were measured fully determines the slice's
     #: factor-graph shape (the constraint topology is fixed per engine).
     measured: Tuple[str, ...]
-    site_lists: List[Tuple[str, List[Factor]]]
-    prior: GaussianDensity
+    summaries: ObservationSummaries
+    #: Normalised projected observation moments, ``(E,)`` each.
+    obs_mean: np.ndarray
+    obs_scale: np.ndarray
+    obs_variance: np.ndarray
+    #: Per-event normalisation scales over every engine variable, ``(n,)``.
+    scales_vec: np.ndarray
+    #: Temporal prior in normalised space, ``(n,)`` each.
+    prior_mean_vec: np.ndarray
+    prior_var_vec: np.ndarray
     scale: Dict[str, float]
     tick: int
     rng_state: Optional[Dict]
-    state: Optional[EngineState]
+    #: Per-record seed for the batched MCMC estimator's chains.
+    mcmc_seed: int = 0
+    state: Optional[EngineState] = None
 
 
 class BayesPerfEngine:
@@ -101,7 +154,10 @@ class BayesPerfEngine:
     observation_model:
         ``"student_t"`` (paper, §4.2) or ``"gaussian"`` (ablation).
     moment_estimator:
-        ``"analytic"`` or ``"mcmc"`` tilted-moment computation inside EP.
+        ``"analytic"`` (exact Gaussian projections), ``"mcmc"`` (per-site
+        tilted-moment sampling inside the reference EP loop) or
+        ``"batched-mcmc"`` (full-posterior coupled-chain sampling through
+        the compiled kernel's buffers, vectorized across a batch).
     drift:
         Relative standard deviation of the temporal prior: how much an event
         is expected to change between consecutive slices.
@@ -109,16 +165,17 @@ class BayesPerfEngine:
         Floor on the relative uncertainty assigned to an observation.
     relation_tolerance_scale:
         Multiplier on every relation's tolerance (ablation knob).
-    ep_max_iterations, ep_damping, mcmc_samples, seed:
+    ep_max_iterations, ep_damping, mcmc_samples, mcmc_burn_in, seed:
         EP and MCMC controls.
     use_compiled_kernel:
-        Route analytic-estimator slices through the vectorized
-        :class:`~repro.fg.compiled.CompiledEPKernel` (compiled graph
-        structures are cached per measured-event signature, alongside the
-        catalog and schedule caches).  The reference
-        :class:`~repro.fg.ep.ExpectationPropagation` remains the fallback
-        and always serves the MCMC estimator.  Disable for A/B comparison
-        against the reference loop.
+        Route compiled-estimator slices through the vectorized array path
+        (:class:`~repro.fg.compiled.CompiledEPKernel` /
+        :class:`~repro.fg.mcmc.BatchedMCMC`; compiled structures and
+        binders are cached per measured-event signature).  Disable to run
+        each estimator's reference twin instead — the object-walking
+        :class:`~repro.fg.ep.ExpectationPropagation` loop for
+        ``"analytic"``, :class:`~repro.fg.mcmc.ReferenceMCMC` for
+        ``"batched-mcmc"`` — for differential A/B comparison.
     """
 
     def __init__(
@@ -135,12 +192,18 @@ class BayesPerfEngine:
         ep_max_iterations: int = 8,
         ep_damping: float = 1.0,
         mcmc_samples: int = 300,
+        mcmc_burn_in: int = 200,
         use_intensity_chain: bool = True,
         use_compiled_kernel: bool = True,
         seed: int = 0,
     ) -> None:
         if observation_model not in ("student_t", "gaussian"):
             raise ValueError(f"unknown observation model {observation_model!r}")
+        if moment_estimator not in KNOWN_ESTIMATORS:
+            raise ValueError(
+                f"unknown moment estimator {moment_estimator!r}; "
+                f"expected one of {KNOWN_ESTIMATORS}"
+            )
         if drift <= 0:
             raise ValueError("drift must be positive")
         if min_relative_sigma <= 0:
@@ -174,6 +237,7 @@ class BayesPerfEngine:
         self.ep_max_iterations = ep_max_iterations
         self.ep_damping = ep_damping
         self.mcmc_samples = mcmc_samples
+        self.mcmc_burn_in = mcmc_burn_in
         self.use_intensity_chain = use_intensity_chain
         self.use_compiled_kernel = use_compiled_kernel
         self._seed = seed
@@ -181,9 +245,12 @@ class BayesPerfEngine:
         self.name = "bayesperf"
 
         self._relation_groups = self._group_relations()
+        self._event_slot: Dict[str, int] = {e: i for i, e in enumerate(self.events)}
         #: Compiled kernels per measured-event signature (``None`` marks a
         #: signature that failed to compile and should use reference EP).
         self._kernel_cache: Dict[Tuple[str, ...], Optional[CompiledEPKernel]] = {}
+        #: Array-native binders, cached alongside the kernels.
+        self._binder_cache: Dict[Tuple[str, ...], CompiledBinder] = {}
         self.reset()
 
     # -- lifecycle ----------------------------------------------------------
@@ -192,7 +259,7 @@ class BayesPerfEngine:
         """Forget all temporal state (start of a new monitoring run).
 
         The RNG is re-seeded too, so two runs over the same records produce
-        identical results even with ``moment_estimator="mcmc"``.
+        identical results even with an MCMC moment estimator.
         """
         self._prior_mean: Dict[str, Optional[float]] = {event: None for event in self.events}
         self._scale: Dict[str, float] = {event: 1.0 for event in self.events}
@@ -253,42 +320,85 @@ class BayesPerfEngine:
             groups.setdefault(find(index), []).append(index)
         return tuple(tuple(members) for members in groups.values())
 
-    def _observation_summaries(self, record: SamplingRecord) -> Dict[str, StudentT]:
-        summaries: Dict[str, StudentT] = {}
+    def _observation_summaries(self, record: SamplingRecord) -> ObservationSummaries:
+        """Batched ndarray summaries of one slice's sub-samples (§4.2)."""
+        events: List[str] = []
+        arrays: List[np.ndarray] = []
         for event, samples in record.samples.items():
-            if event not in self.events:
-                continue
-            total = float(np.sum(samples))
-            n = len(samples)
+            if event in self._event_slot:
+                array = np.asarray(samples, dtype=float).reshape(-1)
+                if array.size == 0:
+                    # A measured event with zero sub-samples is malformed
+                    # input (e.g. a truncated trace); fail loudly here
+                    # rather than let NaNs poison the temporal chain.
+                    raise ValueError(
+                        f"record tick {record.tick} has no samples for "
+                        f"measured event {event!r}"
+                    )
+                events.append(event)
+                arrays.append(array)
+        if not events:
+            empty = np.empty(0)
+            return ObservationSummaries((), empty, empty.copy(), empty.copy())
+        lengths = {array.shape[0] for array in arrays}
+        if len(lengths) == 1:
+            # Uniform sub-sample counts (the schedule's normal shape): one
+            # vectorized pass over the (E, n) sample matrix.
+            n = lengths.pop()
+            matrix = np.stack(arrays)
+            totals = matrix.sum(axis=1)
             if n >= 2:
                 # The quantum total is the sum of the sub-samples; its
                 # uncertainty follows from the sub-sample scatter (§4.2).
-                std = float(np.std(samples, ddof=1)) * math.sqrt(n)
+                stds = matrix.std(axis=1, ddof=1) * math.sqrt(n)
             else:
-                std = abs(total) * 0.05
-            scale = max(std / math.sqrt(n), abs(total) * self.min_relative_sigma, 1e-9)
-            summaries[event] = StudentT(loc=total, scale=scale, df=float(max(n - 1, 1)))
-        return summaries
+                stds = np.abs(totals) * 0.05
+            scales = np.maximum(
+                np.maximum(stds / math.sqrt(n), np.abs(totals) * self.min_relative_sigma),
+                1e-9,
+            )
+            dfs = np.full(len(events), float(max(n - 1, 1)))
+        else:
+            # Ragged sub-sample counts: per-event fallback, same arithmetic.
+            totals = np.empty(len(events))
+            scales = np.empty(len(events))
+            dfs = np.empty(len(events))
+            for i, samples in enumerate(arrays):
+                count = samples.shape[0]
+                total = float(np.sum(samples))
+                if count >= 2:
+                    std = float(np.std(samples, ddof=1)) * math.sqrt(count)
+                else:
+                    std = abs(total) * 0.05
+                totals[i] = total
+                scales[i] = max(
+                    std / math.sqrt(count), abs(total) * self.min_relative_sigma, 1e-9
+                )
+                dfs[i] = float(max(count - 1, 1))
+        return ObservationSummaries(tuple(events), totals, scales, dfs)
 
-    def _ensure_scales(self, observations: Mapping[str, StudentT]) -> None:
+    def _ensure_scales(self, summaries: ObservationSummaries) -> None:
         """Initialise or refresh the per-event normalisation scales.
 
         Observed events are always rescaled to their current measured
         magnitude so that a previous bad estimate can never make a fresh
         observation numerically irrelevant.
         """
-        observed_values = [abs(obs.loc) for obs in observations.values() if abs(obs.loc) > 0]
-        fallback = float(np.median(observed_values)) if observed_values else 1.0
+        magnitudes = np.abs(summaries.loc)
+        positive = magnitudes[magnitudes > 0]
+        fallback = float(np.median(positive)) if positive.size else 1.0
+        observed = dict(zip(summaries.events, magnitudes))
         for event in self.events:
             prior = self._prior_mean[event]
-            if event in observations and abs(observations[event].loc) > 0:
-                self._scale[event] = max(abs(observations[event].loc), 1e-9)
+            magnitude = observed.get(event, 0.0)
+            if magnitude > 0:
+                self._scale[event] = max(float(magnitude), 1e-9)
             elif prior is not None and prior > 0:
                 self._scale[event] = prior
             elif self._scale[event] <= 0 or self._scale[event] == 1.0:
                 self._scale[event] = max(fallback, 1e-9)
 
-    def _intensity_ratio(self, observations: Mapping[str, StudentT]) -> float:
+    def _intensity_ratio(self, summaries: ObservationSummaries) -> float:
         """Common-mode activity change since the previous slice (§3 chaining).
 
         Events measured in this slice that also have an estimate from the
@@ -299,35 +409,44 @@ class BayesPerfEngine:
         if not self.use_intensity_chain:
             return 1.0
         ratios = []
-        for event, summary in observations.items():
+        for event, loc in zip(summaries.events, summaries.loc):
             previous = self._prior_mean.get(event)
-            if previous is not None and previous > 0 and summary.loc > 0:
-                ratios.append(summary.loc / previous)
+            if previous is not None and previous > 0 and loc > 0:
+                ratios.append(loc / previous)
         if not ratios:
             return 1.0
         ratio = float(np.median(ratios))
         return float(min(max(ratio, 0.2), 5.0))
 
     def _build_factors(
-        self, observations: Mapping[str, StudentT]
+        self, summaries: ObservationSummaries
     ) -> Tuple[List[Factor], List[List[Factor]]]:
-        """Observation factors and per-group constraint factors (normalised)."""
+        """Observation factors and per-group constraint factors (normalised).
+
+        The object-level slice model — needed only to compile a new
+        signature and on the reference-twin paths; the compiled hot path
+        binds the summary arrays directly.
+        """
         observation_factors: List[Factor] = []
-        for event, summary in observations.items():
+        for event, loc, sigma, df in zip(
+            summaries.events, summaries.loc, summaries.scale, summaries.df
+        ):
             scale = self._scale[event]
-            loc = summary.loc / scale
-            sigma = max(summary.scale / scale, 1e-9)
+            loc_norm = loc / scale
+            sigma_norm = max(sigma / scale, 1e-9)
             if self.observation_model == "student_t":
                 observation_factors.append(
                     StudentTObservation(
                         name=f"obs::{event}",
                         variable=event,
-                        distribution=StudentT(loc=loc, scale=sigma, df=summary.df),
+                        distribution=StudentT(loc=loc_norm, scale=sigma_norm, df=float(df)),
                     )
                 )
             else:
                 observation_factors.append(
-                    GaussianObservation(name=f"obs::{event}", variable=event, observed=loc, sigma=sigma)
+                    GaussianObservation(
+                        name=f"obs::{event}", variable=event, observed=loc_norm, sigma=sigma_norm
+                    )
                 )
 
         constraint_groups: List[List[Factor]] = []
@@ -354,27 +473,42 @@ class BayesPerfEngine:
             constraint_groups.append(factors)
         return observation_factors, constraint_groups
 
-    def _build_prior(self, intensity_ratio: float = 1.0) -> GaussianDensity:
-        """Temporal prior over all events in normalised space.
+    def _build_prior_arrays(self, intensity_ratio: float = 1.0) -> Tuple[np.ndarray, np.ndarray]:
+        """Temporal prior over all events in normalised space, as arrays.
 
         The previous slice's posterior mean, advanced by the common-mode
         intensity ratio, becomes the prior mean; its spread is the relative
         ``drift`` the workload is expected to exhibit between slices.
         """
-        means: Dict[str, float] = {}
-        variances: Dict[str, float] = {}
-        for event in self.events:
+        means = np.empty(len(self.events))
+        variances = np.empty(len(self.events))
+        for i, event in enumerate(self.events):
             prior = self._prior_mean[event]
             if prior is not None and prior > 0:
-                means[event] = prior * intensity_ratio / self._scale[event]
-                variances[event] = (self.drift * means[event] + 1e-6) ** 2
+                mean = prior * intensity_ratio / self._scale[event]
+                means[i] = mean
+                variances[i] = (self.drift * mean + 1e-6) ** 2
             else:
                 # Nothing known yet: a broad prior centred on the event's scale.
-                means[event] = 1.0
-                variances[event] = 25.0
+                means[i] = 1.0
+                variances[i] = 25.0
+        return means, variances
+
+    def _prior_density(self, prepared: _PreparedSlice) -> GaussianDensity:
+        """The prepared slice's temporal prior as a Gaussian object."""
+        means = {e: float(m) for e, m in zip(self.events, prepared.prior_mean_vec)}
+        variances = {e: float(v) for e, v in zip(self.events, prepared.prior_var_vec)}
         return GaussianDensity.diagonal(means, variances)
 
     # -- inference -------------------------------------------------------------
+
+    @property
+    def _has_sites(self) -> bool:
+        """Whether the engine's graphs ever contain constraint sites."""
+        return bool(self._relation_groups)
+
+    def _compiled_path(self) -> bool:
+        return self.use_compiled_kernel and self.moment_estimator in _COMPILED_ESTIMATORS
 
     def _site_factor_lists(
         self,
@@ -396,8 +530,8 @@ class BayesPerfEngine:
         """Materialise the FactorGraph + EPSite objects for one slice.
 
         Only needed on a kernel-cache miss (to compile the structure) and on
-        the reference-EP fallback; the compiled hot path binds factor
-        objects directly.
+        the reference-twin paths; the compiled hot path binds summary
+        arrays directly.
         """
         graph = FactorGraph(variables=self.events)
         sites: List[EPSite] = []
@@ -407,37 +541,80 @@ class BayesPerfEngine:
             sites.append(EPSite(name=name, factor_names=tuple(f.name for f in factors)))
         return graph, sites
 
+    def _build_binder(
+        self, structure, site_names: Sequence[str], measured: Tuple[str, ...]
+    ) -> CompiledBinder:
+        """Array-native binder for one compiled structure.
+
+        Lowered once per measured-event signature: the observation site's
+        slot table plus each constraint group's stacked (unscaled)
+        coefficient matrix, in the structure's site-local orderings.
+        """
+        observation: Optional[ObservationSiteBinder] = None
+        constraints: List[ConstraintSiteBinder] = []
+        for index, name in enumerate(site_names):
+            site = structure.sites[index]
+            local = {variable: i for i, variable in enumerate(site.variables)}
+            if name == "slice-observations":
+                slots = np.array([local[event] for event in measured], dtype=np.intp)
+                observation = ObservationSiteBinder(site=index, slots=slots, width=site.width)
+            else:
+                group = int(name.rsplit("-", 1)[1])
+                relations = [self.relations[i] for i in self._relation_groups[group]]
+                coefficients = np.zeros((len(relations), site.width))
+                tolerances = np.empty(len(relations))
+                for row, relation in enumerate(relations):
+                    for event, coefficient in relation.coefficients.items():
+                        coefficients[row, local[event]] = coefficient
+                    tolerances[row] = relation.tolerance * self.relation_tolerance_scale
+                constraints.append(
+                    ConstraintSiteBinder(
+                        site=index,
+                        coefficients=coefficients,
+                        tolerances=tolerances,
+                        width=site.width,
+                    )
+                )
+        return CompiledBinder(
+            structure=structure, observation=observation, constraints=tuple(constraints)
+        )
+
     def _compiled_kernel(
-        self,
-        signature: Tuple[str, ...],
-        site_lists: List[Tuple[str, List[Factor]]],
-    ) -> Optional[CompiledEPKernel]:
-        """Cached compiled kernel for this slice's graph structure.
+        self, prepared: _PreparedSlice
+    ) -> Optional[Tuple[CompiledEPKernel, CompiledBinder]]:
+        """Cached compiled kernel + binder for this slice's graph structure.
 
         The structure is fully determined by which monitored events the
         slice measured (the constraint topology is fixed per engine), so
-        kernels are cached per measured-event signature — one compilation
-        per schedule rotation position.
+        kernels and their array-native binders are cached per
+        measured-event signature — one compilation per schedule rotation
+        position.
         """
-        if not (self.use_compiled_kernel and self.moment_estimator == "analytic"):
+        if not self._compiled_path():
             return None
+        signature = prepared.measured
         try:
-            return self._kernel_cache[signature]
+            kernel = self._kernel_cache[signature]
         except KeyError:
-            pass
-        graph, sites = self._assemble_graph(site_lists)
-        structure = compile_factor_graph(graph, sites, variables=self.events)
-        kernel = (
-            CompiledEPKernel(
-                structure,
-                damping=self.ep_damping,
-                max_iterations=self.ep_max_iterations,
-            )
-            if structure is not None
-            else None
-        )
-        self._kernel_cache[signature] = kernel
-        return kernel
+            observation_factors, constraint_groups = self._build_factors(prepared.summaries)
+            site_lists = self._site_factor_lists(observation_factors, constraint_groups)
+            graph, sites = self._assemble_graph(site_lists)
+            structure = compile_factor_graph(graph, sites, variables=self.events)
+            if structure is None:
+                kernel = None
+            else:
+                kernel = CompiledEPKernel(
+                    structure,
+                    damping=self.ep_damping,
+                    max_iterations=self.ep_max_iterations,
+                )
+                self._binder_cache[signature] = self._build_binder(
+                    structure, [name for name, _ in site_lists], signature
+                )
+            self._kernel_cache[signature] = kernel
+        if kernel is None:
+            return None
+        return kernel, self._binder_cache[signature]
 
     def _solve_reference(
         self,
@@ -459,23 +636,125 @@ class BayesPerfEngine:
         result = ep.run()
         return result.posterior.mean(), result.posterior.variance(), result.iterations, result.converged
 
+    def _solve_reference_mcmc(
+        self, prepared: _PreparedSlice
+    ) -> Tuple[Dict[str, float], Dict[str, float]]:
+        """Reference twin of the batched MCMC estimator (object-based).
+
+        Walks the slice's Python factor objects per step, seeded with the
+        same per-record seed the batched path would use — the differential
+        harness pins the two within floating-point noise.
+        """
+        observation_factors, constraint_groups = self._build_factors(prepared.summaries)
+        factors: List[Factor] = list(observation_factors)
+        for group in constraint_groups:
+            factors.extend(group)
+        twin = ReferenceMCMC(
+            factors,
+            self._prior_density(prepared),
+            n_samples=self.mcmc_samples,
+            burn_in=self.mcmc_burn_in,
+        )
+        moments = twin.run(rng=np.random.default_rng(prepared.mcmc_seed))
+        return moments.mean(), moments.variance()
+
     def _prepare_slice(self, record: SamplingRecord) -> _PreparedSlice:
-        """Advance the temporal state and build one slice's factors + prior."""
-        observations = self._observation_summaries(record)
-        intensity_ratio = self._intensity_ratio(observations)
-        self._ensure_scales(observations)
-        observation_factors, constraint_groups = self._build_factors(observations)
-        prior = self._build_prior(intensity_ratio)
+        """Advance the temporal state and build one slice's arrays."""
+        summaries = self._observation_summaries(record)
+        intensity_ratio = self._intensity_ratio(summaries)
+        self._ensure_scales(summaries)
+        scale_obs = np.array([self._scale[event] for event in summaries.events])
+        obs_mean = summaries.loc / scale_obs
+        obs_scale = np.maximum(summaries.scale / scale_obs, 1e-9)
+        if self.observation_model == "student_t":
+            obs_variance = student_t_moment_variance(obs_scale, summaries.df)
+        else:
+            obs_variance = obs_scale**2
+        scales_vec = np.array([self._scale[event] for event in self.events])
+        prior_mean_vec, prior_var_vec = self._build_prior_arrays(intensity_ratio)
+        mcmc_seed = 0
+        if self.moment_estimator == "batched-mcmc":
+            # Drawn per record under that record's restored state, so a
+            # batch member samples the same chain its looped twin would.
+            mcmc_seed = int(self._rng.integers(0, 2**63))
         return _PreparedSlice(
             record=record,
-            measured=tuple(observations),
-            site_lists=self._site_factor_lists(observation_factors, constraint_groups),
-            prior=prior,
+            measured=summaries.events,
+            summaries=summaries,
+            obs_mean=obs_mean,
+            obs_scale=obs_scale,
+            obs_variance=obs_variance,
+            scales_vec=scales_vec,
+            prior_mean_vec=prior_mean_vec,
+            prior_var_vec=prior_var_vec,
             scale=dict(self._scale),
             tick=self._tick,
             rng_state=self._rng.bit_generator.state,
-            state=None,
+            mcmc_seed=mcmc_seed,
         )
+
+    def _solve_group_arrays(
+        self,
+        group: List[_PreparedSlice],
+        kernel: CompiledEPKernel,
+        binder: CompiledBinder,
+    ) -> List[Tuple[Mapping[str, float], Mapping[str, float], int, bool]]:
+        """Solve one same-signature group through the array-native path.
+
+        Every step — binding, priors, the EP kernel or the batched MCMC
+        estimator — is element-wise or gufunc-batched, so a group of one is
+        bit-identical to the same slice inside a larger group.
+        """
+        obs_mean = np.stack([p.obs_mean for p in group])
+        obs_variance = np.stack([p.obs_variance for p in group])
+        scales = np.stack([p.scales_vec for p in group])
+        stacked = binder.bind_batch(obs_mean, obs_variance, scales)
+
+        prior_mean = np.stack([p.prior_mean_vec for p in group])
+        prior_var = np.stack([p.prior_var_vec for p in group])
+        batch, n = prior_mean.shape
+        prior_precision = np.zeros((batch, n, n))
+        diagonal = np.arange(n)
+        prior_precision[:, diagonal, diagonal] = 1.0 / prior_var
+        prior_shift = prior_mean / prior_var
+
+        if self.moment_estimator == "analytic":
+            result = kernel.run_stacked(stacked, prior_precision, prior_shift)
+            return [
+                (
+                    result.mean_dict(b),
+                    result.variance_dict(b),
+                    int(result.iterations[b]),
+                    bool(result.converged[b]),
+                )
+                for b in range(batch)
+            ]
+
+        # Batched MCMC: the coupled-chain estimator over the same buffers.
+        extra = None
+        measured = group[0].measured
+        if self.observation_model == "student_t" and measured:
+            extra = StudentTTail(
+                slots=np.array([self._event_slot[e] for e in measured], dtype=np.intp),
+                loc=obs_mean,
+                scale=np.stack([p.obs_scale for p in group]),
+                df=np.stack([p.summaries.df for p in group]),
+                variance=obs_variance,
+            )
+        sampler = BatchedMCMC(
+            kernel, n_samples=self.mcmc_samples, burn_in=self.mcmc_burn_in
+        )
+        sampled = sampler.run(
+            stacked,
+            prior_precision,
+            prior_shift,
+            seeds=[p.mcmc_seed for p in group],
+            extra_log_density=extra,
+        )
+        return [
+            (sampled.mean_dict(b), sampled.variance_dict(b), 0, True)
+            for b in range(batch)
+        ]
 
     def _finalize(
         self,
@@ -509,29 +788,38 @@ class BayesPerfEngine:
         )
         return report, state
 
+    def _finalize_prior_only(
+        self, prepared: _PreparedSlice
+    ) -> Tuple[PosteriorReport, EngineState]:
+        """Slice with no sites at all: the posterior is the prior."""
+        prior = self._prior_density(prepared)
+        return self._finalize(prepared, prior.mean(), prior.variance(), 0, True)
+
     def process_record(self, record: SamplingRecord) -> PosteriorReport:
         """Infer the posterior for one scheduler time slice."""
         prepared = self._prepare_slice(record)
-        if prepared.site_lists:
-            kernel = self._compiled_kernel(prepared.measured, prepared.site_lists)
-            if kernel is not None:
-                binding = kernel.structure.bind([f for _, f in prepared.site_lists])
-                result = kernel.run([binding], [prepared.prior])
-                means: Mapping[str, float] = result.mean_dict(0)
-                variances: Mapping[str, float] = result.variance_dict(0)
-                iterations = int(result.iterations[0])
-                converged = bool(result.converged[0])
+        if prepared.measured or self._has_sites:
+            compiled = self._compiled_kernel(prepared)
+            if compiled is not None:
+                kernel, binder = compiled
+                means, variances, iterations, converged = self._solve_group_arrays(
+                    [prepared], kernel, binder
+                )[0]
+            elif self.moment_estimator == "batched-mcmc":
+                means, variances = self._solve_reference_mcmc(prepared)
+                iterations, converged = 0, True
             else:
-                means, variances, iterations, converged = self._solve_reference(
-                    prepared.site_lists, prepared.prior
+                observation_factors, constraint_groups = self._build_factors(
+                    prepared.summaries
                 )
+                site_lists = self._site_factor_lists(observation_factors, constraint_groups)
+                means, variances, iterations, converged = self._solve_reference(
+                    site_lists, self._prior_density(prepared)
+                )
+            report, state = self._finalize(prepared, means, variances, iterations, converged)
         else:
-            means = prepared.prior.mean()
-            variances = prepared.prior.variance()
-            iterations = 0
-            converged = True
+            report, state = self._finalize_prior_only(prepared)
 
-        report, state = self._finalize(prepared, means, variances, iterations, converged)
         # process_record mutates the engine in place; restore() of the
         # successor state is bit-identical to this (the worker pool relies
         # on the equivalence of both paths).
@@ -547,17 +835,19 @@ class BayesPerfEngine:
         Each item pairs a monitoring run's temporal state (``None`` for a
         fresh run) with its next record.  Slices are prepared sequentially
         (the cheap, state-dependent part), grouped by graph-structure
-        signature, and every group is solved in one
-        :meth:`CompiledEPKernel.run` call.  Returns, in input order, each
-        slice's report and successor state — exactly what
-        ``restore(); process_record(); snapshot()`` would produce, slice for
-        slice, bit for bit.
+        signature, and every group is solved in one array-native pass —
+        :meth:`CompiledEPKernel.run_stacked` for the analytic estimator,
+        :meth:`~repro.fg.mcmc.BatchedMCMC.run` for ``"batched-mcmc"``.
+        Returns, in input order, each slice's report and successor state —
+        exactly what ``restore(); process_record(); snapshot()`` would
+        produce, slice for slice, bit for bit.
         """
         items = list(items)
         if not items:
             return []
-        if not (self.use_compiled_kernel and self.moment_estimator == "analytic"):
-            # Reference path (e.g. the MCMC estimator): per-slice solves.
+        if not self._compiled_path():
+            # Reference path (e.g. the per-site MCMC estimator, or the
+            # reference twins): per-slice solves.
             results: List[Tuple[PosteriorReport, EngineState]] = []
             for state, record in items:
                 self.restore(state) if state is not None else self.reset()
@@ -579,33 +869,26 @@ class BayesPerfEngine:
 
         for signature, indices in groups.items():
             first = prepared[indices[0]]
-            if not first.site_lists:
+            if not (first.measured or self._has_sites):
                 for index in indices:
-                    slice_ = prepared[index]
-                    outputs[index] = self._finalize(
-                        slice_, slice_.prior.mean(), slice_.prior.variance(), 0, True
-                    )
+                    outputs[index] = self._finalize_prior_only(prepared[index])
                 continue
-            kernel = self._compiled_kernel(signature, first.site_lists)
-            if kernel is None:
-                # Non-compilable structure: reference EP per slice.
+            compiled = self._compiled_kernel(first)
+            if compiled is None:
+                # Non-compilable structure: reference path per slice.
                 for index in indices:
                     slice_ = prepared[index]
                     self.restore(slice_.state) if slice_.state is not None else self.reset()
                     outputs[index] = (self.process_record(slice_.record), self.snapshot())
                 continue
-            bindings = [
-                kernel.structure.bind([f for _, f in prepared[index].site_lists])
-                for index in indices
-            ]
-            result = kernel.run(bindings, [prepared[index].prior for index in indices])
+            kernel, binder = compiled
+            solved = self._solve_group_arrays(
+                [prepared[index] for index in indices], kernel, binder
+            )
             for position, index in enumerate(indices):
+                means, variances, iterations, converged = solved[position]
                 outputs[index] = self._finalize(
-                    prepared[index],
-                    result.mean_dict(position),
-                    result.variance_dict(position),
-                    int(result.iterations[position]),
-                    bool(result.converged[position]),
+                    prepared[index], means, variances, iterations, converged
                 )
         if any(output is None for output in outputs):
             raise RuntimeError("process_batch left a slice unsolved (internal error)")

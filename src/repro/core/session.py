@@ -83,11 +83,18 @@ class PerfSession:
         Number of multiplexing quanta between two userspace reads; errors are
         evaluated at this granularity and the Linux baseline scales its
         counts over the same interval.
+    moment_estimator:
+        BayesPerf tilted-moment computation: ``"analytic"`` (default),
+        ``"mcmc"`` (per-site sampling inside reference EP) or
+        ``"batched-mcmc"`` (full-posterior coupled-chain sampling through
+        the compiled kernel).  Shorthand for the same ``engine_kwargs``
+        entry, which wins if both are given.
     use_compiled_kernel:
-        Route the BayesPerf engine's analytic EP solves through the
-        vectorized :class:`~repro.fg.compiled.CompiledEPKernel` (default).
-        Set to ``False`` to run the reference EP loop instead — the A/B
-        ablation the EP-kernel benchmark uses.
+        Route the BayesPerf engine's solves through the vectorized array
+        path (default).  Set to ``False`` to run each estimator's reference
+        twin instead — the object-walking EP loop for ``"analytic"``,
+        :class:`~repro.fg.mcmc.ReferenceMCMC` for ``"batched-mcmc"`` — the
+        A/B ablation the differential tests and benchmarks use.
     engine_kwargs:
         Extra keyword arguments forwarded to :class:`BayesPerfEngine`
         (an explicit ``use_compiled_kernel`` entry here wins over the
@@ -106,6 +113,7 @@ class PerfSession:
         samples_per_tick: int = 4,
         reference: str = "same-run",
         read_interval_ticks: int = 8,
+        moment_estimator: Optional[str] = None,
         use_compiled_kernel: bool = True,
         engine_kwargs: Optional[Dict] = None,
     ) -> None:
@@ -127,6 +135,8 @@ class PerfSession:
         )
         self.engine_kwargs = dict(engine_kwargs) if engine_kwargs else {}
         self.engine_kwargs.setdefault("use_compiled_kernel", use_compiled_kernel)
+        if moment_estimator is not None:
+            self.engine_kwargs.setdefault("moment_estimator", moment_estimator)
 
         if events is not None:
             self.events: Tuple[str, ...] = tuple(events)

@@ -13,7 +13,12 @@ This package implements the machinery behind the BayesPerf ML model (§4):
 * maximum-likelihood extraction of point estimates from posteriors.
 """
 
-from repro.fg.distributions import Gaussian1D, StudentT
+from repro.fg.distributions import (
+    Gaussian1D,
+    StudentT,
+    student_t_log_pdf,
+    student_t_moment_variance,
+)
 from repro.fg.gaussian import GaussianDensity
 from repro.fg.factors import (
     Factor,
@@ -24,23 +29,44 @@ from repro.fg.factors import (
 )
 from repro.fg.graph import FactorGraph
 from repro.fg.markov import markov_blanket, markov_blanket_of_set
-from repro.fg.mcmc import MCMCResult, RandomWalkMetropolis
+from repro.fg.mcmc import (
+    BatchedMCMC,
+    BatchedMCMCResult,
+    MCMCMoments,
+    MCMCResult,
+    RandomWalkMetropolis,
+    ReferenceMCMC,
+    StudentTTail,
+)
 from repro.fg.ep import EPResult, ExpectationPropagation
 from repro.fg.compiled import (
+    CompiledBinder,
     CompiledEPKernel,
     CompiledEPResult,
     CompiledGraph,
+    ConstraintSiteBinder,
+    ObservationSiteBinder,
     compile_factor_graph,
     site_factor_lists,
 )
 from repro.fg.mle import credible_interval, map_estimate
 
 __all__ = [
+    "BatchedMCMC",
+    "BatchedMCMCResult",
+    "CompiledBinder",
     "CompiledEPKernel",
     "CompiledEPResult",
     "CompiledGraph",
+    "ConstraintSiteBinder",
+    "MCMCMoments",
+    "ObservationSiteBinder",
+    "ReferenceMCMC",
+    "StudentTTail",
     "compile_factor_graph",
     "site_factor_lists",
+    "student_t_log_pdf",
+    "student_t_moment_variance",
     "Gaussian1D",
     "StudentT",
     "GaussianDensity",

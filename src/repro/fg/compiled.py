@@ -70,10 +70,13 @@ from repro.fg.graph import FactorGraph
 from repro.fg.linalg import cholesky_mean_and_variance
 
 __all__ = [
+    "CompiledBinder",
     "CompiledEPKernel",
     "CompiledEPResult",
     "CompiledGraph",
     "CompiledSite",
+    "ConstraintSiteBinder",
+    "ObservationSiteBinder",
     "compile_factor_graph",
     "site_factor_lists",
 ]
@@ -120,7 +123,7 @@ class _LinearConstraintOp:
         self.cols = slots[None, :]
 
     def add_to(self, factor: LinearConstraintFactor, precision: np.ndarray, shift: np.ndarray) -> None:
-        a = np.array([factor.coefficients[v] for v in factor.variables], dtype=float)
+        a = factor.coefficient_array
         precision[self.rows, self.cols] += np.outer(a, a) / (factor.sigma**2)
 
 
@@ -202,6 +205,129 @@ class CompiledGraph:
 def site_factor_lists(graph: FactorGraph, sites: Sequence[EPSite]) -> List[List[Factor]]:
     """Each site's factor objects in site order (the ``bind`` input shape)."""
     return [[graph.factor(name) for name in site.factor_names] for site in sites]
+
+
+# -- array-native binding ------------------------------------------------------
+#
+# CompiledGraph.bind walks Python factor objects per record: the per-slice
+# model must first be materialised as GaussianObservation / StudentT /
+# LinearConstraintFactor instances just so the ops can read their fields
+# back out.  The binders below skip the objects entirely: a record (or a
+# whole batch of records) is described by plain ndarrays — observation
+# moments and per-variable normalisation scales — and every site's
+# natural-parameter block comes out of one vectorized expression.  All ops
+# are element-wise or gufunc matmuls, so a record bound alone (B=1) is
+# bit-identical to the same record inside a batch.
+
+
+@dataclass(frozen=True)
+class ObservationSiteBinder:
+    """Vectorized binding of one observation site (one factor per event)."""
+
+    #: Index of the site inside the compiled structure.
+    site: int
+    #: Site-local slot of each observed event, in observation order.
+    slots: np.ndarray
+    width: int
+
+    def bind(self, mean: np.ndarray, variance: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Site blocks for ``(B, E)`` projected observation moments.
+
+        ``mean`` / ``variance`` are the moment-matched Gaussian projections
+        of the batch's observations (already normalised); the arithmetic
+        matches ``_GaussianObservationOp`` / ``_StudentTObservationOp``.
+        """
+        batch = mean.shape[0]
+        precision = np.zeros((batch, self.width, self.width))
+        shift = np.zeros((batch, self.width))
+        precision[:, self.slots, self.slots] = 1.0 / variance
+        shift[:, self.slots] = mean / variance
+        return precision, shift
+
+
+@dataclass(frozen=True)
+class ConstraintSiteBinder:
+    """Vectorized binding of one constraint-group site.
+
+    Holds the group's *unscaled* invariant coefficients stacked as one
+    ``(R, w)`` matrix; binding applies each record's per-variable
+    normalisation scales and accumulates every relation's soft-constraint
+    block in a single batched ``A^T A`` product.
+    """
+
+    site: int
+    #: ``(R, w)`` relation coefficients over the site's local variables.
+    coefficients: np.ndarray
+    #: ``(R,)`` per-relation tolerance (already multiplied by the engine's
+    #: tolerance scale), applied to the scaled coefficient magnitude.
+    tolerances: np.ndarray
+    width: int
+
+    def bind(self, scales: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Site blocks for ``(B, w)`` per-record variable scales."""
+        # ascontiguousarray pins the broadcast product's memory layout:
+        # numpy lays the (B, R, w) result out differently for B=1 than for
+        # B>1, and the reduction below follows memory order, which would
+        # break the B=1 == B=N bit-identity the worker pool relies on.
+        scaled = np.ascontiguousarray(
+            self.coefficients[None, :, :] * scales[:, None, :]
+        )  # (B, R, w)
+        magnitude = np.abs(scaled).sum(axis=-1)  # (B, R)
+        sigma = np.maximum(self.tolerances[None, :] * magnitude, 1e-9)
+        rows = scaled / sigma[..., None]
+        # Accumulate each relation's outer product element-wise rather than
+        # through a batched GEMM: BLAS picks batch-size-dependent blocking,
+        # which would break the B=1 == B=N bit-identity the worker pool
+        # relies on.  Relation order matches the object path's op loop.
+        precision = np.zeros((scaled.shape[0], self.width, self.width))
+        for relation in range(rows.shape[1]):
+            row = rows[:, relation, :]
+            precision += row[:, :, None] * row[:, None, :]
+        shift = np.zeros((scaled.shape[0], self.width))
+        return precision, shift
+
+
+@dataclass(frozen=True)
+class CompiledBinder:
+    """Array-native evaluation of every site block for one graph structure.
+
+    The value-level twin of :meth:`CompiledGraph.bind`: cached per
+    measured-event signature alongside the compiled kernel, it turns a
+    batch of records — observation moments plus normalisation scales —
+    into stacked per-site ``(precision, shift)`` targets without building
+    a single factor object.
+    """
+
+    structure: CompiledGraph
+    observation: Optional[ObservationSiteBinder]
+    constraints: Tuple[ConstraintSiteBinder, ...]
+
+    def bind_batch(
+        self,
+        obs_mean: np.ndarray,
+        obs_variance: np.ndarray,
+        scales: np.ndarray,
+    ) -> List[Tuple[np.ndarray, np.ndarray]]:
+        """Stacked site blocks for a batch of records.
+
+        ``obs_mean`` / ``obs_variance`` are ``(B, E)`` projected observation
+        moments in the signature's event order; ``scales`` is the ``(B, n)``
+        per-record normalisation scale of every structure variable.
+        Returns one ``((B, w, w), (B, w))`` pair per compiled site, in site
+        order — exactly the shape :meth:`CompiledEPKernel.run_stacked`
+        consumes.
+        """
+        blocks: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [None] * len(
+            self.structure.sites
+        )
+        if self.observation is not None:
+            blocks[self.observation.site] = self.observation.bind(obs_mean, obs_variance)
+        for binder in self.constraints:
+            site = self.structure.sites[binder.site]
+            blocks[binder.site] = binder.bind(scales[:, site.index])
+        if any(block is None for block in blocks):
+            raise ValueError("binder does not cover every compiled site")
+        return blocks  # type: ignore[return-value]
 
 
 def compile_factor_graph(
@@ -359,23 +485,48 @@ class CompiledEPKernel:
         for prior in priors:
             if prior.variables != variables:
                 raise ValueError("prior variables must match the compiled ordering")
-        sites = self.structure.sites
-
-        # Stack per-record site blocks along the batch axis and PD-repair
-        # them once: anchor-free factors make the site target iteration-
-        # invariant (see module docstring).
         stacked = [
             (
                 np.stack([bindings[b][k][0] for b in range(batch)]),
                 np.stack([bindings[b][k][1] for b in range(batch)]),
             )
-            for k in range(len(sites))
+            for k in range(len(self.structure.sites))
         ]
+        return self.run_stacked(
+            stacked,
+            np.stack([prior.precision for prior in priors]),
+            np.stack([prior.shift for prior in priors]),
+        )
+
+    def run_stacked(
+        self,
+        stacked: Sequence[Tuple[np.ndarray, np.ndarray]],
+        prior_precision: np.ndarray,
+        prior_shift: np.ndarray,
+    ) -> CompiledEPResult:
+        """Solve a batch given already-stacked site blocks and priors.
+
+        ``stacked[k]`` is one ``((B, w, w), (B, w))`` pair per compiled site
+        (the :meth:`CompiledBinder.bind_batch` output); ``prior_precision``
+        and ``prior_shift`` are the ``(B, n, n)`` / ``(B, n)`` proper
+        Gaussian priors in the structure's variable ordering.  This is the
+        array-native hot entry — :meth:`run` is the object-level wrapper.
+        """
+        sites = self.structure.sites
+        if len(stacked) != len(sites):
+            raise ValueError(
+                f"run_stacked expects {len(sites)} site blocks, got {len(stacked)}"
+            )
+        batch = prior_shift.shape[0]
+        variables = self.structure.variables
+
+        # PD-repair the site targets once: anchor-free factors make the site
+        # target iteration-invariant (see module docstring).
         targets = self._repaired_targets(stacked)
 
         # Preallocated state buffers.
-        global_precision = np.stack([prior.precision for prior in priors])
-        global_shift = np.stack([prior.shift for prior in priors])
+        global_precision = prior_precision.copy()
+        global_shift = prior_shift.copy()
         site_precision = [np.zeros_like(t[0]) for t in targets]
         site_shift = [np.zeros_like(t[1]) for t in targets]
 
@@ -426,7 +577,7 @@ class CompiledEPKernel:
             if not active.any():
                 break
 
-        means, variances = self._read_out(global_precision, global_shift)
+        means, variances = self.read_out(global_precision, global_shift)
         return CompiledEPResult(
             variables=variables,
             posterior_precision=global_precision,
@@ -438,7 +589,30 @@ class CompiledEPKernel:
             max_delta=max_delta,
         )
 
-    def _read_out(
+    def assemble_global(
+        self,
+        stacked: Sequence[Tuple[np.ndarray, np.ndarray]],
+        prior_precision: np.ndarray,
+        prior_shift: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Scatter-add raw site blocks into global natural parameters.
+
+        Returns the information form of ``prior x product(site factors)``
+        for the whole batch — the *exact* Gaussian part of each record's
+        density (no PD repair, no damping).  The batched MCMC estimator
+        targets this density and uses :meth:`read_out` of the same buffers
+        as its control-variate baseline.
+        """
+        precision = prior_precision.copy()
+        shift = prior_shift.copy()
+        for site, (block_precision, block_shift) in zip(self.structure.sites, stacked):
+            rows = site.index[:, None]
+            cols = site.index[None, :]
+            precision[:, rows, cols] += block_precision
+            shift[:, site.index] += block_shift
+        return precision, shift
+
+    def read_out(
         self, precision: np.ndarray, shift: np.ndarray
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Posterior means and marginal variances for the whole batch."""

@@ -6,8 +6,44 @@ import math
 from dataclasses import dataclass
 
 import numpy as np
+from scipy.special import gammaln
 
 _LOG_2PI = math.log(2.0 * math.pi)
+
+
+def student_t_moment_variance(scale, df):
+    """Moment-matched Gaussian variance of a Student-t, vectorized.
+
+    Mirrors :meth:`StudentT.variance` (including the finite surrogate for
+    ``df <= 2``) over ndarray inputs, so the array-native observation
+    pipeline projects batches of summaries with the exact arithmetic of the
+    per-object path.
+    """
+    scale = np.asarray(scale, dtype=float)
+    df = np.asarray(df, dtype=float)
+    safe_df = np.where(df > 2, df, 3.0)  # avoid 0-division in the dead branch
+    return np.where(df > 2, scale**2 * safe_df / (safe_df - 2.0), scale**2 * 3.0)
+
+
+def student_t_log_pdf(x, loc, scale, df):
+    """Student-t log pdf, vectorized over ndarray inputs.
+
+    The same formula as :meth:`StudentT.log_pdf`; ``scipy.special.gammaln``
+    replaces ``math.lgamma`` so whole batches evaluate in one pass.
+    """
+    x = np.asarray(x, dtype=float)
+    loc = np.asarray(loc, dtype=float)
+    scale = np.asarray(scale, dtype=float)
+    df = np.asarray(df, dtype=float)
+    z = (x - loc) / scale
+    half = (df + 1.0) / 2.0
+    return (
+        gammaln(half)
+        - gammaln(df / 2.0)
+        - 0.5 * np.log(df * np.pi)
+        - np.log(scale)
+        - half * np.log1p(z * z / df)
+    )
 
 
 @dataclass(frozen=True)
@@ -104,11 +140,15 @@ class StudentT:
 
     @property
     def variance(self) -> float:
-        """Variance, inflated for low degrees of freedom to stay finite."""
+        """Variance, inflated for low degrees of freedom to stay finite.
+
+        For df <= 2 the variance is undefined/infinite; a conservative
+        finite surrogate keeps moment-matching possible.  The arithmetic is
+        shared with the vectorized :func:`student_t_moment_variance` so the
+        object and array observation pipelines project identically.
+        """
         if self.df > 2:
             return self.scale**2 * self.df / (self.df - 2.0)
-        # For df <= 2 the variance is undefined/infinite; use a conservative
-        # finite surrogate so that moment-matching remains possible.
         return self.scale**2 * 3.0
 
     def to_gaussian(self) -> Gaussian1D:

@@ -143,6 +143,11 @@ class LinearConstraintFactor(Factor):
         self.coefficients: Dict[str, float] = dict(coefficients)
         self.sigma = float(sigma)
         self.description = description
+        #: Coefficients as a vector in ``self.variables`` order — computed
+        #: once so binding a record does not rebuild it per factor.
+        self.coefficient_array: np.ndarray = np.array(
+            [self.coefficients[v] for v in self.variables], dtype=float
+        )
 
     def residual(self, values: Mapping[str, float]) -> float:
         return float(sum(c * float(values[v]) for v, c in self.coefficients.items()))
@@ -152,11 +157,10 @@ class LinearConstraintFactor(Factor):
         return -0.5 * (z * z + 2.0 * math.log(self.sigma) + _LOG_2PI)
 
     def to_gaussian(self, anchor: Optional[Mapping[str, float]] = None) -> GaussianDensity:
-        names = tuple(self.coefficients)
-        a = np.array([self.coefficients[v] for v in names], dtype=float)
+        a = self.coefficient_array
         precision = np.outer(a, a) / (self.sigma**2)
-        shift = np.zeros(len(names))
-        return GaussianDensity(names, precision, shift)
+        shift = np.zeros(len(self.variables))
+        return GaussianDensity(self.variables, precision, shift)
 
     @property
     def is_gaussian(self) -> bool:

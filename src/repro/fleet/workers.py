@@ -16,8 +16,12 @@ ring buffers in batches.  Hosts sharing an engine are then solved *together*:
 the worker transposes the per-host batches into per-slot multi-record
 batches and hands each one to the engine's vectorized
 :meth:`~repro.core.engine.BayesPerfEngine.process_batch`, which executes a
-single compiled EP-kernel pass over all of them instead of one EP solve per
-host.
+single array-native pass over all of them instead of one solve per host —
+a compiled EP-kernel call for the analytic estimator, one
+:class:`~repro.fg.mcmc.BatchedMCMC` chain sweep for
+``engine_kwargs={"moment_estimator": "batched-mcmc"}`` (each record's chain
+is seeded from that host's snapshotted RNG stream, so pooled and serial
+stay bit-identical for sampled estimators too).
 """
 
 from __future__ import annotations

@@ -1,0 +1,432 @@
+"""Differential test harness: every fast path against its reference twin.
+
+The repository's contract (README, "Differential testing") is that each
+compiled/vectorized path has an object-walking reference twin and a test
+pinning the pair together:
+
+* analytic EP:   ``CompiledEPKernel``  <->  ``ExpectationPropagation``
+* moment MCMC:   ``BatchedMCMC``       <->  ``ReferenceMCMC``
+* binding:       ``CompiledBinder``    <->  ``CompiledGraph.bind`` (objects)
+
+On randomized graphs the three posterior paths — reference EP, compiled EP,
+batched MCMC — must agree within 1e-6, and the array-native binding/summary
+code paths must be bit-identical between B=1 and B=N.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import BayesPerfEngine
+from repro.events.profiles import standard_profiling_events
+from repro.events.registry import catalog_for
+from repro.fg import (
+    BatchedMCMC,
+    CompiledEPKernel,
+    EPResult,
+    ExpectationPropagation,
+    FactorGraph,
+    GaussianDensity,
+    GaussianObservation,
+    GaussianPriorFactor,
+    LinearConstraintFactor,
+    ReferenceMCMC,
+    StudentT,
+    StudentTObservation,
+    StudentTTail,
+    compile_factor_graph,
+    site_factor_lists,
+    student_t_moment_variance,
+)
+from repro.fg.ep import EPSite
+from repro.fg.mcmc import RandomWalkMetropolis
+from repro.pmu.sampling import MultiplexedSampler
+from repro.scheduling.cache import cached_schedule
+from repro.uarch.machine import Machine, MachineConfig
+from repro.workloads.registry import get_workload
+
+TOLERANCE = 1e-6
+
+
+def _gap(a, b):
+    return abs(a - b) / max(abs(a), abs(b), 1e-12)
+
+
+def _max_moment_gap(mean_a, var_a, mean_b, var_b):
+    gap = 0.0
+    for name in mean_a:
+        gap = max(gap, _gap(mean_a[name], mean_b[name]), _gap(var_a[name], var_b[name]))
+    return gap
+
+
+def _solve_three_ways(graph, sites, prior, *, n_samples=50, burn_in=30, seed=7):
+    """(reference EP, compiled EP, batched MCMC) posteriors for one graph.
+
+    Undamped EP converges to the exact factor-product fixed point, which is
+    also the batched MCMC estimator's analytic baseline; on purely Gaussian
+    graphs its coupled chains cannot drift from the shadow, so all three
+    paths must coincide to floating-point accuracy.
+    """
+    reference = ExpectationPropagation(graph, sites, prior, damping=1.0).run()
+    structure = compile_factor_graph(graph, sites, prior.variables)
+    assert structure is not None
+    kernel = CompiledEPKernel(structure, damping=1.0)
+    binding = structure.bind(site_factor_lists(graph, sites))
+    compiled = kernel.run([binding], [prior])
+    stacked = [(p[None, ...], s[None, ...]) for p, s in binding]
+    sampler = BatchedMCMC(kernel, n_samples=n_samples, burn_in=burn_in)
+    sampled = sampler.run(
+        stacked, prior.precision[None, ...], prior.shift[None, ...], seeds=[seed]
+    )
+    return reference, compiled, sampled
+
+
+@st.composite
+def _random_gaussian_problem(draw):
+    """Randomized all-Gaussian graphs: observations + constraints + priors."""
+    n = draw(st.integers(min_value=2, max_value=6))
+    variables = [f"v{i}" for i in range(n)]
+    value = st.floats(min_value=-4.0, max_value=4.0)
+    spread = st.floats(min_value=0.05, max_value=8.0)
+    prior = GaussianDensity.diagonal(
+        {v: draw(value) for v in variables}, {v: draw(spread) for v in variables}
+    )
+    graph = FactorGraph(variables=variables)
+    n_observed = draw(st.integers(min_value=1, max_value=n))
+    observation_names = []
+    for v in variables[:n_observed]:
+        name = f"obs_{v}"
+        graph.add_factor(GaussianObservation(name, v, observed=draw(value), sigma=draw(spread)))
+        observation_names.append(name)
+    if draw(st.booleans()):
+        name = f"prior_{variables[-1]}"
+        graph.add_factor(
+            GaussianPriorFactor(name, {variables[-1]: draw(value)}, {variables[-1]: draw(spread)})
+        )
+        observation_names.append(name)
+    sites = [EPSite("observations", tuple(observation_names))]
+    n_constraints = draw(st.integers(min_value=0, max_value=2))
+    constraint_names = []
+    for index in range(n_constraints):
+        size = draw(st.integers(min_value=2, max_value=n))
+        coefficient = st.floats(min_value=0.25, max_value=2.0)
+        sign = st.sampled_from([-1.0, 1.0])
+        coefficients = {v: draw(sign) * draw(coefficient) for v in variables[:size]}
+        name = f"rel_{index}"
+        graph.add_factor(LinearConstraintFactor(name, coefficients, sigma=draw(spread)))
+        constraint_names.append(name)
+    if constraint_names:
+        sites.append(EPSite("constraints", tuple(constraint_names)))
+    return graph, sites, prior
+
+
+@st.composite
+def _random_student_t_problem(draw):
+    """Randomized graphs whose observations are genuinely non-Gaussian."""
+    n = draw(st.integers(min_value=2, max_value=5))
+    variables = [f"v{i}" for i in range(n)]
+    value = st.floats(min_value=-3.0, max_value=3.0)
+    spread = st.floats(min_value=0.1, max_value=4.0)
+    prior = GaussianDensity.diagonal(
+        {v: draw(value) for v in variables}, {v: draw(spread) for v in variables}
+    )
+    graph = FactorGraph(variables=variables)
+    observed = []
+    for v in variables[: draw(st.integers(min_value=1, max_value=n))]:
+        distribution = StudentT(
+            loc=draw(value),
+            scale=draw(st.floats(min_value=0.1, max_value=2.0)),
+            df=draw(st.floats(min_value=1.5, max_value=9.0)),
+        )
+        graph.add_factor(StudentTObservation(f"obs_{v}", v, distribution))
+        observed.append(v)
+    sites = [EPSite("observations", tuple(f"obs_{v}" for v in observed))]
+    coefficients = {v: 1.0 for v in variables[:2]}
+    graph.add_factor(LinearConstraintFactor("rel_0", coefficients, sigma=draw(spread)))
+    sites.append(EPSite("constraints", ("rel_0",)))
+    return graph, sites, prior, observed
+
+
+class TestThreeWayPosteriorAgreement:
+    """Reference EP vs compiled EP vs batched MCMC, randomized graphs."""
+
+    @given(problem=_random_gaussian_problem())
+    @settings(max_examples=25, deadline=None)
+    def test_all_three_paths_agree_within_tolerance(self, problem):
+        graph, sites, prior = problem
+        reference, compiled, sampled = _solve_three_ways(graph, sites, prior)
+        ref_mean, ref_var = reference.posterior.mean(), reference.posterior.variance()
+        com_mean, com_var = compiled.mean_dict(0), compiled.variance_dict(0)
+        mc_mean, mc_var = sampled.mean_dict(0), sampled.variance_dict(0)
+        assert _max_moment_gap(ref_mean, ref_var, com_mean, com_var) < TOLERANCE
+        assert _max_moment_gap(com_mean, com_var, mc_mean, mc_var) < TOLERANCE
+        assert _max_moment_gap(ref_mean, ref_var, mc_mean, mc_var) < TOLERANCE
+
+    def test_mcmc_chains_actually_run(self):
+        """The Gaussian-case exactness is a coupling property, not a skip."""
+        graph = FactorGraph(variables=["a", "b"])
+        graph.add_factor(GaussianObservation("obs_a", "a", observed=2.0, sigma=0.5))
+        graph.add_factor(LinearConstraintFactor("sum", {"a": 1.0, "b": -1.0}, sigma=0.1))
+        sites = [EPSite("obs", ("obs_a",)), EPSite("rel", ("sum",))]
+        prior = GaussianDensity.diagonal({"a": 0.0, "b": 0.0}, {"a": 9.0, "b": 9.0})
+        _, _, sampled = _solve_three_ways(graph, sites, prior, n_samples=200, burn_in=100)
+        assert 0.05 < float(sampled.acceptance_rates[0]) < 0.95
+        assert np.array_equal(sampled.means, sampled.baseline_means)
+
+
+class TestBatchedMCMCAgainstReferenceTwin:
+    """The array-native sampler must reproduce the object-based twin."""
+
+    @given(problem=_random_student_t_problem(), seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_student_t_twin_agreement(self, problem, seed):
+        graph, sites, prior, observed = problem
+        structure = compile_factor_graph(graph, sites, prior.variables)
+        kernel = CompiledEPKernel(structure, damping=1.0)
+        binding = structure.bind(site_factor_lists(graph, sites))
+        stacked = [(p[None, ...], s[None, ...]) for p, s in binding]
+        slot_of = {v: i for i, v in enumerate(prior.variables)}
+        distributions = [graph.factor(f"obs_{v}").distribution for v in observed]
+        tail = StudentTTail(
+            slots=np.array([slot_of[v] for v in observed], dtype=np.intp),
+            loc=np.array([[d.loc for d in distributions]]),
+            scale=np.array([[d.scale for d in distributions]]),
+            df=np.array([[d.df for d in distributions]]),
+            variance=np.array([[d.variance for d in distributions]]),
+        )
+        sampler = BatchedMCMC(kernel, n_samples=60, burn_in=40)
+        fast = sampler.run(
+            stacked,
+            prior.precision[None, ...],
+            prior.shift[None, ...],
+            seeds=[seed],
+            extra_log_density=tail,
+        )
+        factors = [factor for group in site_factor_lists(graph, sites) for factor in group]
+        twin = ReferenceMCMC(factors, prior, n_samples=60, burn_in=40)
+        moments = twin.run(rng=np.random.default_rng(seed))
+        for i, name in enumerate(prior.variables):
+            assert _gap(fast.means[0, i], moments.means[i]) < TOLERANCE
+            assert _gap(fast.variances[0, i], moments.variances[i]) < TOLERANCE
+
+    def test_student_t_correction_is_engaged(self):
+        """Non-Gaussian graphs must produce a non-zero sampled correction."""
+        graph = FactorGraph(variables=["a"])
+        graph.add_factor(
+            StudentTObservation("obs_a", "a", StudentT(loc=1.0, scale=0.5, df=2.5))
+        )
+        sites = [EPSite("obs", ("obs_a",))]
+        prior = GaussianDensity.diagonal({"a": 0.0}, {"a": 4.0})
+        structure = compile_factor_graph(graph, sites, prior.variables)
+        kernel = CompiledEPKernel(structure)
+        binding = structure.bind(site_factor_lists(graph, sites))
+        tail = StudentTTail(
+            slots=np.array([0], dtype=np.intp),
+            loc=np.array([[1.0]]),
+            scale=np.array([[0.5]]),
+            df=np.array([[2.5]]),
+            variance=np.array([[float(student_t_moment_variance(0.5, 2.5))]]),
+        )
+        sampler = BatchedMCMC(kernel, n_samples=300, burn_in=150)
+        result = sampler.run(
+            [(p[None, ...], s[None, ...]) for p, s in binding],
+            prior.precision[None, ...],
+            prior.shift[None, ...],
+            seeds=[11],
+            extra_log_density=tail,
+        )
+        assert not np.array_equal(result.variances, result.baseline_variances)
+        assert np.all(np.isfinite(result.means)) and np.all(result.variances > 0)
+
+
+class TestBatchBitIdentity:
+    """B=1 vs B=N bit-identity of the new binding/summary/sampling paths."""
+
+    @pytest.fixture(scope="class")
+    def engine_and_records(self):
+        catalog = catalog_for("x86")
+        events = standard_profiling_events(catalog, n_events=16)
+        schedule = cached_schedule(catalog, events, kind="overlap")
+        trace = Machine(MachineConfig(), get_workload("KMeans"), seed=3).run(8)
+        sampled = MultiplexedSampler(catalog, schedule, seed=4).sample(trace)
+        return catalog, events, sampled
+
+    def test_binder_blocks_bit_identical_across_batch_sizes(self, engine_and_records):
+        catalog, events, sampled = engine_and_records
+        engine = BayesPerfEngine(catalog, events)
+        engine.reset()
+        base = engine._prepare_slice(sampled.records[0])
+        kernel, binder = engine._compiled_kernel(base)
+        group = [base] * 5
+        batched = binder.bind_batch(
+            np.stack([p.obs_mean for p in group]),
+            np.stack([p.obs_variance for p in group]),
+            np.stack([p.scales_vec for p in group]),
+        )
+        single = binder.bind_batch(
+            base.obs_mean[None], base.obs_variance[None], base.scales_vec[None]
+        )
+        for (bp, bs), (sp, ss) in zip(batched, single):
+            for b in range(5):
+                assert np.array_equal(bp[b], sp[0])
+                assert np.array_equal(bs[b], ss[0])
+
+    def test_array_binding_matches_object_binding(self, engine_and_records):
+        """CompiledBinder (arrays) vs CompiledGraph.bind (factor objects)."""
+        catalog, events, sampled = engine_and_records
+        engine = BayesPerfEngine(catalog, events)
+        for record in sampled.records[:4]:
+            engine.reset()
+            prepared = engine._prepare_slice(record)
+            kernel, binder = engine._compiled_kernel(prepared)
+            arrays = binder.bind_batch(
+                prepared.obs_mean[None],
+                prepared.obs_variance[None],
+                prepared.scales_vec[None],
+            )
+            observation_factors, constraint_groups = engine._build_factors(
+                prepared.summaries
+            )
+            site_lists = engine._site_factor_lists(observation_factors, constraint_groups)
+            objects = kernel.structure.bind([factors for _, factors in site_lists])
+            for (ap, ash), (op, osh) in zip(arrays, objects):
+                np.testing.assert_allclose(ap[0], op, rtol=1e-12, atol=1e-12)
+                np.testing.assert_allclose(ash[0], osh, rtol=1e-12, atol=1e-12)
+
+    def test_batched_mcmc_engine_batch_equals_looped(self, engine_and_records):
+        catalog, events, sampled = engine_and_records
+        engine = BayesPerfEngine(
+            catalog, events, moment_estimator="batched-mcmc",
+            mcmc_samples=30, mcmc_burn_in=20,
+        )
+        hosts, depth = 4, 2
+        states = [None] * hosts
+        batched = [[] for _ in range(hosts)]
+        for slot in range(depth):
+            items = [(states[h], sampled.records[slot]) for h in range(hosts)]
+            for h, (report, state) in enumerate(engine.process_batch(items)):
+                states[h] = state
+                batched[h].append(report)
+        for h in range(hosts):
+            state = None
+            for slot in range(depth):
+                engine.restore(state) if state is not None else engine.reset()
+                report = engine.process_record(sampled.records[slot])
+                state = engine.snapshot()
+                assert report.means() == batched[h][slot].means()
+                assert report.stds() == batched[h][slot].stds()
+
+
+class TestEngineDifferential:
+    """Engine-level: each estimator's fast path against its reference twin."""
+
+    @pytest.fixture(scope="class")
+    def workload(self):
+        catalog = catalog_for("x86")
+        events = standard_profiling_events(catalog, n_events=16)
+        schedule = cached_schedule(catalog, events, kind="overlap")
+        trace = Machine(MachineConfig(), get_workload("KMeans"), seed=5).run(6)
+        return catalog, events, MultiplexedSampler(catalog, schedule, seed=6).sample(trace)
+
+    def _max_trace_gap(self, a, b):
+        gap = 0.0
+        for tick in range(len(a)):
+            want, got = a.at(tick), b.at(tick)
+            for event in want:
+                gap = max(gap, _gap(got[event], want[event]))
+        return gap
+
+    def test_batched_mcmc_fast_path_matches_object_twin(self, workload):
+        catalog, events, sampled = workload
+        kwargs = dict(
+            moment_estimator="batched-mcmc", mcmc_samples=40, mcmc_burn_in=30
+        )
+        fast = BayesPerfEngine(catalog, events, **kwargs).correct(sampled)
+        twin = BayesPerfEngine(
+            catalog, events, use_compiled_kernel=False, **kwargs
+        ).correct(sampled)
+        assert self._max_trace_gap(fast, twin) < TOLERANCE
+
+    def test_batched_mcmc_tracks_analytic_on_gaussian_model(self, workload):
+        """With exact Gaussian observations the sampler cannot drift."""
+        catalog, events, sampled = workload
+        analytic = BayesPerfEngine(
+            catalog, events, observation_model="gaussian"
+        ).correct(sampled)
+        sampled_estimates = BayesPerfEngine(
+            catalog, events, observation_model="gaussian",
+            moment_estimator="batched-mcmc", mcmc_samples=40, mcmc_burn_in=30,
+        ).correct(sampled)
+        assert self._max_trace_gap(analytic, sampled_estimates) < TOLERANCE
+
+    def test_unknown_estimator_rejected(self, workload):
+        catalog, events, _ = workload
+        with pytest.raises(ValueError, match="moment estimator"):
+            BayesPerfEngine(catalog, events, moment_estimator="turbo")
+
+    def test_empty_sample_array_fails_loudly(self, workload):
+        """Zero sub-samples for a measured event must raise, not emit NaNs."""
+        catalog, events, sampled = workload
+        engine = BayesPerfEngine(catalog, events)
+        record = sampled.records[0]
+        broken = type(record)(
+            tick=record.tick,
+            configuration=record.configuration,
+            samples={**record.samples, next(iter(record.samples)): np.empty(0)},
+        )
+        with pytest.raises(ValueError, match="no samples"):
+            engine.process_record(broken)
+
+
+class TestReferenceMCMCSeedHandling:
+    """Repeated runs with an explicit rng must be reproducible."""
+
+    def _twin(self):
+        prior = GaussianDensity.diagonal({"a": 0.5, "b": -1.0}, {"a": 4.0, "b": 2.0})
+        factors = [
+            StudentTObservation("obs_a", "a", StudentT(loc=1.0, scale=0.4, df=3.0)),
+            LinearConstraintFactor("rel", {"a": 1.0, "b": 1.0}, sigma=0.3),
+        ]
+        return ReferenceMCMC(factors, prior, n_samples=50, burn_in=25)
+
+    def test_explicit_rng_is_reproducible_across_runs(self):
+        twin = self._twin()
+        first = twin.run(rng=np.random.default_rng(42))
+        second = twin.run(rng=np.random.default_rng(42))
+        assert np.array_equal(first.means, second.means)
+        assert np.array_equal(first.variances, second.variances)
+        assert first.acceptance_rate == second.acceptance_rate
+
+    def test_constructor_seed_is_reproducible_without_rng(self):
+        twin = self._twin()
+        assert np.array_equal(twin.run().means, twin.run().means)
+
+    def test_different_seeds_differ(self):
+        twin = self._twin()
+        first = twin.run(rng=np.random.default_rng(1))
+        second = twin.run(rng=np.random.default_rng(2))
+        assert not np.array_equal(first.means, second.means)
+
+    def test_legacy_sampler_continues_its_chain(self):
+        """The historical sampler mutates state across runs — the behaviour
+        ReferenceMCMC.run deliberately does not share."""
+        sampler = RandomWalkMetropolis(
+            lambda values: -0.5 * values["x"] ** 2,
+            ["x"],
+            {"x": 0.0},
+            rng=np.random.default_rng(0),
+        )
+        first = sampler.run(20, burn_in=10)
+        second = sampler.run(20, burn_in=10)
+        assert not np.array_equal(first.samples, second.samples)
+
+    def test_rejects_non_anchor_free_factors(self):
+        class Anchored(GaussianObservation):
+            @property
+            def anchor_free(self):
+                return False
+
+        prior = GaussianDensity.diagonal({"a": 0.0}, {"a": 1.0})
+        with pytest.raises(ValueError, match="anchor-free"):
+            ReferenceMCMC([Anchored("obs", "a", 0.0, 1.0)], prior)

@@ -1,6 +1,7 @@
 """Fleet telemetry service: ingestion, workers, trace record/replay, events."""
 
 import logging
+from pathlib import Path
 
 import pytest
 
@@ -369,6 +370,56 @@ def test_recorded_trace_replay_matches_original_estimates(tmp_path):
     assert result.estimates[host].values_equal(recorded.estimates)
 
 
+#: Committed golden trace: a small fleet recording whose estimates pin the
+#: whole array-native pipeline (summaries, binder, compiled kernel) in place.
+GOLDEN_TRACE = Path(__file__).parent / "fixtures" / "golden_fleet_trace.jsonl"
+
+
+def _assert_traces_match_golden(got, want, rel=1e-9):
+    """Near-exact trace comparison for the committed fixture.
+
+    Exact float equality would be BLAS/CPU-build dependent across CI
+    runners; a 1e-9 relative tolerance still catches any real numerical
+    change while tolerating last-bit LAPACK differences.  (Within-run
+    comparisons — pool vs serial, record vs replay — stay exact.)
+    """
+    assert len(got) == len(want)
+    for tick in range(len(want)):
+        got_values, want_values = got.at(tick), want.at(tick)
+        assert got_values.keys() == want_values.keys()
+        for event, value in want_values.items():
+            assert got_values[event] == pytest.approx(value, rel=rel)
+
+
+def test_golden_trace_replay_reproduces_committed_estimates():
+    """Regression pin: replaying the committed fixture must reproduce the
+    estimates stored inside it.  Any numerical change to the
+    observation-summary, binding or kernel code paths fails this test."""
+    golden = read_trace(GOLDEN_TRACE)
+    assert golden.estimates is not None and len(golden.estimates) == 6
+    service = FleetService(golden.arch, n_workers=2)
+    host = service.add_trace(GOLDEN_TRACE)
+    result = service.run()
+    _assert_traces_match_golden(result.estimates[host], golden.estimates)
+    # Spot-pin one value so a wholesale rewrite of the fixture is also caught.
+    assert result.estimates[host].at(0)["INST_RETIRED.ANY"] == pytest.approx(
+        2254911.6948, abs=1e-3
+    )
+
+
+def test_golden_trace_batched_replay_matches_serial():
+    """The golden fixture replayed through pooled batching equals serial."""
+    pooled = FleetService("x86", n_workers=2)
+    host_a = pooled.add_trace(GOLDEN_TRACE, host_id="golden-a")
+    host_b = pooled.add_trace(GOLDEN_TRACE, host_id="golden-b")
+    result = pooled.run(mode="pool")
+    # The two replay hosts batch through one shared engine and must agree
+    # with each other exactly; agreement with the fixture is near-exact.
+    assert result.estimates[host_a].values_equal(result.estimates[host_b])
+    golden = read_trace(GOLDEN_TRACE)
+    _assert_traces_match_golden(result.estimates[host_a], golden.estimates)
+
+
 def test_service_runs_sixteen_hosts_end_to_end():
     log = EventLog()
     service = small_fleet(n_hosts=16, n_ticks=3, n_workers=4, processors=(log,))
@@ -421,6 +472,16 @@ def test_mcmc_pool_matches_serial():
     kwargs = {"moment_estimator": "mcmc", "mcmc_samples": 25}
     pool = small_fleet(n_hosts=2, n_ticks=3, batch_size=2, engine_kwargs=kwargs).run("pool")
     serial = small_fleet(n_hosts=2, n_ticks=3, batch_size=2, engine_kwargs=kwargs).run("serial")
+    for host in pool.estimates:
+        assert pool.estimates[host].values_equal(serial.estimates[host])
+
+
+def test_batched_mcmc_pool_matches_serial():
+    """Batched MCMC chains are seeded per record from each host's snapshotted
+    RNG stream, so cross-host batching stays bit-identical to serial."""
+    kwargs = {"moment_estimator": "batched-mcmc", "mcmc_samples": 25, "mcmc_burn_in": 15}
+    pool = small_fleet(n_hosts=3, n_ticks=3, batch_size=2, engine_kwargs=kwargs).run("pool")
+    serial = small_fleet(n_hosts=3, n_ticks=3, batch_size=2, engine_kwargs=kwargs).run("serial")
     for host in pool.estimates:
         assert pool.estimates[host].values_equal(serial.estimates[host])
 
