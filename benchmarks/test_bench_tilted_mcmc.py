@@ -1,0 +1,165 @@
+"""Benchmark: batched per-site tilted MCMC vs. its object-based twin.
+
+Replays the 64-host fleet workload (same shape as the EP-kernel bench)
+through the ``"mcmc"`` moment estimator — per-site tilted-moment sampling
+inside the EP loop, the accelerator's actual inner loop — in its two
+configurations:
+
+* ``object``  — :class:`~repro.fg.ep.ReferenceSiteMCMC`, the reference twin
+  walking Python factor objects per chain step, one record at a time
+  (``use_compiled_kernel=False``);
+* ``batched`` — :class:`~repro.fg.mcmc.BatchedSiteMCMC` driving the
+  compiled kernel's buffers, every (signature, slot) group advancing all of
+  its records' site chains in lock-step via ``process_batch``.
+
+Both paths draw each record's chains from the same per-record seed, so
+their estimates must agree to floating-point noise — the throughput
+comparison is estimator-for-estimator.  Acceptance: the batched sampler
+reaches >= 2x the object-based slices/sec.  The measured numbers are
+*appended* to ``BENCH_ep.json`` as a ``tilted-mcmc`` entry (existing
+entries are preserved).
+"""
+
+import os
+import time
+
+import pytest
+
+from bench_io import merge_bench_entries
+from repro.core.engine import BayesPerfEngine
+from repro.events.profiles import standard_profiling_events
+from repro.events.registry import catalog_for
+from repro.pmu.sampling import MultiplexedSampler
+from repro.scheduling.cache import cached_schedule
+from repro.uarch.machine import Machine, MachineConfig
+from repro.workloads.registry import get_workload
+
+_FULL = bool(os.environ.get("REPRO_FULL", ""))
+
+N_HOSTS = 96 if _FULL else 64
+TICKS_PER_HOST = 2
+MCMC_SAMPLES = 40
+MCMC_BURN_IN = 60
+EP_ITERATIONS = 3
+ROUNDS = 1  # the object twin is slow; escalate only if noise inverts the margin
+MAX_ROUNDS = 3
+MODES = ("object", "batched")
+
+
+def _fleet_records():
+    catalog = catalog_for("x86")
+    events = standard_profiling_events(catalog)
+    schedule = cached_schedule(catalog, events, kind="overlap")
+    spec = get_workload("steady")
+    hosts = []
+    for host in range(N_HOSTS):
+        trace = Machine(MachineConfig(), spec, seed=host).run(TICKS_PER_HOST)
+        sampled = MultiplexedSampler(catalog, schedule, seed=host + 1, samples_per_tick=4)
+        hosts.append(sampled.sample(trace).records)
+    return catalog, events, hosts
+
+
+def _run_mode(mode, engines, hosts):
+    """Solve every host's slices in the given mode; returns (elapsed, estimates)."""
+    engine = engines[mode]
+    estimates = [[] for _ in hosts]
+    start = time.perf_counter()
+    if mode == "batched":
+        states = [None] * len(hosts)
+        for slot in range(TICKS_PER_HOST):
+            items = [(states[h], records[slot]) for h, records in enumerate(hosts)]
+            for h, (report, state) in enumerate(engine.process_batch(items)):
+                states[h] = state
+                estimates[h].append(report.means())
+    else:
+        for h, records in enumerate(hosts):
+            engine.reset()
+            for record in records:
+                estimates[h].append(engine.process_record(record).means())
+    return time.perf_counter() - start, estimates
+
+
+@pytest.mark.benchmark(group="tilted-mcmc")
+def test_bench_batched_site_mcmc_vs_object_twin(benchmark):
+    catalog, events, hosts = _fleet_records()
+    kwargs = dict(
+        moment_estimator="mcmc",
+        mcmc_samples=MCMC_SAMPLES,
+        mcmc_burn_in=MCMC_BURN_IN,
+        ep_max_iterations=EP_ITERATIONS,
+    )
+    engines = {
+        "object": BayesPerfEngine(catalog, events, use_compiled_kernel=False, **kwargs),
+        "batched": BayesPerfEngine(catalog, events, use_compiled_kernel=True, **kwargs),
+    }
+    total_slices = sum(len(records) for records in hosts)
+    timings = {mode: [] for mode in MODES}
+    estimates = {}
+
+    def _best(mode):
+        return min(timings[mode])
+
+    def compare():
+        for _ in range(ROUNDS):
+            for mode in MODES:
+                elapsed, estimates[mode] = _run_mode(mode, engines, hosts)
+                timings[mode].append(elapsed)
+        while (
+            _best("object") / _best("batched") <= 2.0
+            and len(timings["batched"]) < MAX_ROUNDS
+        ):
+            for mode in MODES:
+                elapsed, estimates[mode] = _run_mode(mode, engines, hosts)
+                timings[mode].append(elapsed)
+        return timings
+
+    benchmark.pedantic(compare, iterations=1, rounds=1)
+
+    throughput = {mode: total_slices / _best(mode) for mode in MODES}
+    speedup = throughput["batched"] / throughput["object"]
+
+    # Correctness: both paths run the same per-record, per-site chains.
+    max_gap = 0.0
+    for want_host, got_host in zip(estimates["object"], estimates["batched"]):
+        for want, got in zip(want_host, got_host):
+            for event, value in want.items():
+                gap = abs(got[event] - value) / max(abs(value), abs(got[event]), 1e-12)
+                max_gap = max(max_gap, gap)
+    assert max_gap < 1e-6, f"batched site MCMC diverged from the object twin ({max_gap:.3e})"
+
+    print(
+        f"\ntilted-MCMC estimator — {N_HOSTS} hosts x {TICKS_PER_HOST} quanta "
+        f"({total_slices} slices, {EP_ITERATIONS} EP iterations, "
+        f"{MCMC_SAMPLES}+{MCMC_BURN_IN} steps/site chain)"
+    )
+    for mode in MODES:
+        print(
+            f"  {mode:8s}: {throughput[mode]:8.1f} slices/s "
+            f"(best of {len(timings[mode])} rounds)"
+        )
+    print(f"  batched speedup: {speedup:.2f}x object sampler")
+    print(f"  max relative posterior-mean gap: {max_gap:.3e}")
+
+    merge_bench_entries(
+        {
+            "tilted-mcmc": {
+                "workload": {
+                    "arch": "x86",
+                    "n_hosts": N_HOSTS,
+                    "ticks_per_host": TICKS_PER_HOST,
+                    "total_slices": total_slices,
+                    "ep_iterations": EP_ITERATIONS,
+                    "mcmc_samples": MCMC_SAMPLES,
+                    "mcmc_burn_in": MCMC_BURN_IN,
+                },
+                "slices_per_second": {m: round(throughput[m], 2) for m in MODES},
+                "speedup_batched_vs_object": round(speedup, 2),
+                "max_relative_posterior_gap": max_gap,
+                "rounds": {m: len(timings[m]) for m in MODES},
+            }
+        }
+    )
+
+    assert speedup >= 2.0, (
+        f"batched site MCMC only {speedup:.2f}x the object twin (need >= 2x)"
+    )

@@ -7,13 +7,20 @@ No FPGA is available here, so this package provides cycle- and
 resource-accurate *models* of the same architecture: an EP-engine/sampler
 pipeline model, a butterfly NoC model, transport models for CAPI and PCIe,
 a read-latency model (Fig. 3) and an area/power model (Table 1).
+
+Since PR 4 the models are *trace-driven*: a
+:class:`~repro.fg.mcmc.ChainTrace` recorded from the batched per-site
+tilted-MCMC sampler (``moment_estimator="mcmc"``) replays through
+:meth:`AcceleratorModel.cosimulate`, and every latency, occupancy and
+energy figure derives from the measured site-visit schedule and acceptance
+rates of the software workload (see ``examples/accelerator_cosim.py``).
 """
 
 from repro.accelerator.noc import ButterflyNoC
 from repro.accelerator.ep_engine import EPEngineUnit, MCMCSamplerIP
-from repro.accelerator.device import AcceleratorConfig, AcceleratorModel
+from repro.accelerator.device import AcceleratorConfig, AcceleratorModel, CosimReport
 from repro.accelerator.latency import ReadLatencyModel, ReadPath
-from repro.accelerator.power import FPGAResourceModel, ResourceReport
+from repro.accelerator.power import EnergyReport, FPGAResourceModel, ResourceReport
 
 __all__ = [
     "ButterflyNoC",
@@ -21,6 +28,8 @@ __all__ = [
     "MCMCSamplerIP",
     "AcceleratorConfig",
     "AcceleratorModel",
+    "CosimReport",
+    "EnergyReport",
     "ReadLatencyModel",
     "ReadPath",
     "FPGAResourceModel",

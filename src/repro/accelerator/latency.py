@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.accelerator.device import AcceleratorModel
+from repro.fg.mcmc import ChainTrace
 
 
 class ReadPath(enum.Enum):
@@ -81,6 +82,31 @@ class ReadLatencyModel:
         ):
             if getattr(self, name) <= 0:
                 raise ValueError(f"{name} must be positive")
+
+    @classmethod
+    def from_chain_trace(
+        cls, trace: ChainTrace, *, accelerator: Optional[AcceleratorModel] = None, **kwargs
+    ) -> "ReadLatencyModel":
+        """Ground the per-read model's workload shape in a measured trace.
+
+        The historical defaults (``model_factors=44`` etc.) describe the
+        paper's nominal per-slice model; this constructor replaces them
+        with what the recorded workload actually executed — the mean site
+        visits per slice (the updates a CPU implementation would replay on
+        every read), the mean factors folded per visit and the mean site
+        width — so the Fig. 3 comparison and the CPU-vs-accelerator gap
+        follow the measured schedule.
+        """
+        if not trace.visits:
+            raise ValueError("cannot derive a read-latency model from an empty trace")
+        visits = trace.visits
+        visits_per_slice = len(visits) / max(trace.n_slices, 1)
+        mean_factors = sum(v.n_factors for v in visits) / len(visits)
+        mean_width = sum(v.width for v in visits) / len(visits)
+        kwargs.setdefault("model_sites", max(1, round(visits_per_slice)))
+        kwargs.setdefault("model_factors", max(1, round(mean_factors)))
+        kwargs.setdefault("model_variables", max(1, round(mean_width)))
+        return cls(accelerator=accelerator, **kwargs)
 
     # -- individual paths ---------------------------------------------------
 

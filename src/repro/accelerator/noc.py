@@ -75,6 +75,26 @@ class ButterflyNoC:
         cycles = hop_count * self.cycles_per_hop + flits * self.cycles_per_flit
         return NoCLatency(hops=hop_count, cycles=float(cycles))
 
+    def site_update_payload_bytes(self, n_variables: int) -> int:
+        """Payload of one site update's state: a ``w x w`` natural-parameter
+        block plus its shift vector, in 8-byte words."""
+        if n_variables <= 0:
+            raise ValueError("n_variables must be positive")
+        return 8 * n_variables * (n_variables + 1)
+
+    def site_update_cycles(self, n_variables: int) -> float:
+        """NoC cycles for one site update's round trip.
+
+        The engine ships the site state to its samplers and the updated
+        global block back to the controller — the two transfers every site
+        visit pays, whether priced analytically or from a measured trace.
+        """
+        payload = self.site_update_payload_bytes(n_variables)
+        return (
+            self.transfer(0, self.n_ports - 1, payload).cycles
+            + self.transfer(self.n_ports - 1, 0, payload).cycles
+        )
+
     def broadcast_cycles(self, source: int, payload_bytes: int) -> float:
         """Cycles to send the same payload from one port to all others."""
         total = 0.0

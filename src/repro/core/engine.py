@@ -45,7 +45,7 @@ from repro.fg.compiled import (
     compile_factor_graph,
 )
 from repro.fg.distributions import StudentT, student_t_moment_variance
-from repro.fg.ep import EPSite, ExpectationPropagation
+from repro.fg.ep import EPSite, ExpectationPropagation, ReferenceSiteMCMC
 from repro.fg.factors import (
     Factor,
     GaussianObservation,
@@ -54,16 +54,24 @@ from repro.fg.factors import (
 )
 from repro.fg.gaussian import GaussianDensity
 from repro.fg.graph import FactorGraph
-from repro.fg.mcmc import BatchedMCMC, ReferenceMCMC, StudentTTail
+from repro.fg.mcmc import (
+    BatchedMCMC,
+    BatchedSiteMCMC,
+    ChainTrace,
+    ReferenceMCMC,
+    StudentTTail,
+)
 from repro.invariants.library import InvariantLibrary, standard_invariants
 from repro.core.posterior import EventEstimate, PosteriorReport
 from repro.pmu.sampling import SampledTrace, SamplingRecord
 from repro.pmu.traces import EstimateTrace
 
 #: Moment estimators that solve through the compiled kernel's array path.
-_COMPILED_ESTIMATORS = ("analytic", "batched-mcmc")
+_COMPILED_ESTIMATORS = ("analytic", "batched-mcmc", "mcmc")
 #: All supported moment estimators ("mcmc" = per-site tilted MCMC inside
-#: the reference EP loop, the paper's accelerator workload).
+#: the EP loop, the paper's accelerator workload — batched through
+#: :class:`~repro.fg.mcmc.BatchedSiteMCMC` on the compiled path, with
+#: :class:`~repro.fg.ep.ReferenceSiteMCMC` as its object-walking twin).
 KNOWN_ESTIMATORS = ("analytic", "mcmc", "batched-mcmc")
 
 
@@ -155,9 +163,20 @@ class BayesPerfEngine:
         ``"student_t"`` (paper, §4.2) or ``"gaussian"`` (ablation).
     moment_estimator:
         ``"analytic"`` (exact Gaussian projections), ``"mcmc"`` (per-site
-        tilted-moment sampling inside the reference EP loop) or
+        tilted-moment sampling inside the EP loop — the accelerator's
+        workload, batched over records on the compiled kernel's buffers) or
         ``"batched-mcmc"`` (full-posterior coupled-chain sampling through
         the compiled kernel's buffers, vectorized across a batch).
+    mcmc_adapt:
+        Per-record proposal-scale adaptation during burn-in for the sampled
+        estimators.  ``None`` keeps each estimator's default: *on* for the
+        per-site ``"mcmc"`` sampler, *off* for ``"batched-mcmc"`` (whose
+        golden-trace numerics predate adaptation).
+    chain_recorder:
+        Optional :class:`~repro.fg.mcmc.ChainTrace` capturing one record
+        per (slice, EP iteration, site) chain the ``"mcmc"`` estimator
+        runs; serialise it with :mod:`repro.fleet.tracefile` and feed it to
+        the :mod:`repro.accelerator` co-simulation.
     drift:
         Relative standard deviation of the temporal prior: how much an event
         is expected to change between consecutive slices.
@@ -175,7 +194,8 @@ class BayesPerfEngine:
         each estimator's reference twin instead — the object-walking
         :class:`~repro.fg.ep.ExpectationPropagation` loop for
         ``"analytic"``, :class:`~repro.fg.mcmc.ReferenceMCMC` for
-        ``"batched-mcmc"`` — for differential A/B comparison.
+        ``"batched-mcmc"``, :class:`~repro.fg.ep.ReferenceSiteMCMC` for
+        ``"mcmc"`` — for differential A/B comparison.
     """
 
     def __init__(
@@ -193,6 +213,8 @@ class BayesPerfEngine:
         ep_damping: float = 1.0,
         mcmc_samples: int = 300,
         mcmc_burn_in: int = 200,
+        mcmc_adapt: Optional[bool] = None,
+        chain_recorder: Optional[ChainTrace] = None,
         use_intensity_chain: bool = True,
         use_compiled_kernel: bool = True,
         seed: int = 0,
@@ -238,6 +260,9 @@ class BayesPerfEngine:
         self.ep_damping = ep_damping
         self.mcmc_samples = mcmc_samples
         self.mcmc_burn_in = mcmc_burn_in
+        # Estimator-specific adaptation default (see the docstring).
+        self.mcmc_adapt = mcmc_adapt if mcmc_adapt is not None else moment_estimator == "mcmc"
+        self.chain_recorder = chain_recorder
         self.use_intensity_chain = use_intensity_chain
         self.use_compiled_kernel = use_compiled_kernel
         self._seed = seed
@@ -654,9 +679,37 @@ class BayesPerfEngine:
             self._prior_density(prepared),
             n_samples=self.mcmc_samples,
             burn_in=self.mcmc_burn_in,
+            adapt=self.mcmc_adapt,
         )
         moments = twin.run(rng=np.random.default_rng(prepared.mcmc_seed))
         return moments.mean(), moments.variance()
+
+    def _solve_reference_site_mcmc(
+        self, prepared: _PreparedSlice
+    ) -> Tuple[Dict[str, float], Dict[str, float], int, bool]:
+        """Reference twin of the batched per-site tilted MCMC (object-based).
+
+        Runs the identical EP loop with per-site coupled-chain moment
+        estimation, walking Python factor objects per step, seeded with the
+        same per-record seed the batched path would use — the differential
+        harness pins the two within floating-point noise.
+        """
+        observation_factors, constraint_groups = self._build_factors(prepared.summaries)
+        site_lists = self._site_factor_lists(observation_factors, constraint_groups)
+        twin = ReferenceSiteMCMC(
+            site_lists,
+            self._prior_density(prepared),
+            n_samples=self.mcmc_samples,
+            burn_in=self.mcmc_burn_in,
+            adapt=self.mcmc_adapt,
+            damping=self.ep_damping,
+            max_iterations=self.ep_max_iterations,
+            recorder=self.chain_recorder,
+        )
+        moments = twin.run(
+            rng=np.random.default_rng(prepared.mcmc_seed), tick=prepared.record.tick
+        )
+        return moments.mean(), moments.variance(), moments.iterations, moments.converged
 
     def _prepare_slice(self, record: SamplingRecord) -> _PreparedSlice:
         """Advance the temporal state and build one slice's arrays."""
@@ -673,7 +726,7 @@ class BayesPerfEngine:
         scales_vec = np.array([self._scale[event] for event in self.events])
         prior_mean_vec, prior_var_vec = self._build_prior_arrays(intensity_ratio)
         mcmc_seed = 0
-        if self.moment_estimator == "batched-mcmc":
+        if self.moment_estimator in ("batched-mcmc", "mcmc"):
             # Drawn per record under that record's restored state, so a
             # batch member samples the same chain its looped twin would.
             mcmc_seed = int(self._rng.integers(0, 2**63))
@@ -730,9 +783,48 @@ class BayesPerfEngine:
                 for b in range(batch)
             ]
 
+        measured = group[0].measured
+        if self.moment_estimator == "mcmc":
+            # Per-site tilted MCMC inside the EP loop: the accelerator's
+            # inner loop, batched over the group.  The observation site's
+            # non-Gaussian correction lives in *site-local* coordinates
+            # (the binder's slot table).
+            site_tails = {}
+            if self.observation_model == "student_t" and measured:
+                site_tails[binder.observation.site] = StudentTTail(
+                    slots=binder.observation.slots,
+                    loc=obs_mean,
+                    scale=np.stack([p.obs_scale for p in group]),
+                    df=np.stack([p.summaries.df for p in group]),
+                    variance=obs_variance,
+                )
+            sampler = BatchedSiteMCMC(
+                kernel,
+                n_samples=self.mcmc_samples,
+                burn_in=self.mcmc_burn_in,
+                adapt=self.mcmc_adapt,
+                recorder=self.chain_recorder,
+            )
+            solved = sampler.run(
+                stacked,
+                prior_precision,
+                prior_shift,
+                seeds=[p.mcmc_seed for p in group],
+                site_tails=site_tails,
+                ticks=[p.record.tick for p in group],
+            )
+            return [
+                (
+                    solved.mean_dict(b),
+                    solved.variance_dict(b),
+                    int(solved.iterations[b]),
+                    bool(solved.converged[b]),
+                )
+                for b in range(batch)
+            ]
+
         # Batched MCMC: the coupled-chain estimator over the same buffers.
         extra = None
-        measured = group[0].measured
         if self.observation_model == "student_t" and measured:
             extra = StudentTTail(
                 slots=np.array([self._event_slot[e] for e in measured], dtype=np.intp),
@@ -742,7 +834,10 @@ class BayesPerfEngine:
                 variance=obs_variance,
             )
         sampler = BatchedMCMC(
-            kernel, n_samples=self.mcmc_samples, burn_in=self.mcmc_burn_in
+            kernel,
+            n_samples=self.mcmc_samples,
+            burn_in=self.mcmc_burn_in,
+            adapt=self.mcmc_adapt,
         )
         sampled = sampler.run(
             stacked,
@@ -808,6 +903,10 @@ class BayesPerfEngine:
             elif self.moment_estimator == "batched-mcmc":
                 means, variances = self._solve_reference_mcmc(prepared)
                 iterations, converged = 0, True
+            elif self.moment_estimator == "mcmc":
+                means, variances, iterations, converged = (
+                    self._solve_reference_site_mcmc(prepared)
+                )
             else:
                 observation_factors, constraint_groups = self._build_factors(
                     prepared.summaries

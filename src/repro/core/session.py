@@ -16,6 +16,7 @@ from repro.baselines.counterminer import CounterMiner
 from repro.baselines.linux_scaling import LinuxScaling
 from repro.baselines.weaver import WeaverPin
 from repro.core.engine import BayesPerfEngine
+from repro.fg.mcmc import ChainTrace
 from repro.events.catalog import EventCatalog
 from repro.events.profiles import standard_profiling_events
 from repro.events.registry import catalog_for
@@ -93,8 +94,16 @@ class PerfSession:
         Route the BayesPerf engine's solves through the vectorized array
         path (default).  Set to ``False`` to run each estimator's reference
         twin instead — the object-walking EP loop for ``"analytic"``,
-        :class:`~repro.fg.mcmc.ReferenceMCMC` for ``"batched-mcmc"`` — the
+        :class:`~repro.fg.mcmc.ReferenceMCMC` for ``"batched-mcmc"``,
+        :class:`~repro.fg.ep.ReferenceSiteMCMC` for ``"mcmc"`` — the
         A/B ablation the differential tests and benchmarks use.
+    chain_recorder:
+        Optional :class:`~repro.fg.mcmc.ChainTrace` the engine appends one
+        record per (slice, EP iteration, site) chain to when
+        ``moment_estimator="mcmc"`` runs — the capture side of the
+        accelerator co-simulation (see ``examples/accelerator_cosim.py``).
+        Shorthand for the same ``engine_kwargs`` entry, which wins if both
+        are given.
     engine_kwargs:
         Extra keyword arguments forwarded to :class:`BayesPerfEngine`
         (an explicit ``use_compiled_kernel`` entry here wins over the
@@ -115,6 +124,7 @@ class PerfSession:
         read_interval_ticks: int = 8,
         moment_estimator: Optional[str] = None,
         use_compiled_kernel: bool = True,
+        chain_recorder: Optional[ChainTrace] = None,
         engine_kwargs: Optional[Dict] = None,
     ) -> None:
         if method not in KNOWN_METHODS:
@@ -137,6 +147,8 @@ class PerfSession:
         self.engine_kwargs.setdefault("use_compiled_kernel", use_compiled_kernel)
         if moment_estimator is not None:
             self.engine_kwargs.setdefault("moment_estimator", moment_estimator)
+        if chain_recorder is not None:
+            self.engine_kwargs.setdefault("chain_recorder", chain_recorder)
 
         if events is not None:
             self.events: Tuple[str, ...] = tuple(events)

@@ -32,13 +32,18 @@ from repro.fg.markov import markov_blanket, markov_blanket_of_set
 from repro.fg.mcmc import (
     BatchedMCMC,
     BatchedMCMCResult,
+    BatchedSiteMCMC,
+    BatchedSiteMCMCResult,
+    ChainSiteVisit,
+    ChainTrace,
     MCMCMoments,
     MCMCResult,
     RandomWalkMetropolis,
     ReferenceMCMC,
+    SiteMCMCMoments,
     StudentTTail,
 )
-from repro.fg.ep import EPResult, ExpectationPropagation
+from repro.fg.ep import EPResult, ExpectationPropagation, ReferenceSiteMCMC
 from repro.fg.compiled import (
     CompiledBinder,
     CompiledEPKernel,
@@ -54,6 +59,12 @@ from repro.fg.mle import credible_interval, map_estimate
 __all__ = [
     "BatchedMCMC",
     "BatchedMCMCResult",
+    "BatchedSiteMCMC",
+    "BatchedSiteMCMCResult",
+    "ChainSiteVisit",
+    "ChainTrace",
+    "ReferenceSiteMCMC",
+    "SiteMCMCMoments",
     "CompiledBinder",
     "CompiledEPKernel",
     "CompiledEPResult",

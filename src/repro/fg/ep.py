@@ -21,7 +21,13 @@ import numpy as np
 from repro.fg.factors import Factor
 from repro.fg.gaussian import GaussianDensity
 from repro.fg.graph import FactorGraph
-from repro.fg.mcmc import RandomWalkMetropolis
+from repro.fg.linalg import cholesky_inverse
+from repro.fg.mcmc import (
+    _adapted_scales,
+    ChainTrace,
+    RandomWalkMetropolis,
+    SiteMCMCMoments,
+)
 
 
 @dataclass
@@ -265,6 +271,276 @@ class ExpectationPropagation:
             converged=converged,
             site_approximations=site_approx,
             max_delta=max_delta,
+        )
+
+
+class ReferenceSiteMCMC:
+    """Object-based reference twin of :class:`~repro.fg.mcmc.BatchedSiteMCMC`.
+
+    Runs the identical per-site tilted-MCMC EP loop for one record, the
+    slow, readable way: cavities are formed by dividing
+    :class:`~repro.fg.gaussian.GaussianDensity` objects, marginals go
+    through the object moment projection, and every chain step walks the
+    site's Python factor objects with a ``{variable: value}`` mapping.  The
+    differential test harness (and the tilted-MCMC benchmark) pin
+    :class:`~repro.fg.mcmc.BatchedSiteMCMC` against this twin; burn-in
+    proposal-scale adaptation applies the same module-level rule, so the
+    pair stays step-for-step coupled.
+
+    ``run`` derives everything from its RNG argument and mutates no sampler
+    state — repeated explicitly-seeded runs reproduce exactly.
+
+    Parameters
+    ----------
+    site_factors:
+        ``(site name, factor objects)`` pairs in site order — the shape
+        :meth:`BayesPerfEngine._site_factor_lists` produces.
+    prior:
+        Proper Gaussian prior over every variable, in the same ordering the
+        compiled kernel would use.
+    damping, max_iterations, tolerance:
+        EP loop controls (must match the compiled kernel's).
+    n_samples, burn_in, step_scale, adapt, target_acceptance, adapt_window:
+        Chain controls, mirroring :class:`BatchedSiteMCMC`.
+    recorder:
+        Optional :class:`~repro.fg.mcmc.ChainTrace` capturing every site
+        chain, exactly like the batched sampler's.
+    """
+
+    def __init__(
+        self,
+        site_factors: Sequence[Tuple[str, Sequence[Factor]]],
+        prior: GaussianDensity,
+        *,
+        n_samples: int = 300,
+        burn_in: int = 200,
+        step_scale: float = 2.38,
+        adapt: bool = True,
+        target_acceptance: float = 0.35,
+        adapt_window: int = 50,
+        damping: float = 1.0,
+        max_iterations: int = 8,
+        tolerance: float = 1e-6,
+        seed: int = 0,
+        recorder: Optional[ChainTrace] = None,
+    ) -> None:
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if burn_in < 0:
+            raise ValueError("burn_in must be non-negative")
+        if not 0.0 < damping <= 1.0:
+            raise ValueError("damping must lie in (0, 1]")
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        if not site_factors:
+            raise ValueError("per-site MCMC requires at least one site")
+        self.prior = prior
+        self.n_samples = n_samples
+        self.burn_in = burn_in
+        self.step_scale = step_scale
+        self.adapt = adapt
+        self.target_acceptance = target_acceptance
+        self.adapt_window = adapt_window
+        self.damping = damping
+        self.max_iterations = max_iterations
+        self.tolerance = tolerance
+        self.recorder = recorder
+        self._seed = seed
+
+        self._sites: List[Tuple[str, List[Factor], Tuple[str, ...], GaussianDensity]] = []
+        for name, factors in site_factors:
+            factors = list(factors)
+            not_projectable = [f.name for f in factors if not f.anchor_free]
+            if not_projectable:
+                raise ValueError(
+                    f"ReferenceSiteMCMC requires anchor-free factors, got {not_projectable}"
+                )
+            variables: List[str] = []
+            seen = set()
+            for factor in factors:
+                for variable in factor.variables:
+                    if variable not in seen:
+                        seen.add(variable)
+                        variables.append(variable)
+            # The site's analytic target: the product of its factor
+            # projections in site-local coordinates (the compiled binder's
+            # block, assembled from objects).
+            block = GaussianDensity.uninformative(variables)
+            for factor in factors:
+                block = block.multiply(factor.to_gaussian(None))
+            self._sites.append((name, factors, tuple(variables), block))
+
+    @staticmethod
+    def _as_dict(variables: Tuple[str, ...], state: np.ndarray) -> Dict[str, float]:
+        return {name: float(state[i]) for i, name in enumerate(variables)}
+
+    def _site_chain(
+        self,
+        factors: List[Factor],
+        variables: Tuple[str, ...],
+        cavity_marginal: GaussianDensity,
+        projection: GaussianDensity,
+        g_mean: np.ndarray,
+        g_cov: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Tuple[np.ndarray, np.ndarray, int, np.ndarray]:
+        """Coupled chain pair for one site visit: ``(d, D, accepted, scales)``."""
+        width = len(variables)
+        scales = (self.step_scale / np.sqrt(width)) * np.sqrt(
+            np.maximum(np.diag(g_cov), 1e-30)
+        )
+
+        def true_log_density(state: np.ndarray) -> float:
+            values = self._as_dict(variables, state)
+            total = cavity_marginal.log_density(values)
+            for factor in factors:
+                total += factor.log_density(values)
+            return total
+
+        def gaussian_part(state: np.ndarray) -> float:
+            return projection.log_density(self._as_dict(variables, state))
+
+        chain = g_mean.copy()
+        shadow = g_mean.copy()
+        chain_logp = true_log_density(chain)
+        shadow_logp = gaussian_part(shadow)
+
+        sum_chain = np.zeros(width)
+        sum_shadow = np.zeros(width)
+        sum_chain_outer = np.zeros((width, width))
+        sum_shadow_outer = np.zeros((width, width))
+        accepted = 0
+        window_accepts = 0
+
+        total_steps = self.burn_in + self.n_samples
+        for step in range(total_steps):
+            noise = rng.standard_normal(width)
+            log_uniform = np.log(rng.random())
+            offset = scales * noise
+            chain_proposal = chain + offset
+            shadow_proposal = shadow + offset
+
+            chain_proposal_logp = true_log_density(chain_proposal)
+            shadow_proposal_logp = gaussian_part(shadow_proposal)
+            if log_uniform < (chain_proposal_logp - chain_logp):
+                chain = chain_proposal
+                chain_logp = chain_proposal_logp
+                accepted += 1
+                window_accepts += 1
+            if log_uniform < (shadow_proposal_logp - shadow_logp):
+                shadow = shadow_proposal
+                shadow_logp = shadow_proposal_logp
+
+            if self.adapt and step < self.burn_in:
+                if (step + 1) % self.adapt_window == 0:
+                    scales = _adapted_scales(
+                        scales, window_accepts / self.adapt_window, self.target_acceptance
+                    )
+                    window_accepts = 0
+
+            if step >= self.burn_in:
+                sum_chain += chain
+                sum_shadow += shadow
+                sum_chain_outer += np.outer(chain, chain)
+                sum_shadow_outer += np.outer(shadow, shadow)
+
+        count = float(self.n_samples)
+        d = (sum_chain - sum_shadow) / count
+        moment_diff = (sum_chain_outer - sum_shadow_outer) / count
+        cross = np.outer(g_mean, d)
+        covariance_correction = moment_diff - (cross + cross.T + np.outer(d, d))
+        return d, covariance_correction, accepted, scales
+
+    def run(self, *, rng: Optional[np.random.Generator] = None, tick: int = -1) -> SiteMCMCMoments:
+        """Estimate the record's posterior via per-site tilted MCMC EP."""
+        rng = np.random.default_rng(self._seed) if rng is None else rng
+        variables = self.prior.variables
+        site_approx: Dict[str, GaussianDensity] = {
+            name: GaussianDensity.uninformative(variables) for name, _, _, _ in self._sites
+        }
+        global_approx = self.prior.copy()
+
+        recorder = self.recorder
+        slice_id = recorder.reserve_slices(1) if recorder is not None else 0
+        chain_steps = self.burn_in + self.n_samples
+        accepted_total = 0
+        steps_total = 0
+
+        converged = False
+        max_delta = float("inf")
+        iteration = 0
+        for iteration in range(1, self.max_iterations + 1):
+            max_delta = 0.0
+            for site_index, (name, factors, site_vars, block) in enumerate(self._sites):
+                current = site_approx[name]
+                cavity = global_approx.divide(current)
+                try:
+                    cavity_marginal = cavity.marginal(site_vars)
+                except (ValueError, np.linalg.LinAlgError):
+                    cavity_marginal = self.prior.marginal(site_vars)
+
+                projection = cavity_marginal.multiply(block)
+                g_mean, g_cov = projection.moments()
+                d, covariance_correction, accepted, scales = self._site_chain(
+                    factors, site_vars, cavity_marginal, projection, g_mean, g_cov, rng
+                )
+                accepted_total += accepted
+                steps_total += chain_steps
+
+                tilted_cov = g_cov + covariance_correction
+                try:
+                    np.linalg.cholesky(tilted_cov)
+                except np.linalg.LinAlgError:
+                    covariance_correction = np.zeros_like(covariance_correction)
+                    tilted_cov = g_cov
+                inverse_tilted = cholesky_inverse(tilted_cov)
+                delta_precision = -(projection.precision @ covariance_correction @ inverse_tilted)
+                delta_precision = 0.5 * (delta_precision + delta_precision.T)
+                tilted_mean = g_mean + d
+                delta_shift = projection.precision @ d + delta_precision @ tilted_mean
+                target = _pd_repaired(
+                    GaussianDensity(
+                        site_vars,
+                        block.precision + delta_precision,
+                        block.shift + delta_shift,
+                    )
+                )
+
+                new_site = _embed(target, variables)
+                damped_site = current.damped_towards(new_site, self.damping)
+                delta = _natural_parameter_delta(current, damped_site)
+                max_delta = max(max_delta, delta)
+                global_approx = global_approx.divide(current).multiply(damped_site)
+                site_approx[name] = damped_site
+
+                if recorder is not None:
+                    recorder.record(
+                        slice_id=slice_id,
+                        tick=int(tick),
+                        iteration=iteration,
+                        site=name,
+                        site_index=site_index,
+                        width=len(site_vars),
+                        n_factors=len(factors),
+                        n_steps=chain_steps,
+                        burn_in=self.burn_in,
+                        accepted=int(accepted),
+                        step_scale=float(scales.mean()),
+                    )
+
+            if max_delta < self.tolerance:
+                converged = True
+                break
+
+        mean, cov = global_approx.moments()
+        return SiteMCMCMoments(
+            variables=variables,
+            means=mean,
+            variances=np.diag(cov).copy(),
+            iterations=iteration,
+            converged=converged,
+            acceptance_rate=accepted_total / steps_total if steps_total else 0.0,
+            n_samples=self.n_samples,
         )
 
 

@@ -41,6 +41,7 @@ from repro.fleet.tracefile import (
     TraceFile,
     TraceFormatError,
     TraceWorkload,
+    chain_trace_file,
     read_trace,
     record_session_trace,
     register_trace_workload,
@@ -70,6 +71,7 @@ __all__ = [
     "TraceFile",
     "TraceFormatError",
     "TraceWorkload",
+    "chain_trace_file",
     "read_trace",
     "record_session_trace",
     "register_trace_workload",

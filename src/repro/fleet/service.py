@@ -27,6 +27,7 @@ from typing import Dict, Optional, Sequence, Tuple, Union
 from repro.events.catalog import EventCatalog
 from repro.events.profiles import standard_profiling_events
 from repro.events.registry import canonical_arch, catalog_for
+from repro.fg.mcmc import ChainTrace
 from repro.fleet.events import EventDispatcher, EventProcessor, MetricsProcessor
 from repro.fleet.ingest import FleetIngest, ReplayHostSource, SyntheticHostSource
 from repro.fleet.tracefile import TraceFile, TraceWorkload, read_trace
@@ -52,6 +53,9 @@ class FleetResult:
     dropped_records: Dict[str, int] = field(default_factory=dict)
     engine_cache: Dict[str, int] = field(default_factory=dict)
     metrics: Dict[str, int] = field(default_factory=dict)
+    #: The service's shared chain recorder (populated when the fleet ran a
+    #: per-site MCMC estimator with one attached), ``None`` otherwise.
+    chain_trace: Optional[ChainTrace] = None
 
     @property
     def slices_per_second(self) -> float:
@@ -84,6 +88,12 @@ class FleetService:
         (or shrink the buffer) to exercise backpressure.
     samples_per_tick, noise, machine_config, engine_kwargs:
         Forwarded to the underlying PMU, machine and engine models.
+    chain_recorder:
+        Optional :class:`~repro.fg.mcmc.ChainTrace` shared by every engine
+        the pool builds; with ``engine_kwargs={"moment_estimator": "mcmc"}``
+        it captures the whole fleet's per-site chain schedule, and the run's
+        :class:`FleetResult.chain_trace` points back at it — the measured
+        workload the :mod:`repro.accelerator` co-simulation consumes.
     processors:
         Extra :class:`~repro.fleet.events.EventProcessor`s attached to the
         event stream (a :class:`~repro.fleet.events.MetricsProcessor` is
@@ -104,6 +114,7 @@ class FleetService:
         noise: Optional[NoiseModel] = None,
         machine_config: Optional[MachineConfig] = None,
         engine_kwargs: Optional[Dict] = None,
+        chain_recorder: Optional[ChainTrace] = None,
         processors: Sequence[EventProcessor] = (),
     ) -> None:
         self.arch = canonical_arch(arch)
@@ -125,6 +136,9 @@ class FleetService:
         self.noise = noise
         self.machine_config = machine_config
         self.engine_kwargs = dict(engine_kwargs) if engine_kwargs else {}
+        self.chain_recorder = chain_recorder
+        if chain_recorder is not None:
+            self.engine_kwargs.setdefault("chain_recorder", chain_recorder)
 
         self.metrics_processor = MetricsProcessor()
         self.dispatcher = EventDispatcher([self.metrics_processor, *processors])
@@ -290,4 +304,7 @@ class FleetService:
             dropped_records=self.ingest.drop_report(),
             engine_cache=pool.cache_stats(),
             metrics=self.metrics_processor.summary(),
+            # The recorder the engines actually used: an explicit
+            # engine_kwargs entry wins over the service-level parameter.
+            chain_trace=self.engine_kwargs.get("chain_recorder"),
         )

@@ -17,6 +17,13 @@ Layout (one JSON object per line):
 * ``{"type": "estimate", "tick": t, "values": {...}, "sigma": {...}}`` — one
   tick of a correction method's output (optional; lets a replay verify
   round-trip fidelity without re-running inference).
+* ``{"type": "chain", "seq": i, "slice": s, ...}`` — one per-site tilted-MCMC
+  chain run captured by a :class:`~repro.fg.mcmc.ChainTrace` recorder
+  (format version 2; the accelerator co-simulation's input).
+
+Version history: version 1 files carry sample/poll/estimate records only;
+version 2 adds ``chain`` records.  The writer stamps version 2 only when
+chain records are present, and the reader accepts both.
 
 Recorded traces can be registered as replayable workloads
 (:func:`register_trace_workload`), after which any fleet host can be backed
@@ -32,13 +39,16 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.fg.mcmc import ChainSiteVisit, ChainTrace
 from repro.pmu.configuration import CounterConfiguration
 from repro.pmu.sampling import PolledTrace, SampledTrace, SamplingRecord
 from repro.pmu.traces import EstimateTrace
 from repro.workloads.registry import register_workload
 
 FORMAT_NAME = "bayesperf-trace"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: Versions this reader understands (1 = pre-chain-record files).
+READABLE_VERSIONS = (1, 2)
 
 
 class TraceFormatError(ValueError):
@@ -58,6 +68,8 @@ class TraceFile:
     sampled: Optional[SampledTrace] = None
     polled: Optional[PolledTrace] = None
     estimates: Optional[EstimateTrace] = None
+    #: Per-site MCMC chain records (version 2), if the trace carries any.
+    chain: Optional[ChainTrace] = None
 
     @property
     def n_ticks(self) -> int:
@@ -86,15 +98,38 @@ class TraceWorkload:
 
 
 def _header(trace: TraceFile) -> Dict:
-    return {
+    header = {
         "format": FORMAT_NAME,
-        "version": FORMAT_VERSION,
+        # Chain-free traces keep stamping version 1 so previously recorded
+        # files and freshly written ones stay byte-comparable.
+        "version": FORMAT_VERSION if trace.chain is not None else 1,
         "arch": trace.arch,
         "events": list(trace.events),
         "workload": trace.workload,
         "seed": trace.seed,
         "samples_per_tick": trace.samples_per_tick,
         "metadata": trace.metadata,
+    }
+    if trace.chain is not None and trace.chain.params:
+        header["chain_params"] = dict(trace.chain.params)
+    return header
+
+
+def _chain_line(visit: ChainSiteVisit) -> Dict:
+    return {
+        "type": "chain",
+        "seq": int(visit.sequence),
+        "slice": int(visit.slice_id),
+        "tick": int(visit.tick),
+        "iter": int(visit.iteration),
+        "site": visit.site,
+        "site_index": int(visit.site_index),
+        "width": int(visit.width),
+        "factors": int(visit.n_factors),
+        "steps": int(visit.n_steps),
+        "burn_in": int(visit.burn_in),
+        "accepted": int(visit.accepted),
+        "scale": float(visit.step_scale),
     }
 
 
@@ -124,6 +159,9 @@ def write_trace(path: Union[str, Path], trace: TraceFile) -> Path:
             for record in trace.estimates.to_records():
                 line = {"type": "estimate", "method": trace.estimates.method, **record}
                 stream.write(json.dumps(line) + "\n")
+        if trace.chain is not None:
+            for visit in trace.chain.visits:
+                stream.write(json.dumps(_chain_line(visit)) + "\n")
     return path
 
 
@@ -138,10 +176,10 @@ def _parse_header(line: str) -> Dict:
     if not isinstance(header, dict) or header.get("format") != FORMAT_NAME:
         raise TraceFormatError(f"not a {FORMAT_NAME} file (bad header line)")
     version = header.get("version")
-    if version != FORMAT_VERSION:
+    if version not in READABLE_VERSIONS:
         raise TraceFormatError(
             f"unsupported trace version {version!r} (this reader understands "
-            f"version {FORMAT_VERSION})"
+            f"versions {READABLE_VERSIONS})"
         )
     return header
 
@@ -165,6 +203,7 @@ def read_trace(path: Union[str, Path]) -> TraceFile:
         samples: List[SamplingRecord] = []
         polled_lines: List[Dict] = []
         estimate_lines: List[Dict] = []
+        chain_lines: List[Dict] = []
         estimate_method = "replay"
         for lineno, line in enumerate(stream, start=2):
             if not line.strip():
@@ -187,6 +226,8 @@ def read_trace(path: Union[str, Path]) -> TraceFile:
             elif kind == "estimate":
                 estimate_method = payload.get("method", estimate_method)
                 estimate_lines.append(payload)
+            elif kind == "chain":
+                chain_lines.append(payload)
             else:
                 raise TraceFormatError(f"{path}:{lineno}: unknown record type {kind!r}")
 
@@ -209,10 +250,63 @@ def read_trace(path: Union[str, Path]) -> TraceFile:
         trace.polled = polled
     if estimate_lines:
         trace.estimates = EstimateTrace.from_records(estimate_method, estimate_lines)
+    if chain_lines:
+        chain_lines.sort(key=lambda payload: payload["seq"])
+        # Resume the slice counter past the replayed ids so the trace can
+        # be handed straight back to a sampler as its recorder without new
+        # recordings colliding with replayed slices.
+        chain = ChainTrace(
+            params=dict(header.get("chain_params", {})),
+            _next_slice=1 + max(int(payload["slice"]) for payload in chain_lines),
+        )
+        for payload in chain_lines:
+            chain.visits.append(
+                ChainSiteVisit(
+                    sequence=int(payload["seq"]),
+                    slice_id=int(payload["slice"]),
+                    tick=int(payload["tick"]),
+                    iteration=int(payload["iter"]),
+                    site=str(payload["site"]),
+                    site_index=int(payload["site_index"]),
+                    width=int(payload["width"]),
+                    n_factors=int(payload["factors"]),
+                    n_steps=int(payload["steps"]),
+                    burn_in=int(payload["burn_in"]),
+                    accepted=int(payload["accepted"]),
+                    step_scale=float(payload["scale"]),
+                )
+            )
+        trace.chain = chain
     return trace
 
 
 # -- recording helpers ------------------------------------------------------
+
+
+def chain_trace_file(
+    chain: ChainTrace,
+    *,
+    arch: str = "",
+    events: Sequence[str] = (),
+    workload: str = "",
+    seed: int = 0,
+    metadata: Optional[Dict] = None,
+) -> TraceFile:
+    """Wrap a recorded :class:`~repro.fg.mcmc.ChainTrace` for serialisation.
+
+    The returned :class:`TraceFile` carries only chain records (a version-2
+    file); ``write_trace``/``read_trace`` round-trip it losslessly, which is
+    what lets the accelerator co-simulation reproduce its estimates exactly
+    from a replayed file.
+    """
+    return TraceFile(
+        arch=arch,
+        events=tuple(events),
+        workload=workload,
+        seed=seed,
+        metadata=dict(metadata or {}),
+        chain=chain,
+    )
 
 
 def record_session_trace(

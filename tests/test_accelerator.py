@@ -1,5 +1,7 @@
-"""Tests for the accelerator models (NoC, EP engines, latency, area/power)."""
+"""Tests for the accelerator models (NoC, EP engines, latency, area/power)
+and the trace-driven co-simulation grounding them in measured chain traces."""
 
+import numpy as np
 import pytest
 
 from repro.accelerator import (
@@ -12,6 +14,19 @@ from repro.accelerator import (
     ReadLatencyModel,
     ReadPath,
 )
+from repro.fg import (
+    BatchedSiteMCMC,
+    ChainTrace,
+    CompiledEPKernel,
+    FactorGraph,
+    GaussianDensity,
+    GaussianObservation,
+    LinearConstraintFactor,
+    compile_factor_graph,
+    site_factor_lists,
+)
+from repro.fg.ep import EPSite
+from repro.fleet.tracefile import chain_trace_file, read_trace, write_trace
 
 
 class TestButterflyNoC:
@@ -124,3 +139,214 @@ class TestFPGAResourceModel:
         assert 8.0 < capi.power_efficiency_vs(190.0) < 16.0
         pcie = FPGAResourceModel(AcceleratorConfig(transport="pcie")).report("x86")
         assert 4.0 < pcie.power_efficiency_vs(100.0) < 8.0
+
+
+# -- trace-driven co-simulation ----------------------------------------------
+
+
+def _synthetic_trace(n_slices=4, iterations=2, n_steps=50, accepted=17):
+    """A hand-built chain trace with a known, uniform visit schedule."""
+    trace = ChainTrace(params={"n_samples": 30, "burn_in": 20})
+    base = trace.reserve_slices(n_slices)
+    for iteration in range(1, iterations + 1):
+        for s in range(n_slices):
+            for site_index, (site, width, factors) in enumerate(
+                (("slice-observations", 6, 6), ("constraints-0", 4, 2))
+            ):
+                trace.record(
+                    slice_id=base + s,
+                    tick=s,
+                    iteration=iteration,
+                    site=site,
+                    site_index=site_index,
+                    width=width,
+                    n_factors=factors,
+                    n_steps=n_steps,
+                    burn_in=20,
+                    accepted=accepted,
+                    step_scale=0.05,
+                )
+    return trace
+
+
+def _recorded_trace():
+    """A genuinely recorded trace: the batched site sampler on a small graph."""
+    graph = FactorGraph(variables=["a", "b"])
+    graph.add_factor(GaussianObservation("obs_a", "a", observed=2.0, sigma=0.5))
+    graph.add_factor(LinearConstraintFactor("rel", {"a": 1.0, "b": -1.0}, sigma=0.2))
+    sites = [EPSite("obs", ("obs_a",)), EPSite("rel", ("rel",))]
+    prior = GaussianDensity.diagonal({"a": 0.0, "b": 0.0}, {"a": 9.0, "b": 9.0})
+    structure = compile_factor_graph(graph, sites, prior.variables)
+    kernel = CompiledEPKernel(structure, damping=1.0, max_iterations=3)
+    binding = structure.bind(site_factor_lists(graph, sites))
+    stacked = [(np.repeat(p[None, ...], 3, 0), np.repeat(s[None, ...], 3, 0)) for p, s in binding]
+    recorder = ChainTrace(params={"n_samples": 25, "burn_in": 15})
+    sampler = BatchedSiteMCMC(kernel, n_samples=25, burn_in=15, recorder=recorder)
+    sampler.run(
+        stacked,
+        np.repeat(prior.precision[None, ...], 3, 0),
+        np.repeat(prior.shift[None, ...], 3, 0),
+        seeds=[1, 2, 3],
+        ticks=[0, 0, 0],
+    )
+    return recorder
+
+
+class TestChainTraceCosim:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            AcceleratorModel().cosimulate(ChainTrace())
+
+    def test_report_reflects_the_measured_schedule(self):
+        trace = _synthetic_trace(n_slices=4, iterations=2)
+        report = AcceleratorModel().cosimulate(trace)
+        assert report.n_visits == trace.n_visits == 16
+        assert report.n_slices == 4
+        assert report.total_chain_steps == 16 * 50
+        assert report.mean_acceptance == pytest.approx(17 / 50)
+        assert report.makespan_cycles > 0
+        assert report.slices_per_second > 0
+        assert len(report.engine_busy_cycles) == AcceleratorConfig().n_ep_engines
+
+    def test_more_measured_steps_cost_more_cycles(self):
+        short = AcceleratorModel().cosimulate(_synthetic_trace(n_steps=50))
+        long = AcceleratorModel().cosimulate(_synthetic_trace(n_steps=200, accepted=60))
+        assert long.makespan_cycles > short.makespan_cycles
+        assert long.compute_cycles > short.compute_cycles
+
+    def test_measured_acceptance_costs_cycles(self):
+        cold = AcceleratorModel().cosimulate(_synthetic_trace(accepted=0))
+        hot = AcceleratorModel().cosimulate(_synthetic_trace(accepted=50))
+        assert hot.compute_cycles > cold.compute_cycles
+
+    def test_parallel_records_spread_across_engines(self):
+        report = AcceleratorModel().cosimulate(_synthetic_trace(n_slices=8))
+        assert all(busy > 0 for busy in report.engine_busy_cycles)
+        assert 0.0 < report.occupancy["ep_engine"] <= 1.0
+        assert 0.0 <= report.occupancy["mcmc_sampler"] <= 1.0
+
+    def test_recorded_trace_cosimulates(self):
+        trace = _recorded_trace()
+        report = AcceleratorModel().cosimulate(trace)
+        assert report.n_slices == 3
+        assert report.total_chain_steps == trace.total_steps > 0
+        assert 0.0 <= report.mean_acceptance <= 1.0
+
+    def test_energy_report_grounded_in_occupancy(self):
+        model = AcceleratorModel(AcceleratorConfig(transport="capi"))
+        report = model.cosimulate(_synthetic_trace())
+        resources = FPGAResourceModel(model.config)
+        energy = resources.energy_report(report)
+        assert energy.total_joules > 0
+        assert energy.millijoules_per_slice > 0
+        # Internal consistency: average power is the energy over the run.
+        assert energy.average_power_w * energy.makespan_seconds == pytest.approx(
+            energy.total_joules
+        )
+        # The workload averages can never exceed the all-units-busy peaks.
+        assert 0 < energy.average_power_w <= resources.vivado_power_w()
+        assert energy.measured_average_power_w <= resources.measured_power_w()
+        assert energy.power_efficiency_vs(190.0) > 1.0
+
+    def test_read_latency_model_from_trace(self):
+        trace = _synthetic_trace(n_slices=4, iterations=2)
+        model = ReadLatencyModel.from_chain_trace(trace)
+        # 16 visits over 4 slices -> 4 site updates per read; 6- and 2-factor
+        # sites average to 4 factors; widths 6 and 4 average to 5.
+        assert model.model_sites == 4
+        assert model.model_factors == 4
+        assert model.model_variables == 5
+        paths = model.all_paths()
+        assert paths["bayesperf-cpu"] > paths["linux"]
+        with pytest.raises(ValueError):
+            ReadLatencyModel.from_chain_trace(ChainTrace())
+
+
+class TestChainTraceRoundTrip:
+    """The capture layer round-trips losslessly through the tracefile format
+    and the accelerator model reproduces its estimates from a replayed trace."""
+
+    def test_replayed_trace_produces_identical_estimates(self, tmp_path):
+        trace = _recorded_trace()
+        path = tmp_path / "chains.jsonl"
+        write_trace(path, chain_trace_file(trace, arch="x86", workload="unit"))
+        replayed = read_trace(path).chain
+        assert replayed is not None
+        assert replayed.params == trace.params
+        assert replayed.visits == trace.visits
+        model = AcceleratorModel()
+        assert model.cosimulate(replayed) == model.cosimulate(trace)
+        resources = FPGAResourceModel(model.config)
+        assert resources.energy_report(model.cosimulate(replayed)) == resources.energy_report(
+            model.cosimulate(trace)
+        )
+        grounded = ReadLatencyModel.from_chain_trace(replayed)
+        assert grounded.all_paths() == ReadLatencyModel.from_chain_trace(trace).all_paths()
+
+    def test_chain_traces_are_version_2(self, tmp_path):
+        import json
+
+        path = tmp_path / "chains.jsonl"
+        write_trace(path, chain_trace_file(_synthetic_trace()))
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["version"] == 2
+        assert header["chain_params"] == {"n_samples": 30, "burn_in": 20}
+
+    def test_chain_free_traces_keep_version_1(self, tmp_path):
+        import json
+
+        from repro.fleet.tracefile import TraceFile
+
+        path = tmp_path / "plain.jsonl"
+        write_trace(path, TraceFile(arch="x86", events=("e",)))
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["version"] == 1
+        assert read_trace(path).chain is None
+
+
+class TestMeasuredCostModels:
+    def test_chain_cycles_charges_accept_writes(self):
+        sampler = MCMCSamplerIP()
+        cold = sampler.chain_cycles(100, 6, 0)
+        hot = sampler.chain_cycles(100, 6, 40)
+        assert hot == cold + 40 * sampler.cycles_per_accept
+
+    def test_chain_cycles_validation(self):
+        sampler = MCMCSamplerIP()
+        with pytest.raises(ValueError):
+            sampler.chain_cycles(0, 6, 0)
+        with pytest.raises(ValueError):
+            sampler.chain_cycles(10, 6, 11)
+
+    def test_site_visit_cycles_track_visit_shape(self):
+        trace = _synthetic_trace()
+        wide, narrow = trace.visits[0], trace.visits[1]
+        engine = EPEngineUnit()
+        sampler = MCMCSamplerIP()
+        assert engine.site_visit_cycles(wide, sampler) > engine.site_visit_cycles(
+            narrow, sampler
+        )
+        with pytest.raises(ValueError):
+            engine.site_visit_cycles(wide, sampler, samplers_per_engine=0)
+
+    def test_noc_site_update_round_trip(self):
+        noc = ButterflyNoC(n_ports=16)
+        assert noc.site_update_payload_bytes(6) == 8 * 6 * 7
+        assert noc.site_update_cycles(6) == (
+            noc.transfer(0, 15, 8 * 6 * 7).cycles + noc.transfer(15, 0, 8 * 6 * 7).cycles
+        )
+        with pytest.raises(ValueError):
+            noc.site_update_payload_bytes(0)
+
+    def test_cosim_report_derived_figures(self):
+        model = AcceleratorModel()
+        report = model.cosimulate(_synthetic_trace())
+        assert report.makespan_seconds == pytest.approx(
+            report.makespan_cycles / (report.clock_mhz * 1e6)
+        )
+        assert report.microseconds_per_slice > 0
+        assert report.cycles_per_chain_step > 0
+        latency = model.inference_latency(4, 10, 8)
+        assert latency.microseconds == pytest.approx(
+            latency.total_cycles * (1e3 / latency.clock_mhz) / 1e3
+        )

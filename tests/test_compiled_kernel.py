@@ -189,10 +189,20 @@ class TestEngineEquivalence:
         engine.correct(sampled)  # second run: every signature already compiled
         assert len(engine._kernel_cache) == signatures
 
-    def test_mcmc_estimator_bypasses_kernel(self, records):
+    def test_mcmc_estimator_uses_compiled_structures(self, records):
+        """Per-site tilted MCMC now batches on the kernel's buffers (PR 4)."""
         catalog, events, sampled = records
         engine = BayesPerfEngine(
-            catalog, events, moment_estimator="mcmc", mcmc_samples=20
+            catalog, events, moment_estimator="mcmc", mcmc_samples=20, mcmc_burn_in=10
+        )
+        engine.process_record(sampled.records[0])
+        assert engine._kernel_cache
+
+    def test_mcmc_reference_twin_bypasses_kernel(self, records):
+        catalog, events, sampled = records
+        engine = BayesPerfEngine(
+            catalog, events, moment_estimator="mcmc", mcmc_samples=20,
+            mcmc_burn_in=10, use_compiled_kernel=False,
         )
         engine.process_record(sampled.records[0])
         assert not engine._kernel_cache

@@ -23,6 +23,8 @@ from repro.events.profiles import standard_profiling_events
 from repro.events.registry import catalog_for
 from repro.fg import (
     BatchedMCMC,
+    BatchedSiteMCMC,
+    ChainTrace,
     CompiledEPKernel,
     EPResult,
     ExpectationPropagation,
@@ -32,6 +34,7 @@ from repro.fg import (
     GaussianPriorFactor,
     LinearConstraintFactor,
     ReferenceMCMC,
+    ReferenceSiteMCMC,
     StudentT,
     StudentTObservation,
     StudentTTail,
@@ -318,6 +321,153 @@ class TestBatchBitIdentity:
                 assert report.stds() == batched[h][slot].stds()
 
 
+class TestSiteMCMCTwin:
+    """Batched per-site tilted MCMC against its object-walking twin."""
+
+    def _student_t_problem(self):
+        graph = FactorGraph(variables=["a", "b"])
+        d1 = StudentT(loc=1.2, scale=0.4, df=3.0)
+        d2 = StudentT(loc=-0.5, scale=0.7, df=2.2)
+        graph.add_factor(StudentTObservation("obs_a", "a", d1))
+        graph.add_factor(StudentTObservation("obs_b", "b", d2))
+        graph.add_factor(LinearConstraintFactor("rel", {"a": 1.0, "b": 1.0}, sigma=0.3))
+        sites = [EPSite("obs", ("obs_a", "obs_b")), EPSite("rel", ("rel",))]
+        prior = GaussianDensity.diagonal({"a": 0.0, "b": 0.0}, {"a": 4.0, "b": 4.0})
+        tail = StudentTTail(
+            slots=np.array([0, 1], dtype=np.intp),
+            loc=np.array([[d1.loc, d2.loc]]),
+            scale=np.array([[d1.scale, d2.scale]]),
+            df=np.array([[d1.df, d2.df]]),
+            variance=np.array([[d1.variance, d2.variance]]),
+        )
+        return graph, sites, prior, tail
+
+    def _batched(self, graph, sites, prior, tail, seed, *, adapt=True, recorder=None):
+        structure = compile_factor_graph(graph, sites, prior.variables)
+        kernel = CompiledEPKernel(structure, damping=1.0, max_iterations=4)
+        binding = structure.bind(site_factor_lists(graph, sites))
+        stacked = [(p[None, ...], s[None, ...]) for p, s in binding]
+        sampler = BatchedSiteMCMC(
+            kernel, n_samples=60, burn_in=60, adapt=adapt, recorder=recorder
+        )
+        return sampler.run(
+            stacked,
+            prior.precision[None, ...],
+            prior.shift[None, ...],
+            seeds=[seed],
+            site_tails={0: tail},
+        )
+
+    def _twin(self, graph, sites, prior, *, adapt=True, recorder=None):
+        site_lists = [
+            (site.name, [graph.factor(name) for name in site.factor_names])
+            for site in sites
+        ]
+        return ReferenceSiteMCMC(
+            site_lists,
+            prior,
+            n_samples=60,
+            burn_in=60,
+            adapt=adapt,
+            damping=1.0,
+            max_iterations=4,
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_student_t_twin_agreement(self, seed):
+        graph, sites, prior, tail = self._student_t_problem()
+        fast = self._batched(graph, sites, prior, tail, seed)
+        moments = self._twin(graph, sites, prior).run(rng=np.random.default_rng(seed))
+        for i in range(len(prior.variables)):
+            assert _gap(fast.means[0, i], moments.means[i]) < TOLERANCE
+            assert _gap(fast.variances[0, i], moments.variances[i]) < TOLERANCE
+        assert int(fast.iterations[0]) == moments.iterations
+        assert bool(fast.converged[0]) == moments.converged
+
+    def test_gaussian_sites_solved_exactly(self):
+        """Zero sampled correction => the analytic kernel's posterior, exactly."""
+        graph = FactorGraph(variables=["a", "b", "c"])
+        graph.add_factor(GaussianObservation("obs_a", "a", observed=2.0, sigma=0.5))
+        graph.add_factor(GaussianObservation("obs_b", "b", observed=1.0, sigma=0.8))
+        graph.add_factor(
+            LinearConstraintFactor("sum", {"a": 1.0, "b": 1.0, "c": -1.0}, sigma=0.1)
+        )
+        sites = [EPSite("obs", ("obs_a", "obs_b")), EPSite("rel", ("sum",))]
+        prior = GaussianDensity.diagonal(
+            {"a": 0.0, "b": 0.0, "c": 0.0}, {"a": 9.0, "b": 9.0, "c": 9.0}
+        )
+        structure = compile_factor_graph(graph, sites, prior.variables)
+        kernel = CompiledEPKernel(structure, damping=1.0, max_iterations=6)
+        binding = structure.bind(site_factor_lists(graph, sites))
+        stacked = [(p[None, ...], s[None, ...]) for p, s in binding]
+        sampler = BatchedSiteMCMC(kernel, n_samples=40, burn_in=30)
+        sampled = sampler.run(
+            stacked, prior.precision[None, ...], prior.shift[None, ...], seeds=[7]
+        )
+        analytic = kernel.run([binding], [prior])
+        assert np.array_equal(sampled.means, analytic.means)
+        assert np.array_equal(sampled.variances, analytic.variances)
+
+    def test_adaptation_changes_numerics_and_twin_follows(self):
+        graph, sites, prior, tail = self._student_t_problem()
+        adapted = self._batched(graph, sites, prior, tail, 11, adapt=True)
+        fixed = self._batched(graph, sites, prior, tail, 11, adapt=False)
+        assert not np.array_equal(adapted.means, fixed.means)
+        twin_fixed = self._twin(graph, sites, prior, adapt=False).run(
+            rng=np.random.default_rng(11)
+        )
+        for i in range(len(prior.variables)):
+            assert _gap(fixed.means[0, i], twin_fixed.means[i]) < TOLERANCE
+
+    def test_chain_trace_recorded_on_both_paths(self):
+        """Both twins capture the same measured site-visit schedule."""
+        graph, sites, prior, tail = self._student_t_problem()
+        fast_trace, twin_trace = ChainTrace(), ChainTrace()
+        self._batched(graph, sites, prior, tail, 3, recorder=fast_trace)
+        twin = self._twin(graph, sites, prior)
+        twin.recorder = twin_trace
+        twin.run(rng=np.random.default_rng(3))
+        assert fast_trace.n_visits == twin_trace.n_visits > 0
+        for fast, slow in zip(fast_trace.visits, twin_trace.visits):
+            assert (fast.site, fast.iteration, fast.width, fast.n_factors) == (
+                slow.site,
+                slow.iteration,
+                slow.width,
+                slow.n_factors,
+            )
+            assert fast.n_steps == slow.n_steps == 120
+            assert fast.accepted == slow.accepted
+
+    def test_engine_batch_equals_looped_site_mcmc(self):
+        """B=1 == B=N bit-identity for the per-site sampler inside the engine."""
+        catalog = catalog_for("x86")
+        events = standard_profiling_events(catalog, n_events=16)
+        schedule = cached_schedule(catalog, events, kind="overlap")
+        trace = Machine(MachineConfig(), get_workload("KMeans"), seed=3).run(4)
+        sampled = MultiplexedSampler(catalog, schedule, seed=4).sample(trace)
+        engine = BayesPerfEngine(
+            catalog, events, moment_estimator="mcmc",
+            mcmc_samples=25, mcmc_burn_in=15, ep_max_iterations=2,
+        )
+        hosts, depth = 3, 2
+        states = [None] * hosts
+        batched = [[] for _ in range(hosts)]
+        for slot in range(depth):
+            items = [(states[h], sampled.records[slot]) for h in range(hosts)]
+            for h, (report, state) in enumerate(engine.process_batch(items)):
+                states[h] = state
+                batched[h].append(report)
+        for h in range(hosts):
+            state = None
+            for slot in range(depth):
+                engine.restore(state) if state is not None else engine.reset()
+                report = engine.process_record(sampled.records[slot])
+                state = engine.snapshot()
+                assert report.means() == batched[h][slot].means()
+                assert report.stds() == batched[h][slot].stds()
+
+
 class TestEngineDifferential:
     """Engine-level: each estimator's fast path against its reference twin."""
 
@@ -347,6 +497,31 @@ class TestEngineDifferential:
             catalog, events, use_compiled_kernel=False, **kwargs
         ).correct(sampled)
         assert self._max_trace_gap(fast, twin) < TOLERANCE
+
+    def test_site_mcmc_fast_path_matches_object_twin(self, workload):
+        catalog, events, sampled = workload
+        kwargs = dict(
+            moment_estimator="mcmc", mcmc_samples=30, mcmc_burn_in=20,
+            ep_max_iterations=2,
+        )
+        fast = BayesPerfEngine(catalog, events, **kwargs).correct(sampled)
+        twin = BayesPerfEngine(
+            catalog, events, use_compiled_kernel=False, **kwargs
+        ).correct(sampled)
+        assert self._max_trace_gap(fast, twin) < TOLERANCE
+
+    def test_site_mcmc_tracks_analytic_on_gaussian_model(self, workload):
+        """With exact Gaussian observations the per-site chains cannot drift."""
+        catalog, events, sampled = workload
+        analytic = BayesPerfEngine(
+            catalog, events, observation_model="gaussian", ep_max_iterations=2,
+        ).correct(sampled)
+        sampled_estimates = BayesPerfEngine(
+            catalog, events, observation_model="gaussian",
+            moment_estimator="mcmc", mcmc_samples=30, mcmc_burn_in=20,
+            ep_max_iterations=2,
+        ).correct(sampled)
+        assert self._max_trace_gap(analytic, sampled_estimates) < TOLERANCE
 
     def test_batched_mcmc_tracks_analytic_on_gaussian_model(self, workload):
         """With exact Gaussian observations the sampler cannot drift."""
