@@ -57,7 +57,7 @@ def record_fleet_chains() -> ChainTrace:
             "mcmc_burn_in": MCMC_BURN_IN,
             "ep_max_iterations": EP_ITERATIONS,
         },
-        chain_recorder=recorder,
+        recorder=recorder,
     )
     for index in range(N_HOSTS):
         workload = "KMeans" if index % 2 == 0 else "steady"

@@ -5,7 +5,9 @@ Performance Monitoring Errors Using Bayesian Statistics* (ASPLOS 2021).
 
 The public API is intentionally small; most users only need:
 
-* :class:`repro.core.BayesPerf` — the correction engine.
+* :mod:`repro.api` — the unified estimation pipeline: declare a run with
+  frozen specs (``RunSpec``/``EstimatorSpec``/``RecorderSpec``) and execute
+  it with ``Pipeline.from_spec(spec).run()`` or ``.stream()``.
 * :class:`repro.core.PerfSession` — a perf-like monitoring session that ties
   a workload, a PMU and a correction method together.
 * :func:`repro.events.catalog_for` — per-microarchitecture event catalogs.

@@ -10,10 +10,15 @@ a read-latency model (Fig. 3) and an area/power model (Table 1).
 
 Since PR 4 the models are *trace-driven*: a
 :class:`~repro.fg.mcmc.ChainTrace` recorded from the batched per-site
-tilted-MCMC sampler (``moment_estimator="mcmc"``) replays through
+tilted-MCMC sampler (the registered ``"mcmc"`` estimator) replays through
 :meth:`AcceleratorModel.cosimulate`, and every latency, occupancy and
 energy figure derives from the measured site-visit schedule and acceptance
 rates of the software workload (see ``examples/accelerator_cosim.py``).
+Traces whose chains recorded per-window burn-in acceptance trajectories
+(``ChainSiteVisit.windows``) additionally price the proposal-scale
+adaptation hardware, one retune per completed window
+(``EPEngineUnit.cycles_per_adaptation``); see ``examples/api_pipeline.py``
+for capture-by-streaming through :meth:`repro.api.Pipeline.stream`.
 """
 
 from repro.accelerator.noc import ButterflyNoC

@@ -113,6 +113,10 @@ class CosimReport:
     #: Per-engine busy cycles under the greedy schedule.
     engine_busy_cycles: Tuple[float, ...]
     sampler_busy_cycles: float
+    #: Burn-in adaptation windows recorded across all visits (0 for traces
+    #: captured without per-window acceptance trajectories — such traces are
+    #: priced exactly as before the trajectories existed).
+    adaptation_windows: int = 0
     #: Busy fraction per component class over the makespan.
     occupancy: Dict[str, float] = field(default_factory=dict)
 
@@ -219,6 +223,13 @@ class AcceleratorModel:
         the parallelism the batched software sampler exposes.  The returned
         report's latency/occupancy figures are therefore functions of the
         measured site-visit schedule, not of assumed workload shapes.
+
+        Visits carrying a per-window burn-in acceptance trajectory
+        (``ChainSiteVisit.windows``, recorded when the software sampler
+        adapted its proposal scales) additionally price the adaptation
+        hardware — one scale retune per completed window — so burn-in
+        adaptation itself shows up in the cycle counts.  Traces recorded
+        without trajectories are priced exactly as before.
         """
         if not trace.visits:
             raise ValueError("cannot co-simulate an empty chain trace")
@@ -274,6 +285,7 @@ class AcceleratorModel:
             n_slices=trace.n_slices,
             total_chain_steps=trace.total_steps,
             mean_acceptance=trace.acceptance_rate(),
+            adaptation_windows=sum(visit.n_adaptations for visit in visits),
             makespan_cycles=makespan,
             compute_cycles=compute_total,
             noc_cycles=noc_total,

@@ -1,0 +1,39 @@
+"""The unified public estimation API: spec-driven, registry-backed, streaming.
+
+This package is the single front door for running estimations.  Declare a
+run with frozen specs, then execute it::
+
+    from repro.api import EstimatorSpec, HostSpec, Pipeline, RecorderSpec, RunSpec
+
+    spec = RunSpec.fleet(
+        64, "KMeans", n_ticks=3,
+        estimator=EstimatorSpec("mcmc", samples=60, burn_in=50),
+        recorder=RecorderSpec(sink="chains.jsonl"),
+    )
+    for slice_result in Pipeline.from_spec(spec).stream():
+        consume(slice_result)          # arrives while the fleet runs
+
+* Estimator names resolve through the :mod:`repro.fg.registry` the sampler
+  implementations self-register into — one name table for the engine, the
+  sessions, the CLI and this API.
+* ``Pipeline.run()`` collects everything; ``Pipeline.stream()`` yields
+  per-slice results incrementally and flushes chain records to the
+  recorder's tracefile sink after every inference round (bounded memory).
+* The legacy front doors remain as thin shims: ``FleetService.run`` drives
+  this pipeline internally, and ``PerfSession``/``FleetService`` accept
+  :class:`EstimatorSpec`/:class:`RecorderSpec` in place of their deprecated
+  stringly-typed kwargs.
+"""
+
+from repro.api.pipeline import Pipeline, PipelineResult, SliceResult
+from repro.api.spec import EstimatorSpec, HostSpec, RecorderSpec, RunSpec
+
+__all__ = [
+    "EstimatorSpec",
+    "HostSpec",
+    "Pipeline",
+    "PipelineResult",
+    "RecorderSpec",
+    "RunSpec",
+    "SliceResult",
+]

@@ -1,0 +1,238 @@
+"""The unified estimation pipeline: one drive loop behind every front door.
+
+``Pipeline`` composes what used to be spread across ``PerfSession``,
+``FleetService.run`` and raw engine calls: engine construction (with
+schedule/kernel caching), registry-resolved estimator selection, chain
+recorders, and the ingestion/worker drive loop — behind two verbs:
+
+* :meth:`Pipeline.run` — execute to completion and collect everything
+  (per-slice results, fleet statistics, the chain trace) into a
+  :class:`PipelineResult`;
+* :meth:`Pipeline.stream` — a generator yielding one :class:`SliceResult`
+  per completed slice *while the run progresses*, flushing buffered chain
+  records to the configured tracefile sink after every inference round, so
+  neither results nor chain records accumulate for the whole run.
+
+Construction is spec-driven (``Pipeline.from_spec(RunSpec(...))``) or wraps
+an already-configured :class:`~repro.fleet.service.FleetService`
+(``Pipeline(service)`` — which is exactly what ``FleetService.run`` now
+does internally).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.api.spec import RunSpec
+from repro.fleet.service import FleetResult, FleetService
+from repro.fleet.tracefile import TraceWriter
+from repro.fg.mcmc import ChainTrace
+from repro.pmu.traces import EstimateTrace
+
+__all__ = ["Pipeline", "PipelineResult", "SliceResult"]
+
+
+@dataclass(frozen=True)
+class SliceResult:
+    """One completed scheduler slice, as yielded by :meth:`Pipeline.stream`."""
+
+    host: str
+    tick: int
+    #: Corrected per-event estimates (posterior means).
+    values: Dict[str, float]
+    #: Per-event posterior standard deviations.
+    sigma: Dict[str, float]
+    ep_iterations: int = 0
+    ep_converged: bool = True
+
+
+@dataclass
+class PipelineResult:
+    """Everything :meth:`Pipeline.run` collects."""
+
+    #: Per-slice results in completion order (what ``stream()`` yielded).
+    slices: List[SliceResult] = field(default_factory=list)
+    #: The legacy fleet summary (throughput, drops, cache stats, ...).
+    fleet: Optional[FleetResult] = None
+    #: The shared chain recorder (drained if a sink streamed it out).
+    chain_trace: Optional[ChainTrace] = None
+    #: Tracefile path chain records were flushed to, if any.
+    chain_path: Optional[str] = None
+
+    @property
+    def estimates(self) -> Dict[str, EstimateTrace]:
+        """Per-host estimate traces (identical to the legacy entry points)."""
+        return self.fleet.estimates if self.fleet is not None else {}
+
+    @property
+    def n_slices(self) -> int:
+        return len(self.slices)
+
+    @property
+    def slices_per_second(self) -> float:
+        return self.fleet.slices_per_second if self.fleet is not None else 0.0
+
+
+class Pipeline:
+    """Executable form of a :class:`~repro.api.RunSpec`.
+
+    A pipeline instance is single-shot, like the service it drives: build
+    one per run.  ``fleet_result`` becomes available once the drive loop
+    has finished (i.e. after ``run()`` returns or ``stream()`` is
+    exhausted).
+    """
+
+    def __init__(self, service: FleetService, *, mode: str = "pool") -> None:
+        self._service = service
+        self.mode = mode
+        self.spec: Optional[RunSpec] = None
+        self._fleet_result: Optional[FleetResult] = None
+
+    @classmethod
+    def from_spec(cls, spec: RunSpec) -> "Pipeline":
+        """Build the pipeline a :class:`~repro.api.RunSpec` describes.
+
+        Estimator names resolve through the :mod:`repro.fg.registry` (so an
+        unknown name fails here, listing the registered estimators), hosts
+        are registered exactly as ``FleetService.add_host``/``add_trace``
+        would, and a recorder spec's sink is wired up for streaming.
+        """
+        if not spec.hosts:
+            raise ValueError("RunSpec needs at least one HostSpec in hosts")
+        service = FleetService(
+            spec.arch,
+            metrics=spec.metrics,
+            events=spec.events,
+            n_workers=spec.n_workers,
+            batch_size=spec.batch_size,
+            buffer_capacity=spec.buffer_capacity,
+            pump_records=spec.pump_records,
+            samples_per_tick=spec.samples_per_tick,
+            engine_kwargs=dict(spec.engine_overrides),
+            estimator=spec.estimator,
+            recorder=spec.recorder,
+        )
+        for host in spec.hosts:
+            if host.trace is not None:
+                service.add_trace(
+                    host.trace, host_id=host.host_id, workload_name=host.workload
+                )
+            else:
+                service.add_host(
+                    host.workload,
+                    host_id=host.host_id,
+                    seed=host.seed,
+                    n_ticks=host.n_ticks,
+                    arch=host.arch,
+                    events=host.events,
+                )
+        pipeline = cls(service, mode=spec.mode)
+        pipeline.spec = spec
+        return pipeline
+
+    @property
+    def service(self) -> FleetService:
+        """The underlying (single-shot) fleet service."""
+        return self._service
+
+    @property
+    def fleet_result(self) -> FleetResult:
+        """The run's fleet summary (available once the drive loop finished)."""
+        if self._fleet_result is None:
+            raise RuntimeError("the pipeline has not finished running yet")
+        return self._fleet_result
+
+    # -- the drive loop ------------------------------------------------------
+
+    def _rounds(self, on_slice=None) -> Iterator[int]:
+        """The unified drive loop: pump, solve, flush — one round at a time.
+
+        Yields each round's processed-slice count.  On completion (or
+        generator close) the dispatcher is shut down, any chain-sink writer
+        is closed, and :attr:`fleet_result` is assembled — so a consumer
+        that stops early still leaves a consistent, flushed trace file.
+        """
+        service = self._service
+        pool = service._build_pool(self.mode)
+        if on_slice is not None:
+            pool.set_on_slice(on_slice)
+        recorder = service.chain_recorder
+        writer: Optional[TraceWriter] = None
+        if service.chain_sink is not None and recorder is not None:
+            writer = TraceWriter(
+                service.chain_sink,
+                arch=service.arch,
+                events=service.events,
+                workload="fleet-stream",
+                samples_per_tick=service.samples_per_tick,
+                metadata={"hosts": service.n_hosts, "mode": self.mode},
+                chain_params=recorder.params,
+            )
+        total = 0
+        start = time.perf_counter()
+        try:
+            for processed in pool.rounds(service.ingest, pump_records=service.pump_records):
+                total += processed
+                if writer is not None:
+                    # Bounded memory: hand the round's chain records to the
+                    # sink and forget them (the ROADMAP streaming item).
+                    writer.flush_chain(recorder)
+                yield processed
+        finally:
+            elapsed = time.perf_counter() - start
+            if writer is not None:
+                writer.flush_chain(recorder)
+                writer.close()
+            service.dispatcher.shutdown()
+            self._fleet_result = service._build_result(self.mode, total, elapsed, pool)
+
+    def stream(self) -> Iterator[SliceResult]:
+        """Yield per-slice results incrementally while the run progresses.
+
+        Chain records (when a recorder with a sink is configured) are
+        flushed to the tracefile after every inference round, keeping the
+        recorder's buffered memory bounded by one round instead of the
+        whole run.  Results arrive in completion order: each host's slices
+        are in tick order, interleaved across hosts.
+        """
+        buffer: List[SliceResult] = []
+
+        def tap(host_id, record, means, stds, report):
+            buffer.append(
+                SliceResult(
+                    host=host_id,
+                    tick=record.tick,
+                    values=means,
+                    sigma=stds,
+                    ep_iterations=report.ep_iterations,
+                    ep_converged=report.ep_converged,
+                )
+            )
+
+        for _ in self._rounds(on_slice=tap):
+            yield from buffer
+            buffer.clear()
+
+    def run(self) -> PipelineResult:
+        """Execute to completion, collecting every slice (the convenience
+        counterpart of :meth:`stream`)."""
+        slices = list(self.stream())
+        service = self._service
+        return PipelineResult(
+            slices=slices,
+            fleet=self.fleet_result,
+            chain_trace=service.chain_recorder,
+            chain_path=service.chain_sink,
+        )
+
+    def run_fleet(self) -> FleetResult:
+        """Execute without per-slice collection; returns the fleet summary.
+
+        This is the legacy ``FleetService.run`` body: same loop, no
+        streaming tap, so the historical hot path stays untouched.
+        """
+        for _ in self._rounds():
+            pass
+        return self.fleet_result

@@ -1,0 +1,189 @@
+"""Frozen run specifications: declare an estimation run, then execute it.
+
+The specs are plain frozen dataclasses — hashable, comparable, printable —
+that describe *what* to run without touching *how*:
+
+* :class:`EstimatorSpec` — which registered moment estimator to use and its
+  sampling effort.  Resolved against the :mod:`repro.fg.registry`, so the
+  set of valid names is exactly the set of self-registered estimators.
+* :class:`RecorderSpec` — chain-trace capture: record every per-site MCMC
+  chain, optionally streaming the records to a tracefile sink as the run
+  progresses (bounded recorder memory).
+* :class:`HostSpec` — one fleet host: a synthetic workload simulation or a
+  recorded trace replay.
+* :class:`RunSpec` — the whole run: architecture, monitored events, hosts,
+  estimator, recorder and fleet sizing.
+
+``Pipeline.from_spec(spec)`` (:mod:`repro.api.pipeline`) turns a spec into
+an executable pipeline; the legacy ``PerfSession`` / ``FleetService``
+front doors consume :class:`EstimatorSpec` / :class:`RecorderSpec` too, so
+estimator resolution has one implementation everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.fg.mcmc import ChainTrace
+from repro.fg.registry import get_estimator
+
+__all__ = ["EstimatorSpec", "HostSpec", "RecorderSpec", "RunSpec"]
+
+
+def _frozen_tuple(spec, name: str) -> None:
+    """Normalise a frozen dataclass's sequence field to a tuple in place.
+
+    Mappings become item tuples, so the pair-tuple fields
+    (``RecorderSpec.params``, ``RunSpec.engine_overrides``) accept the
+    natural dict spelling too.
+    """
+    value = getattr(spec, name)
+    if isinstance(value, Mapping):
+        object.__setattr__(spec, name, tuple(value.items()))
+    elif value is not None and not isinstance(value, tuple):
+        object.__setattr__(spec, name, tuple(value))
+
+
+@dataclass(frozen=True)
+class EstimatorSpec:
+    """One registered moment estimator plus its sampling effort.
+
+    ``name`` must be registered in :mod:`repro.fg.registry` ("analytic",
+    "mcmc", "batched-mcmc", plus anything downstream code registers); the
+    remaining fields default to ``None`` meaning "the engine's default".
+    ``use_compiled_kernel=False`` selects the estimator's object-walking
+    reference twin — the differential-testing A/B switch.
+    """
+
+    name: str = "analytic"
+    samples: Optional[int] = None
+    burn_in: Optional[int] = None
+    adapt: Optional[bool] = None
+    ep_iterations: Optional[int] = None
+    use_compiled_kernel: bool = True
+
+    def engine_kwargs(self) -> Dict:
+        """Resolve to :class:`~repro.core.engine.BayesPerfEngine` kwargs.
+
+        Raises ``ValueError`` (listing the registered names) for an unknown
+        estimator — validation happens at spec-resolution time, before any
+        engine is built.
+        """
+        get_estimator(self.name)
+        kwargs: Dict = {
+            "moment_estimator": self.name,
+            "use_compiled_kernel": self.use_compiled_kernel,
+        }
+        if self.samples is not None:
+            kwargs["mcmc_samples"] = self.samples
+        if self.burn_in is not None:
+            kwargs["mcmc_burn_in"] = self.burn_in
+        if self.adapt is not None:
+            kwargs["mcmc_adapt"] = self.adapt
+        if self.ep_iterations is not None:
+            kwargs["ep_max_iterations"] = self.ep_iterations
+        return kwargs
+
+
+@dataclass(frozen=True)
+class RecorderSpec:
+    """Chain-trace capture for a run.
+
+    A bare ``RecorderSpec()`` collects every per-site chain in memory (the
+    historical ``chain_recorder=`` behaviour).  With ``sink`` set, streaming
+    executions flush the recorder to that tracefile path after every
+    inference round, so the in-memory buffer stays bounded by one round.
+    ``params`` is stamped into the trace header's ``chain_params``.
+    """
+
+    sink: Optional[str] = None
+    params: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.sink is not None and not isinstance(self.sink, str):
+            object.__setattr__(self, "sink", str(self.sink))
+        _frozen_tuple(self, "params")
+
+    def build(self) -> ChainTrace:
+        """Materialise the recorder every engine of the run will share."""
+        return ChainTrace(params=dict(self.params))
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """One fleet host: simulate a workload, or replay a recorded trace.
+
+    ``trace`` (a tracefile path) makes this a replay host, in which case
+    the synthetic knobs (``seed``/``n_ticks``/``arch``/``events``) must be
+    left unset — the recorded stream defines them.
+    """
+
+    workload: str = "steady"
+    seed: Optional[int] = None
+    n_ticks: Optional[int] = None
+    arch: Optional[str] = None
+    events: Optional[Tuple[str, ...]] = None
+    host_id: Optional[str] = None
+    trace: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        _frozen_tuple(self, "events")
+        if self.trace is not None and not isinstance(self.trace, str):
+            object.__setattr__(self, "trace", str(self.trace))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """A complete declarative estimation run.
+
+    The event selection mirrors ``PerfSession``/``FleetService``: explicit
+    ``events`` win over ``metrics`` (derived-metric selection), and with
+    neither the standard profiling set is monitored.  ``engine_overrides``
+    is the escape hatch for engine kwargs the spec does not model
+    (key/value pairs, applied last).
+    """
+
+    arch: str = "x86"
+    events: Optional[Tuple[str, ...]] = None
+    metrics: Optional[Tuple[str, ...]] = None
+    hosts: Tuple[HostSpec, ...] = ()
+    estimator: EstimatorSpec = field(default_factory=EstimatorSpec)
+    recorder: Optional[RecorderSpec] = None
+    mode: str = "pool"
+    n_workers: int = 4
+    batch_size: int = 8
+    buffer_capacity: int = 256
+    pump_records: Optional[int] = None
+    samples_per_tick: int = 4
+    engine_overrides: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        _frozen_tuple(self, "events")
+        _frozen_tuple(self, "metrics")
+        _frozen_tuple(self, "hosts")
+        _frozen_tuple(self, "engine_overrides")
+
+    @classmethod
+    def fleet(
+        cls,
+        n_hosts: int,
+        workload: str = "steady",
+        *,
+        n_ticks: Optional[int] = None,
+        seed: int = 0,
+        **kwargs,
+    ) -> "RunSpec":
+        """Spec for a uniform synthetic fleet: *n_hosts* hosts of *workload*
+        with consecutive seeds starting at *seed*."""
+        hosts = tuple(
+            HostSpec(workload=workload, seed=seed + index, n_ticks=n_ticks)
+            for index in range(n_hosts)
+        )
+        return cls(hosts=hosts, **kwargs)
+
+    def engine_kwargs(self) -> Dict:
+        """The engine configuration this spec resolves to."""
+        kwargs = self.estimator.engine_kwargs()
+        kwargs.update(self.engine_overrides)
+        return kwargs

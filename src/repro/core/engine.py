@@ -45,7 +45,7 @@ from repro.fg.compiled import (
     compile_factor_graph,
 )
 from repro.fg.distributions import StudentT, student_t_moment_variance
-from repro.fg.ep import EPSite, ExpectationPropagation, ReferenceSiteMCMC
+from repro.fg.ep import EPSite, ExpectationPropagation
 from repro.fg.factors import (
     Factor,
     GaussianObservation,
@@ -54,25 +54,19 @@ from repro.fg.factors import (
 )
 from repro.fg.gaussian import GaussianDensity
 from repro.fg.graph import FactorGraph
-from repro.fg.mcmc import (
-    BatchedMCMC,
-    BatchedSiteMCMC,
-    ChainTrace,
-    ReferenceMCMC,
-    StudentTTail,
-)
+from repro.fg.mcmc import ChainTrace, StudentTTail
+from repro.fg.registry import estimator_names, get_estimator
 from repro.invariants.library import InvariantLibrary, standard_invariants
 from repro.core.posterior import EventEstimate, PosteriorReport
 from repro.pmu.sampling import SampledTrace, SamplingRecord
 from repro.pmu.traces import EstimateTrace
 
-#: Moment estimators that solve through the compiled kernel's array path.
-_COMPILED_ESTIMATORS = ("analytic", "batched-mcmc", "mcmc")
-#: All supported moment estimators ("mcmc" = per-site tilted MCMC inside
-#: the EP loop, the paper's accelerator workload — batched through
-#: :class:`~repro.fg.mcmc.BatchedSiteMCMC` on the compiled path, with
-#: :class:`~repro.fg.ep.ReferenceSiteMCMC` as its object-walking twin).
-KNOWN_ESTIMATORS = ("analytic", "mcmc", "batched-mcmc")
+#: All registered moment estimators (the :mod:`repro.fg.registry` the
+#: samplers and their reference twins self-register into; "mcmc" = per-site
+#: tilted MCMC inside the EP loop, the paper's accelerator workload).
+#: Kept as a module attribute for backward compatibility — the registry is
+#: the source of truth.
+KNOWN_ESTIMATORS = estimator_names()
 
 
 @dataclass
@@ -162,11 +156,16 @@ class BayesPerfEngine:
     observation_model:
         ``"student_t"`` (paper, §4.2) or ``"gaussian"`` (ablation).
     moment_estimator:
-        ``"analytic"`` (exact Gaussian projections), ``"mcmc"`` (per-site
-        tilted-moment sampling inside the EP loop — the accelerator's
-        workload, batched over records on the compiled kernel's buffers) or
+        Any name registered in :mod:`repro.fg.registry`: ``"analytic"``
+        (exact Gaussian projections), ``"mcmc"`` (per-site tilted-moment
+        sampling inside the EP loop — the accelerator's workload, batched
+        over records on the compiled kernel's buffers) or
         ``"batched-mcmc"`` (full-posterior coupled-chain sampling through
-        the compiled kernel's buffers, vectorized across a batch).
+        the compiled kernel's buffers, vectorized across a batch).  Names
+        are validated against the registry (unknown names raise, listing
+        the registered estimators) and each entry supplies the engine's
+        implementation classes and adaptation default; the engine's solve
+        wiring currently drives these three built-in estimator shapes.
     mcmc_adapt:
         Per-record proposal-scale adaptation during burn-in for the sampled
         estimators.  ``None`` keeps each estimator's default: *on* for the
@@ -221,11 +220,9 @@ class BayesPerfEngine:
     ) -> None:
         if observation_model not in ("student_t", "gaussian"):
             raise ValueError(f"unknown observation model {observation_model!r}")
-        if moment_estimator not in KNOWN_ESTIMATORS:
-            raise ValueError(
-                f"unknown moment estimator {moment_estimator!r}; "
-                f"expected one of {KNOWN_ESTIMATORS}"
-            )
+        # Registry resolution: raises for unknown names, listing the
+        # registered estimators.
+        self._estimator = get_estimator(moment_estimator)
         if drift <= 0:
             raise ValueError("drift must be positive")
         if min_relative_sigma <= 0:
@@ -260,8 +257,8 @@ class BayesPerfEngine:
         self.ep_damping = ep_damping
         self.mcmc_samples = mcmc_samples
         self.mcmc_burn_in = mcmc_burn_in
-        # Estimator-specific adaptation default (see the docstring).
-        self.mcmc_adapt = mcmc_adapt if mcmc_adapt is not None else moment_estimator == "mcmc"
+        # Estimator-specific adaptation default (from the registry entry).
+        self.mcmc_adapt = mcmc_adapt if mcmc_adapt is not None else self._estimator.default_adapt
         self.chain_recorder = chain_recorder
         self.use_intensity_chain = use_intensity_chain
         self.use_compiled_kernel = use_compiled_kernel
@@ -533,7 +530,7 @@ class BayesPerfEngine:
         return bool(self._relation_groups)
 
     def _compiled_path(self) -> bool:
-        return self.use_compiled_kernel and self.moment_estimator in _COMPILED_ESTIMATORS
+        return self.use_compiled_kernel and self._estimator.compiled_path
 
     def _site_factor_lists(
         self,
@@ -674,7 +671,9 @@ class BayesPerfEngine:
         factors: List[Factor] = list(observation_factors)
         for group in constraint_groups:
             factors.extend(group)
-        twin = ReferenceMCMC(
+        # The registry names the twin class, so swapping a registered
+        # implementation swaps every entry point at once.
+        twin = self._estimator.reference(
             factors,
             self._prior_density(prepared),
             n_samples=self.mcmc_samples,
@@ -696,7 +695,7 @@ class BayesPerfEngine:
         """
         observation_factors, constraint_groups = self._build_factors(prepared.summaries)
         site_lists = self._site_factor_lists(observation_factors, constraint_groups)
-        twin = ReferenceSiteMCMC(
+        twin = self._estimator.reference(
             site_lists,
             self._prior_density(prepared),
             n_samples=self.mcmc_samples,
@@ -798,7 +797,7 @@ class BayesPerfEngine:
                     df=np.stack([p.summaries.df for p in group]),
                     variance=obs_variance,
                 )
-            sampler = BatchedSiteMCMC(
+            sampler = self._estimator.batched(
                 kernel,
                 n_samples=self.mcmc_samples,
                 burn_in=self.mcmc_burn_in,
@@ -833,7 +832,7 @@ class BayesPerfEngine:
                 df=np.stack([p.summaries.df for p in group]),
                 variance=obs_variance,
             )
-        sampler = BatchedMCMC(
+        sampler = self._estimator.batched(
             kernel,
             n_samples=self.mcmc_samples,
             burn_in=self.mcmc_burn_in,

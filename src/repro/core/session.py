@@ -9,6 +9,7 @@ and the error metric.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple, Union
 
@@ -84,26 +85,32 @@ class PerfSession:
         Number of multiplexing quanta between two userspace reads; errors are
         evaluated at this granularity and the Linux baseline scales its
         counts over the same interval.
+    estimator:
+        Optional :class:`~repro.api.EstimatorSpec` selecting a registered
+        moment estimator and its sampling effort — the preferred way to
+        configure BayesPerf tilted-moment computation (estimator names
+        resolve through the :mod:`repro.fg.registry`; explicit
+        ``engine_kwargs`` entries win).
     moment_estimator:
-        BayesPerf tilted-moment computation: ``"analytic"`` (default),
-        ``"mcmc"`` (per-site sampling inside reference EP) or
-        ``"batched-mcmc"`` (full-posterior coupled-chain sampling through
-        the compiled kernel).  Shorthand for the same ``engine_kwargs``
-        entry, which wins if both are given.
+        Deprecated string shorthand for ``estimator=EstimatorSpec(name)``
+        (emits ``DeprecationWarning``; behaviour is unchanged).
     use_compiled_kernel:
         Route the BayesPerf engine's solves through the vectorized array
         path (default).  Set to ``False`` to run each estimator's reference
         twin instead — the object-walking EP loop for ``"analytic"``,
         :class:`~repro.fg.mcmc.ReferenceMCMC` for ``"batched-mcmc"``,
         :class:`~repro.fg.ep.ReferenceSiteMCMC` for ``"mcmc"`` — the
-        A/B ablation the differential tests and benchmarks use.
+        A/B ablation the differential tests and benchmarks use.  An
+        explicit value here overrides the ``estimator`` spec's flag (and an
+        explicit ``engine_kwargs`` entry overrides both).
+    recorder:
+        Optional :class:`~repro.fg.mcmc.ChainTrace` (or
+        :class:`~repro.api.RecorderSpec`) the engine appends one record per
+        (slice, EP iteration, site) chain to when the ``"mcmc"`` estimator
+        runs — the capture side of the accelerator co-simulation (see
+        ``examples/accelerator_cosim.py``).
     chain_recorder:
-        Optional :class:`~repro.fg.mcmc.ChainTrace` the engine appends one
-        record per (slice, EP iteration, site) chain to when
-        ``moment_estimator="mcmc"`` runs — the capture side of the
-        accelerator co-simulation (see ``examples/accelerator_cosim.py``).
-        Shorthand for the same ``engine_kwargs`` entry, which wins if both
-        are given.
+        Deprecated alias for ``recorder`` (emits ``DeprecationWarning``).
     engine_kwargs:
         Extra keyword arguments forwarded to :class:`BayesPerfEngine`
         (an explicit ``use_compiled_kernel`` entry here wins over the
@@ -122,8 +129,10 @@ class PerfSession:
         samples_per_tick: int = 4,
         reference: str = "same-run",
         read_interval_ticks: int = 8,
+        estimator=None,
         moment_estimator: Optional[str] = None,
-        use_compiled_kernel: bool = True,
+        use_compiled_kernel: Optional[bool] = None,
+        recorder=None,
         chain_recorder: Optional[ChainTrace] = None,
         engine_kwargs: Optional[Dict] = None,
     ) -> None:
@@ -144,11 +153,46 @@ class PerfSession:
             name=self.catalog.name
         )
         self.engine_kwargs = dict(engine_kwargs) if engine_kwargs else {}
-        self.engine_kwargs.setdefault("use_compiled_kernel", use_compiled_kernel)
+        # Precedence for the compiled/reference switch: an explicit
+        # engine_kwargs entry, then an explicit session-level flag, then the
+        # estimator spec, then the compiled default.
+        if use_compiled_kernel is not None:
+            self.engine_kwargs.setdefault("use_compiled_kernel", use_compiled_kernel)
+        if estimator is not None:
+            # An EstimatorSpec (anything exposing engine_kwargs()): resolved
+            # through the fg registry; explicit engine_kwargs entries win.
+            for key, value in estimator.engine_kwargs().items():
+                self.engine_kwargs.setdefault(key, value)
+        self.engine_kwargs.setdefault("use_compiled_kernel", True)
         if moment_estimator is not None:
+            warnings.warn(
+                "PerfSession(moment_estimator=...) is deprecated; pass "
+                "estimator=EstimatorSpec(name) from repro.api",
+                DeprecationWarning,
+                stacklevel=2,
+            )
             self.engine_kwargs.setdefault("moment_estimator", moment_estimator)
         if chain_recorder is not None:
-            self.engine_kwargs.setdefault("chain_recorder", chain_recorder)
+            warnings.warn(
+                "PerfSession(chain_recorder=...) is deprecated; pass "
+                "recorder=<ChainTrace> (or a RecorderSpec from repro.api)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if recorder is None:
+                recorder = chain_recorder
+        if recorder is not None:
+            if isinstance(recorder, ChainTrace):
+                trace = recorder
+            else:  # a RecorderSpec
+                if recorder.sink is not None:
+                    raise ValueError(
+                        "PerfSession does not stream chain records; a "
+                        "RecorderSpec with a sink needs the streaming "
+                        "pipeline (repro.api.Pipeline.stream)"
+                    )
+                trace = recorder.build()
+            self.engine_kwargs.setdefault("chain_recorder", trace)
 
         if events is not None:
             self.events: Tuple[str, ...] = tuple(events)

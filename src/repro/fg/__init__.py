@@ -9,7 +9,11 @@ This package implements the machinery behind the BayesPerf ML model (§4):
 * Expectation Propagation (Alg. 1) with either analytic or MCMC moment
   estimation per site,
 * a compiled, vectorized EP kernel (index-compiled graph structures,
-  Cholesky-based updates, batched multi-record solves), and
+  Cholesky-based updates, batched multi-record solves),
+* a moment-estimator registry (:mod:`repro.fg.registry`) the samplers and
+  their reference twins self-register into — every front door
+  (engine, sessions, fleet CLI, :mod:`repro.api`) resolves estimator names
+  through it, and
 * maximum-likelihood extraction of point estimates from posteriors.
 """
 
@@ -44,6 +48,13 @@ from repro.fg.mcmc import (
     StudentTTail,
 )
 from repro.fg.ep import EPResult, ExpectationPropagation, ReferenceSiteMCMC
+from repro.fg.registry import (
+    EstimatorEntry,
+    estimator_names,
+    get_estimator,
+    register_estimator,
+    register_reference,
+)
 from repro.fg.compiled import (
     CompiledBinder,
     CompiledEPKernel,
@@ -93,6 +104,11 @@ __all__ = [
     "MCMCResult",
     "ExpectationPropagation",
     "EPResult",
+    "EstimatorEntry",
+    "estimator_names",
+    "get_estimator",
+    "register_estimator",
+    "register_reference",
     "map_estimate",
     "credible_interval",
 ]

@@ -68,6 +68,7 @@ from repro.fg.factors import (
 from repro.fg.gaussian import GaussianDensity
 from repro.fg.graph import FactorGraph
 from repro.fg.linalg import cholesky_mean_and_variance
+from repro.fg.registry import register_estimator
 
 __all__ = [
     "CompiledBinder",
@@ -411,6 +412,12 @@ class CompiledEPResult:
         )
 
 
+@register_estimator(
+    "analytic",
+    compiled_path=True,
+    default_adapt=False,
+    description="exact Gaussian tilted-moment projections on the compiled kernel",
+)
 class CompiledEPKernel:
     """Vectorized analytic-EP executor over one compiled graph structure.
 

@@ -28,6 +28,7 @@ from repro.fg.mcmc import (
     RandomWalkMetropolis,
     SiteMCMCMoments,
 )
+from repro.fg.registry import register_reference
 
 
 @dataclass
@@ -59,6 +60,7 @@ class EPResult:
         return self.posterior.variance()
 
 
+@register_reference("analytic")
 class ExpectationPropagation:
     """EP over a factor graph with a Gaussian approximating family.
 
@@ -274,6 +276,7 @@ class ExpectationPropagation:
         )
 
 
+@register_reference("mcmc")
 class ReferenceSiteMCMC:
     """Object-based reference twin of :class:`~repro.fg.mcmc.BatchedSiteMCMC`.
 
@@ -383,8 +386,13 @@ class ReferenceSiteMCMC:
         g_mean: np.ndarray,
         g_cov: np.ndarray,
         rng: np.random.Generator,
-    ) -> Tuple[np.ndarray, np.ndarray, int, np.ndarray]:
-        """Coupled chain pair for one site visit: ``(d, D, accepted, scales)``."""
+    ) -> Tuple[np.ndarray, np.ndarray, int, np.ndarray, List[int]]:
+        """Coupled chain pair for one site visit.
+
+        ``(d, D, accepted, scales, windows)`` — the scalar mirror of
+        :meth:`BatchedSiteMCMC._site_chain`, including the per-window
+        burn-in acceptance trajectory.
+        """
         width = len(variables)
         scales = (self.step_scale / np.sqrt(width)) * np.sqrt(
             np.maximum(np.diag(g_cov), 1e-30)
@@ -411,6 +419,7 @@ class ReferenceSiteMCMC:
         sum_shadow_outer = np.zeros((width, width))
         accepted = 0
         window_accepts = 0
+        window_history: List[int] = []
 
         total_steps = self.burn_in + self.n_samples
         for step in range(total_steps):
@@ -433,6 +442,7 @@ class ReferenceSiteMCMC:
 
             if self.adapt and step < self.burn_in:
                 if (step + 1) % self.adapt_window == 0:
+                    window_history.append(window_accepts)
                     scales = _adapted_scales(
                         scales, window_accepts / self.adapt_window, self.target_acceptance
                     )
@@ -449,7 +459,7 @@ class ReferenceSiteMCMC:
         moment_diff = (sum_chain_outer - sum_shadow_outer) / count
         cross = np.outer(g_mean, d)
         covariance_correction = moment_diff - (cross + cross.T + np.outer(d, d))
-        return d, covariance_correction, accepted, scales
+        return d, covariance_correction, accepted, scales, window_history
 
     def run(self, *, rng: Optional[np.random.Generator] = None, tick: int = -1) -> SiteMCMCMoments:
         """Estimate the record's posterior via per-site tilted MCMC EP."""
@@ -481,7 +491,7 @@ class ReferenceSiteMCMC:
 
                 projection = cavity_marginal.multiply(block)
                 g_mean, g_cov = projection.moments()
-                d, covariance_correction, accepted, scales = self._site_chain(
+                d, covariance_correction, accepted, scales, windows = self._site_chain(
                     factors, site_vars, cavity_marginal, projection, g_mean, g_cov, rng
                 )
                 accepted_total += accepted
@@ -526,6 +536,7 @@ class ReferenceSiteMCMC:
                         burn_in=self.burn_in,
                         accepted=int(accepted),
                         step_scale=float(scales.mean()),
+                        windows=tuple(int(w) for w in windows),
                     )
 
             if max_delta < self.tolerance:

@@ -47,6 +47,7 @@ import numpy as np
 
 from repro.fg.distributions import student_t_log_pdf
 from repro.fg.linalg import cholesky_inverse, cholesky_moments
+from repro.fg.registry import register_estimator, register_reference
 
 # Shared burn-in proposal-scale adaptation constants.  The batched samplers
 # and their object-based reference twins must apply the *identical* rule, so
@@ -118,10 +119,21 @@ class ChainSiteVisit:
     accepted: int
     #: Mean per-variable proposal scale after burn-in adaptation.
     step_scale: float
+    #: Per-window acceptance trajectory during burn-in adaptation: the true
+    #: chain's accepted proposals in each completed adaptation window, in
+    #: window order.  Empty when the sampler ran without adaptation (or the
+    #: burn-in was shorter than one window) — the co-simulation prices the
+    #: adaptation hardware only when a trajectory is present.
+    windows: Tuple[int, ...] = ()
 
     @property
     def acceptance_rate(self) -> float:
         return self.accepted / self.n_steps if self.n_steps else 0.0
+
+    @property
+    def n_adaptations(self) -> int:
+        """Burn-in adaptation windows this visit's chain completed."""
+        return len(self.windows)
 
 
 @dataclass(eq=False)  # identity semantics: recorders ride inside cache keys
@@ -131,12 +143,21 @@ class ChainTrace:
     One instance can be shared by many engines (the fleet worker pool's
     shared-engine batches all append to the same recorder); ``slice_id``
     namespaces records so replays reconstruct the exact schedule.
+
+    The buffered visits can be handed off incrementally with :meth:`drain`
+    (the streaming tracefile sink's contract): sequence and slice counters
+    survive a drain, so a drained-and-concatenated stream is identical to
+    the trace an undrained recorder would have accumulated, while the
+    recorder's memory stays bounded by one flush interval.
     """
 
     visits: List[ChainSiteVisit] = field(default_factory=list)
     #: Sampler configuration (n_samples, burn_in, adaptation, ...).
     params: Dict = field(default_factory=dict)
     _next_slice: int = 0
+    _next_sequence: int = 0
+    #: High-water mark of buffered visits (bounded-memory assertions).
+    peak_buffered: int = 0
 
     def reserve_slices(self, count: int) -> int:
         """Allocate ``count`` consecutive slice ids; returns the first."""
@@ -146,7 +167,27 @@ class ChainTrace:
 
     def record(self, **fields) -> None:
         """Append one visit; the sequence number is assigned here."""
-        self.visits.append(ChainSiteVisit(sequence=len(self.visits), **fields))
+        self.visits.append(ChainSiteVisit(sequence=self._next_sequence, **fields))
+        self._next_sequence += 1
+        if len(self.visits) > self.peak_buffered:
+            self.peak_buffered = len(self.visits)
+
+    def drain(self) -> List[ChainSiteVisit]:
+        """Hand off (and forget) the buffered visits, keeping all counters.
+
+        Streaming consumers call this after every flush interval; summary
+        properties (:attr:`n_visits`, :meth:`acceptance_rate`, ...) then
+        reflect only the still-buffered tail, while :attr:`total_recorded`
+        keeps counting every visit ever recorded.
+        """
+        taken = self.visits
+        self.visits = []
+        return taken
+
+    @property
+    def total_recorded(self) -> int:
+        """Visits recorded over the trace's lifetime, drains included."""
+        return self._next_sequence
 
     # -- summaries (used by the accelerator model and the demo) -----------
 
@@ -382,6 +423,12 @@ class StudentTTail:
         return (tail - gaussian).sum(axis=-1)
 
 
+@register_estimator(
+    "batched-mcmc",
+    compiled_path=True,
+    default_adapt=False,
+    description="full-posterior coupled-chain sampling over the kernel's buffers",
+)
 class BatchedMCMC:
     """Coupled-chain MCMC moment estimator over a compiled graph structure.
 
@@ -686,6 +733,12 @@ class BatchedSiteMCMCResult:
         return {name: float(v) for name, v in zip(self.variables, self.variances[record])}
 
 
+@register_estimator(
+    "mcmc",
+    compiled_path=True,
+    default_adapt=True,
+    description="per-site tilted MCMC inside the EP loop (the accelerator workload)",
+)
 class BatchedSiteMCMC:
     """Per-site tilted-moment MCMC inside EP, batched over records.
 
@@ -756,12 +809,14 @@ class BatchedSiteMCMC:
         rngs: Sequence[np.random.Generator],
         active: np.ndarray,
         tail: Optional[Callable[[np.ndarray], np.ndarray]],
-    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, List[np.ndarray]]:
         """Run the coupled chain pair for one site; returns the corrections.
 
-        ``(d, D, accepted, scales)``: mean correction ``(B, w)``, covariance
-        correction ``(B, w, w)``, true-chain acceptance counts ``(B,)`` and
-        the (possibly adapted) final proposal scales.
+        ``(d, D, accepted, scales, windows)``: mean correction ``(B, w)``,
+        covariance correction ``(B, w, w)``, true-chain acceptance counts
+        ``(B,)``, the (possibly adapted) final proposal scales, and the
+        per-window burn-in acceptance trajectory — one ``(B,)`` count array
+        per completed adaptation window (empty without adaptation).
         """
         batch, width = g_mean.shape
         zero = np.zeros(width)
@@ -790,6 +845,7 @@ class BatchedSiteMCMC:
         sum_shadow_outer = np.zeros((batch, width, width))
         accepted = np.zeros(batch)
         window_accepts = np.zeros(batch)
+        window_history: List[np.ndarray] = []
 
         total_steps = self.burn_in + self.n_samples
         for step in range(total_steps):
@@ -823,6 +879,7 @@ class BatchedSiteMCMC:
             if self.adapt and step < self.burn_in:
                 window_accepts += accept_chain
                 if (step + 1) % self.adapt_window == 0:
+                    window_history.append(window_accepts.copy())
                     scales = _adapted_scales(
                         scales, window_accepts / self.adapt_window, self.target_acceptance
                     )
@@ -844,7 +901,7 @@ class BatchedSiteMCMC:
         covariance_correction = moment_diff - (
             cross + np.swapaxes(cross, -1, -2) + d[:, :, None] * d[:, None, :]
         )
-        return d, covariance_correction, accepted, scales
+        return d, covariance_correction, accepted, scales, window_history
 
     def run(
         self,
@@ -938,7 +995,7 @@ class BatchedSiteMCMC:
                         "tilted projection is singular for some record"
                     )
 
-                d, covariance_correction, accepted, scales = self._site_chain(
+                d, covariance_correction, accepted, scales, windows = self._site_chain(
                     g_precision, g_shift, g_mean, g_cov, rngs, active, tails.get(k)
                 )
                 accepted_total += np.where(active, accepted, 0.0)
@@ -1022,6 +1079,7 @@ class BatchedSiteMCMC:
                                 burn_in=self.burn_in,
                                 accepted=int(accepted[b]),
                                 step_scale=float(mean_scales[b]),
+                                windows=tuple(int(w[b]) for w in windows),
                             )
 
             iterations = np.where(active, iteration, iterations)
@@ -1044,6 +1102,7 @@ class BatchedSiteMCMC:
         )
 
 
+@register_reference("batched-mcmc")
 class ReferenceMCMC:
     """Object-based reference twin of :class:`BatchedMCMC` (one record).
 

@@ -41,6 +41,7 @@ from repro.fleet.tracefile import (
     TraceFile,
     TraceFormatError,
     TraceWorkload,
+    TraceWriter,
     chain_trace_file,
     read_trace,
     record_session_trace,
@@ -71,6 +72,7 @@ __all__ = [
     "TraceFile",
     "TraceFormatError",
     "TraceWorkload",
+    "TraceWriter",
     "chain_trace_file",
     "read_trace",
     "record_session_trace",

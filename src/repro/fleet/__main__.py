@@ -3,7 +3,10 @@
 Three subcommands:
 
 * ``demo`` — run a synthetic fleet and report throughput for the serial
-  baseline vs. the sharded worker pool;
+  baseline vs. the sharded worker pool; ``--estimator`` selects any
+  registered moment estimator (unknown names list the registry) and
+  ``--stream`` consumes the run incrementally through
+  :meth:`repro.api.Pipeline.stream`;
 * ``record`` — run one monitoring session and write a replayable trace file;
 * ``replay`` — feed a recorded trace back through the service and (when the
   file carries the original estimates) verify the round-trip is exact.
@@ -15,8 +18,20 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.api import EstimatorSpec, Pipeline
+from repro.fg.registry import estimator_names, get_estimator
 from repro.fleet.service import FleetService
 from repro.fleet.tracefile import read_trace, record_session_trace
+
+
+def _estimator_name(value: str) -> str:
+    """argparse type for ``--estimator``: resolves through the registry."""
+    try:
+        get_estimator(value)
+    except ValueError as error:
+        # The registry's message already lists the registered names.
+        raise argparse.ArgumentTypeError(str(error)) from None
+    return value
 
 
 def _add_demo_parser(subparsers) -> None:
@@ -34,23 +49,63 @@ def _add_demo_parser(subparsers) -> None:
         help="comma-separated derived metrics selecting the monitored events",
     )
     parser.add_argument(
+        "--estimator",
+        type=_estimator_name,
+        default="analytic",
+        help=(
+            "registered moment estimator to run "
+            f"(one of: {', '.join(estimator_names())})"
+        ),
+    )
+    parser.add_argument(
         "--serial", action="store_true", help="also run the per-host serial baseline"
+    )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="consume per-slice results incrementally via Pipeline.stream()",
     )
 
 
 def _build_demo_service(args, *, n_workers: int) -> FleetService:
     metrics = tuple(m for m in args.metrics.split(",") if m) or None
-    service = FleetService(args.arch, metrics=metrics, n_workers=n_workers)
+    service = FleetService(
+        args.arch,
+        metrics=metrics,
+        n_workers=n_workers,
+        estimator=EstimatorSpec(args.estimator),
+    )
     for index in range(args.hosts):
         service.add_host(args.workload, seed=index, n_ticks=args.ticks)
     return service
 
 
+def _run_demo_stream(args) -> int:
+    """Streaming demo: per-slice results arrive while the fleet runs."""
+    pipeline = Pipeline(_build_demo_service(args, n_workers=args.workers))
+    shown = 0
+    total = 0
+    for result in pipeline.stream():
+        total += 1
+        if shown < 3:
+            shown += 1
+            head = ", ".join(f"{k}={v:.3g}" for k, v in list(result.values.items())[:3])
+            print(f"  slice {result.host}@t{result.tick}: {head}")
+    fleet = pipeline.fleet_result
+    print(
+        f"  streamed {total} slices at {fleet.slices_per_second:.1f} slices/s "
+        f"({args.estimator} estimator, {fleet.n_hosts} hosts)"
+    )
+    return 0
+
+
 def _run_demo(args) -> int:
     print(
         f"Fleet demo: {args.hosts} hosts x {args.ticks} quanta on {args.arch} "
-        f"({args.workload!r})"
+        f"({args.workload!r}, {args.estimator} estimator)"
     )
+    if args.stream:
+        return _run_demo_stream(args)
     results = {}
     modes = (("pool", args.workers),) + ((("serial", 1),) if args.serial else ())
     for mode, workers in modes:

@@ -19,7 +19,7 @@ baseline the worker pool is benchmarked against.
 
 from __future__ import annotations
 
-import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple, Union
@@ -88,12 +88,23 @@ class FleetService:
         (or shrink the buffer) to exercise backpressure.
     samples_per_tick, noise, machine_config, engine_kwargs:
         Forwarded to the underlying PMU, machine and engine models.
+    estimator:
+        Optional :class:`~repro.api.EstimatorSpec` selecting a registered
+        moment estimator and its sampling effort — the preferred front door
+        for estimator configuration (explicit ``engine_kwargs`` entries
+        still win).
+    recorder:
+        Chain-trace capture: a :class:`~repro.api.RecorderSpec` (optionally
+        naming a tracefile ``sink`` that streaming runs flush to
+        incrementally) or a ready-made :class:`~repro.fg.mcmc.ChainTrace`
+        shared by every engine the pool builds.  With the ``"mcmc"``
+        estimator it captures the whole fleet's per-site chain schedule,
+        and the run's :class:`FleetResult.chain_trace` points back at it —
+        the measured workload the :mod:`repro.accelerator` co-simulation
+        consumes.
     chain_recorder:
-        Optional :class:`~repro.fg.mcmc.ChainTrace` shared by every engine
-        the pool builds; with ``engine_kwargs={"moment_estimator": "mcmc"}``
-        it captures the whole fleet's per-site chain schedule, and the run's
-        :class:`FleetResult.chain_trace` points back at it — the measured
-        workload the :mod:`repro.accelerator` co-simulation consumes.
+        Deprecated alias for ``recorder`` (emits ``DeprecationWarning``;
+        behaviour is unchanged).
     processors:
         Extra :class:`~repro.fleet.events.EventProcessor`s attached to the
         event stream (a :class:`~repro.fleet.events.MetricsProcessor` is
@@ -114,6 +125,8 @@ class FleetService:
         noise: Optional[NoiseModel] = None,
         machine_config: Optional[MachineConfig] = None,
         engine_kwargs: Optional[Dict] = None,
+        estimator=None,
+        recorder=None,
         chain_recorder: Optional[ChainTrace] = None,
         processors: Sequence[EventProcessor] = (),
     ) -> None:
@@ -136,9 +149,33 @@ class FleetService:
         self.noise = noise
         self.machine_config = machine_config
         self.engine_kwargs = dict(engine_kwargs) if engine_kwargs else {}
-        self.chain_recorder = chain_recorder
+        if estimator is not None:
+            # An EstimatorSpec (anything exposing engine_kwargs()): resolved
+            # through the fg registry; explicit engine_kwargs entries win.
+            for key, value in estimator.engine_kwargs().items():
+                self.engine_kwargs.setdefault(key, value)
         if chain_recorder is not None:
-            self.engine_kwargs.setdefault("chain_recorder", chain_recorder)
+            warnings.warn(
+                "FleetService(chain_recorder=...) is deprecated; pass "
+                "recorder=RecorderSpec(...) or recorder=<ChainTrace>",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            if recorder is None:
+                recorder = chain_recorder
+        #: Streaming tracefile path chain records are flushed to (set by a
+        #: RecorderSpec with a sink; consumed by Pipeline.stream()).
+        self.chain_sink: Optional[str] = None
+        if recorder is not None:
+            if isinstance(recorder, ChainTrace):
+                trace = recorder
+            else:  # a RecorderSpec
+                trace = recorder.build()
+                self.chain_sink = recorder.sink
+            self.engine_kwargs.setdefault("chain_recorder", trace)
+        #: The recorder the engines will actually share (an explicit
+        #: engine_kwargs entry wins over the recorder parameter).
+        self.chain_recorder = self.engine_kwargs.get("chain_recorder")
 
         self.metrics_processor = MetricsProcessor()
         self.dispatcher = EventDispatcher([self.metrics_processor, *processors])
@@ -255,14 +292,12 @@ class FleetService:
 
     # -- execution ----------------------------------------------------------
 
-    def run(self, mode: str = "pool") -> FleetResult:
-        """Drive every host's stream through inference until drained.
+    def _build_pool(self, mode: str) -> WorkerPool:
+        """Validate the run, mark the service consumed and shard the hosts.
 
-        ``mode="pool"`` shards hosts across the configured workers and shares
-        cached engines/schedules per (arch, event-set) key; ``mode="serial"``
-        runs a single worker that constructs a dedicated engine and schedule
-        per host (the pre-fleet baseline).  Estimates are identical in both
-        modes; only throughput differs.
+        The drive loop itself lives in :class:`repro.api.Pipeline`; this is
+        the service's half of the contract — everything that depends on the
+        registration state.
         """
         if mode not in _MODES:
             raise ValueError(f"unknown mode {mode!r}; expected one of {_MODES}")
@@ -289,12 +324,12 @@ class FleetService:
         for channel in self.ingest.channels:
             host_arch, host_events = self._hosts[channel.host_id]
             pool.assign(channel, arch=host_arch, events=host_events)
+        return pool
 
-        start = time.perf_counter()
-        total = pool.run_until_drained(self.ingest, pump_records=self.pump_records)
-        elapsed = time.perf_counter() - start
-        self.dispatcher.shutdown()
-
+    def _build_result(
+        self, mode: str, total: int, elapsed: float, pool: WorkerPool
+    ) -> FleetResult:
+        """Assemble the :class:`FleetResult` for one completed drive loop."""
         return FleetResult(
             mode=mode,
             n_hosts=self.n_hosts,
@@ -306,5 +341,23 @@ class FleetService:
             metrics=self.metrics_processor.summary(),
             # The recorder the engines actually used: an explicit
             # engine_kwargs entry wins over the service-level parameter.
-            chain_trace=self.engine_kwargs.get("chain_recorder"),
+            chain_trace=self.chain_recorder,
         )
+
+    def run(self, mode: str = "pool") -> FleetResult:
+        """Drive every host's stream through inference until drained.
+
+        ``mode="pool"`` shards hosts across the configured workers and shares
+        cached engines/schedules per (arch, event-set) key; ``mode="serial"``
+        runs a single worker that constructs a dedicated engine and schedule
+        per host (the pre-fleet baseline).  Estimates are identical in both
+        modes; only throughput differs.
+
+        This is a thin shim over :class:`repro.api.Pipeline` — the unified
+        drive loop — collecting everything into a :class:`FleetResult`.
+        Use ``Pipeline.from_spec(...).stream()`` (or ``Pipeline(service)``)
+        for incremental per-slice results and bounded-memory chain capture.
+        """
+        from repro.api.pipeline import Pipeline  # local import: api sits above fleet
+
+        return Pipeline(self, mode=mode).run_fleet()

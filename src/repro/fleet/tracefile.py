@@ -22,8 +22,15 @@ Layout (one JSON object per line):
   (format version 2; the accelerator co-simulation's input).
 
 Version history: version 1 files carry sample/poll/estimate records only;
-version 2 adds ``chain`` records.  The writer stamps version 2 only when
-chain records are present, and the reader accepts both.
+version 2 adds ``chain`` records (optionally carrying a per-window burn-in
+acceptance trajectory under ``"windows"``).  The batch writer stamps
+version 2 only when chain records are present, and the reader accepts both.
+
+Two writers exist: :func:`write_trace` serialises a materialised
+:class:`TraceFile` in one pass, and :class:`TraceWriter` streams — the
+header first, then ``chain`` records appended as each inference round
+completes, which is how ``Pipeline.stream()`` keeps the chain recorder's
+memory bounded.
 
 Recorded traces can be registered as replayable workloads
 (:func:`register_trace_workload`), after which any fleet host can be backed
@@ -116,7 +123,7 @@ def _header(trace: TraceFile) -> Dict:
 
 
 def _chain_line(visit: ChainSiteVisit) -> Dict:
-    return {
+    line = {
         "type": "chain",
         "seq": int(visit.sequence),
         "slice": int(visit.slice_id),
@@ -131,6 +138,11 @@ def _chain_line(visit: ChainSiteVisit) -> Dict:
         "accepted": int(visit.accepted),
         "scale": float(visit.step_scale),
     }
+    if visit.windows:
+        # Per-window burn-in acceptance trajectory (adaptation pricing);
+        # omitted when the chain ran unadapted, keeping old files byte-stable.
+        line["windows"] = [int(w) for w in visit.windows]
+    return line
 
 
 def write_trace(path: Union[str, Path], trace: TraceFile) -> Path:
@@ -163,6 +175,77 @@ def write_trace(path: Union[str, Path], trace: TraceFile) -> Path:
             for visit in trace.chain.visits:
                 stream.write(json.dumps(_chain_line(visit)) + "\n")
     return path
+
+
+class TraceWriter:
+    """Incremental JSONL trace writer (the streaming side of the format).
+
+    The batch API (:func:`write_trace`) serialises a fully materialised
+    :class:`TraceFile`; this writer instead opens the file up front, writes
+    the header, and appends ``chain`` records as the run produces them — so
+    a producer can flush its :class:`~repro.fg.mcmc.ChainTrace` recorder
+    after every inference round (``recorder.drain()``) and never hold more
+    than one round's visits in memory.  :meth:`repro.api.Pipeline.stream`
+    is the canonical caller; the resulting file reads back with
+    :func:`read_trace` exactly like a batch-written one.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        *,
+        arch: str = "",
+        events: Sequence[str] = (),
+        workload: str = "",
+        seed: int = 0,
+        samples_per_tick: int = 0,
+        metadata: Optional[Dict] = None,
+        chain_params: Optional[Dict] = None,
+    ) -> None:
+        self.path = Path(path)
+        header = {
+            "format": FORMAT_NAME,
+            # Streamed traces exist to carry chain records, so the header
+            # stamps version 2 up front (readers accept chain-free v2 files).
+            "version": FORMAT_VERSION,
+            "arch": arch,
+            "events": list(events),
+            "workload": workload,
+            "seed": seed,
+            "samples_per_tick": samples_per_tick,
+            "metadata": dict(metadata or {}),
+        }
+        if chain_params:
+            header["chain_params"] = dict(chain_params)
+        self._stream = self.path.open("w", encoding="utf-8")
+        self._closed = False
+        #: Chain records appended so far.
+        self.chain_records = 0
+        self._stream.write(json.dumps(header) + "\n")
+
+    def write_visits(self, visits: Sequence[ChainSiteVisit]) -> int:
+        """Append chain records for *visits*; returns how many were written."""
+        if self._closed:
+            raise ValueError("trace writer is closed")
+        for visit in visits:
+            self._stream.write(json.dumps(_chain_line(visit)) + "\n")
+        self.chain_records += len(visits)
+        return len(visits)
+
+    def flush_chain(self, chain: ChainTrace) -> int:
+        """Drain *chain*'s buffered visits into the file (one flush round)."""
+        return self.write_visits(chain.drain())
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._stream.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 # -- reading ----------------------------------------------------------------
@@ -258,6 +341,7 @@ def read_trace(path: Union[str, Path]) -> TraceFile:
         chain = ChainTrace(
             params=dict(header.get("chain_params", {})),
             _next_slice=1 + max(int(payload["slice"]) for payload in chain_lines),
+            _next_sequence=1 + max(int(payload["seq"]) for payload in chain_lines),
         )
         for payload in chain_lines:
             chain.visits.append(
@@ -274,8 +358,10 @@ def read_trace(path: Union[str, Path]) -> TraceFile:
                     burn_in=int(payload["burn_in"]),
                     accepted=int(payload["accepted"]),
                     step_scale=float(payload["scale"]),
+                    windows=tuple(int(w) for w in payload.get("windows", ())),
                 )
             )
+        chain.peak_buffered = len(chain.visits)
         trace.chain = chain
     return trace
 

@@ -27,7 +27,7 @@ stay bit-identical for sampled estimators too).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from repro.core.engine import BayesPerfEngine, EngineState
 from repro.events.registry import canonical_arch, catalog_for
@@ -120,6 +120,10 @@ class InferenceWorker:
         self.cache = EngineCache()
         #: Engines constructed outside the cache (per-host baseline mode).
         self.private_builds = 0
+        #: Optional per-slice hook ``(host_id, record, means, stds, report)``
+        #: — the streaming pipeline's tap into the solve loop.  ``None``
+        #: (the default) costs the hot path nothing.
+        self.on_slice: Optional[Callable] = None
         self._runs: Dict[str, HostRun] = {}
 
     def assign(self, channel: HostChannel, *, arch: str, events: Tuple[str, ...]) -> None:
@@ -193,8 +197,11 @@ class InferenceWorker:
         return processed
 
     def _record_slice(self, run: HostRun, record, report) -> None:
-        run.estimates.append(report.means(), report.stds())
+        means, stds = report.means(), report.stds()
+        run.estimates.append(means, stds)
         run.slices += 1
+        if self.on_slice is not None:
+            self.on_slice(run.channel.host_id, record, means, stds, report)
         self.dispatcher.emit(
             SliceCompleted(
                 host=run.channel.host_id,
@@ -284,25 +291,36 @@ class WorkerPool:
         self._next += 1
         return worker.worker_id
 
-    def run_until_drained(self, ingest: FleetIngest, *, pump_records: int = 16) -> int:
-        """Alternate ingestion rounds and inference rounds until the fleet drains.
+    def set_on_slice(self, callback: Optional[Callable]) -> None:
+        """Attach (or clear) the per-slice hook on every worker."""
+        for worker in self.workers:
+            worker.on_slice = callback
 
-        Returns the total number of slices processed across all workers.
+    def rounds(self, ingest: FleetIngest, *, pump_records: int = 16) -> Iterator[int]:
+        """Alternate ingestion and inference rounds until the fleet drains.
+
+        Yields the number of slices processed after every round — the
+        streaming pipeline's pacing signal: per-slice results (via the
+        ``on_slice`` hook) and buffered chain records can be handed off
+        between rounds, so nothing has to accumulate for the whole run.
         """
-        total = 0
         while True:
             pumped = ingest.pump_all(pump_records)
             round_accepted = sum(stats.accepted for stats in pumped.values())
             round_processed = sum(worker.process_available() for worker in self.workers)
-            total += round_processed
+            yield round_processed
             if ingest.all_done and all(worker.all_completed for worker in self.workers):
-                return total
+                return
             if round_processed == 0 and round_accepted == 0:
                 # Nothing moved and nothing can move any more — e.g. a channel
                 # was registered with the ingest but never assigned to a
                 # worker, so its buffer will never drain.  Bail out instead of
                 # spinning.
-                return total
+                return
+
+    def run_until_drained(self, ingest: FleetIngest, *, pump_records: int = 16) -> int:
+        """Drive :meth:`rounds` to completion; returns total slices processed."""
+        return sum(self.rounds(ingest, pump_records=pump_records))
 
     def estimates(self) -> Dict[str, EstimateTrace]:
         merged: Dict[str, EstimateTrace] = {}

@@ -304,6 +304,82 @@ class TestChainTraceRoundTrip:
         assert read_trace(path).chain is None
 
 
+class TestAdaptationTrajectories:
+    """Per-window burn-in acceptance trajectories, recorded and priced."""
+
+    @staticmethod
+    def _adapting_trace():
+        """A recorded trace whose burn-in spans two adaptation windows."""
+        graph = FactorGraph(variables=["a", "b"])
+        graph.add_factor(GaussianObservation("obs_a", "a", observed=2.0, sigma=0.5))
+        graph.add_factor(LinearConstraintFactor("rel", {"a": 1.0, "b": -1.0}, sigma=0.2))
+        sites = [EPSite("obs", ("obs_a",)), EPSite("rel", ("rel",))]
+        prior = GaussianDensity.diagonal({"a": 0.0, "b": 0.0}, {"a": 9.0, "b": 9.0})
+        structure = compile_factor_graph(graph, sites, prior.variables)
+        kernel = CompiledEPKernel(structure, damping=1.0, max_iterations=2)
+        binding = structure.bind(site_factor_lists(graph, sites))
+        stacked = [(p[None, ...], s[None, ...]) for p, s in binding]
+        recorder = ChainTrace(params={"n_samples": 20, "burn_in": 100})
+        sampler = BatchedSiteMCMC(
+            kernel, n_samples=20, burn_in=100, adapt=True, recorder=recorder
+        )
+        sampler.run(
+            stacked,
+            np.asarray(prior.precision)[None, ...],
+            np.asarray(prior.shift)[None, ...],
+            seeds=[5],
+            ticks=[0],
+        )
+        return recorder
+
+    def test_adapting_chains_record_their_trajectory(self):
+        trace = self._adapting_trace()
+        for visit in trace.visits:
+            assert visit.n_adaptations == len(visit.windows) == 2
+            assert all(0 <= count <= 50 for count in visit.windows)
+
+    def test_unadapted_chains_record_no_trajectory(self):
+        for visit in _recorded_trace().visits:  # burn_in=15 < one window
+            assert visit.windows == ()
+            assert visit.n_adaptations == 0
+
+    def test_trajectory_round_trips_through_the_tracefile(self, tmp_path):
+        trace = self._adapting_trace()
+        path = tmp_path / "adapting.jsonl"
+        write_trace(path, chain_trace_file(trace, arch="x86"))
+        replayed = read_trace(path).chain
+        assert replayed.visits == trace.visits
+        assert any(visit.windows for visit in replayed.visits)
+
+    def test_cosim_prices_the_adaptation_windows(self):
+        import dataclasses
+
+        trace = self._adapting_trace()
+        stripped = ChainTrace(params=dict(trace.params))
+        stripped.visits = [
+            dataclasses.replace(visit, windows=()) for visit in trace.visits
+        ]
+        model = AcceleratorModel()
+        priced = model.cosimulate(trace)
+        unpriced = model.cosimulate(stripped)
+        assert priced.adaptation_windows == 2 * len(trace.visits)
+        assert unpriced.adaptation_windows == 0
+        expected = priced.adaptation_windows * model.ep_engine.cycles_per_adaptation
+        assert priced.compute_cycles == pytest.approx(
+            unpriced.compute_cycles + expected
+        )
+
+    def test_trajectory_free_traces_are_priced_as_before(self):
+        """Synthetic (pre-trajectory) traces must produce identical figures
+        whatever cycles_per_adaptation is set to."""
+        trace = _synthetic_trace()
+        cheap = AcceleratorModel()
+        expensive = AcceleratorModel(
+            ep_engine=EPEngineUnit(cycles_per_adaptation=10_000.0)
+        )
+        assert cheap.cosimulate(trace) == expensive.cosimulate(trace)
+
+
 class TestMeasuredCostModels:
     def test_chain_cycles_charges_accept_writes(self):
         sampler = MCMCSamplerIP()

@@ -1,0 +1,106 @@
+"""Public-API snapshot: `repro.api` names and spec fields are pinned.
+
+The unified API is the repository's outermost contract — downstream code
+holds references to these names and constructs the frozen specs by keyword.
+Renaming or removing anything here is a breaking change and must be done
+deliberately (update this snapshot in the same commit and say so in the PR).
+Additive changes (new names, new fields with defaults) extend the pins.
+"""
+
+import dataclasses
+
+import repro.api as api
+from repro.fg.registry import estimator_names
+
+
+def _field_names(spec_cls):
+    return tuple(f.name for f in dataclasses.fields(spec_cls))
+
+
+def test_api_all_is_pinned():
+    assert set(api.__all__) == {
+        "EstimatorSpec",
+        "HostSpec",
+        "Pipeline",
+        "PipelineResult",
+        "RecorderSpec",
+        "RunSpec",
+        "SliceResult",
+    }
+    for name in api.__all__:
+        assert hasattr(api, name), f"repro.api.__all__ names missing symbol {name}"
+
+
+def test_estimator_spec_fields_are_pinned():
+    assert _field_names(api.EstimatorSpec) == (
+        "name",
+        "samples",
+        "burn_in",
+        "adapt",
+        "ep_iterations",
+        "use_compiled_kernel",
+    )
+
+
+def test_recorder_spec_fields_are_pinned():
+    assert _field_names(api.RecorderSpec) == ("sink", "params")
+
+
+def test_host_spec_fields_are_pinned():
+    assert _field_names(api.HostSpec) == (
+        "workload",
+        "seed",
+        "n_ticks",
+        "arch",
+        "events",
+        "host_id",
+        "trace",
+    )
+
+
+def test_run_spec_fields_are_pinned():
+    assert _field_names(api.RunSpec) == (
+        "arch",
+        "events",
+        "metrics",
+        "hosts",
+        "estimator",
+        "recorder",
+        "mode",
+        "n_workers",
+        "batch_size",
+        "buffer_capacity",
+        "pump_records",
+        "samples_per_tick",
+        "engine_overrides",
+    )
+
+
+def test_slice_result_fields_are_pinned():
+    assert _field_names(api.SliceResult) == (
+        "host",
+        "tick",
+        "values",
+        "sigma",
+        "ep_iterations",
+        "ep_converged",
+    )
+
+
+def test_specs_are_frozen_and_hashable():
+    spec = api.RunSpec.fleet(2, "steady", n_ticks=3)
+    assert hash(spec) == hash(api.RunSpec.fleet(2, "steady", n_ticks=3))
+    try:
+        spec.arch = "ppc64"
+    except dataclasses.FrozenInstanceError:
+        pass
+    else:  # pragma: no cover
+        raise AssertionError("RunSpec must be frozen")
+
+
+def test_builtin_estimators_are_registered():
+    names = estimator_names()
+    assert {"analytic", "mcmc", "batched-mcmc"} <= set(names)
+    # The spec layer resolves through the same registry.
+    for name in names:
+        assert api.EstimatorSpec(name).engine_kwargs()["moment_estimator"] == name

@@ -438,6 +438,10 @@ class TestSiteMCMCTwin:
             )
             assert fast.n_steps == slow.n_steps == 120
             assert fast.accepted == slow.accepted
+            # The per-window burn-in acceptance trajectory is coupled too
+            # (burn_in=60 spans one 50-step adaptation window).
+            assert fast.windows == slow.windows
+            assert len(fast.windows) == 1
 
     def test_engine_batch_equals_looped_site_mcmc(self):
         """B=1 == B=N bit-identity for the per-site sampler inside the engine."""
