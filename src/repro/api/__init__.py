@@ -23,14 +23,19 @@ run with frozen specs, then execute it::
   this pipeline internally, and ``PerfSession``/``FleetService`` accept
   :class:`EstimatorSpec`/:class:`RecorderSpec` in place of their deprecated
   stringly-typed kwargs.
+* :class:`ObserverSpec` opts a run into observability (:mod:`repro.obs`):
+  OTel-style span export over the whole pipeline, the metrics registry,
+  per-slice estimate records in the trace sink, and the end-of-run
+  chain-health (mixing) analysis.
 """
 
 from repro.api.pipeline import Pipeline, PipelineResult, SliceResult
-from repro.api.spec import EstimatorSpec, HostSpec, RecorderSpec, RunSpec
+from repro.api.spec import EstimatorSpec, HostSpec, ObserverSpec, RecorderSpec, RunSpec
 
 __all__ = [
     "EstimatorSpec",
     "HostSpec",
+    "ObserverSpec",
     "Pipeline",
     "PipelineResult",
     "RecorderSpec",

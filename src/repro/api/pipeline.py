@@ -26,12 +26,17 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional
 
 from repro.api.spec import RunSpec
+from repro.fleet.events import ChainHealthFlagged
 from repro.fleet.service import FleetResult, FleetService
 from repro.fleet.tracefile import TraceWriter
 from repro.fg.mcmc import ChainTrace
+from repro.obs.mixing import MixingAccumulator, MixingReport
 from repro.pmu.traces import EstimateTrace
 
 __all__ = ["Pipeline", "PipelineResult", "SliceResult"]
+
+#: Acceptance-rate histogram buckets (rates live in [0, 1]).
+_ACCEPTANCE_BUCKETS = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
 
 
 @dataclass(frozen=True)
@@ -60,6 +65,8 @@ class PipelineResult:
     chain_trace: Optional[ChainTrace] = None
     #: Tracefile path chain records were flushed to, if any.
     chain_path: Optional[str] = None
+    #: End-of-run chain-health analysis (when an observer ran with chains).
+    mixing: Optional[MixingReport] = None
 
     @property
     def estimates(self) -> Dict[str, EstimateTrace]:
@@ -89,6 +96,9 @@ class Pipeline:
         self.mode = mode
         self.spec: Optional[RunSpec] = None
         self._fleet_result: Optional[FleetResult] = None
+        #: End-of-run chain-health analysis (set by the drive loop when the
+        #: service carries an observer and chains were recorded).
+        self.mixing_report: Optional[MixingReport] = None
 
     @classmethod
     def from_spec(cls, spec: RunSpec) -> "Pipeline":
@@ -113,6 +123,7 @@ class Pipeline:
             engine_kwargs=dict(spec.engine_overrides),
             estimator=spec.estimator,
             recorder=spec.recorder,
+            observer=spec.observer,
         )
         for host in spec.hosts:
             if host.trace is not None:
@@ -138,6 +149,11 @@ class Pipeline:
         return self._service
 
     @property
+    def observer(self):
+        """The run's :class:`~repro.obs.Observer`, or ``None`` when off."""
+        return self._service.observer
+
+    @property
     def fleet_result(self) -> FleetResult:
         """The run's fleet summary (available once the drive loop finished)."""
         if self._fleet_result is None:
@@ -151,13 +167,14 @@ class Pipeline:
 
         Yields each round's processed-slice count.  On completion (or
         generator close) the dispatcher is shut down, any chain-sink writer
-        is closed, and :attr:`fleet_result` is assembled — so a consumer
-        that stops early still leaves a consistent, flushed trace file.
+        is closed, observability is finalised (mixing report, root span,
+        exporters flushed), and :attr:`fleet_result` is assembled — so a
+        consumer that stops early still leaves a consistent, flushed trace
+        file.
         """
         service = self._service
+        observer = service.observer
         pool = service._build_pool(self.mode)
-        if on_slice is not None:
-            pool.set_on_slice(on_slice)
         recorder = service.chain_recorder
         writer: Optional[TraceWriter] = None
         if service.chain_sink is not None and recorder is not None:
@@ -169,24 +186,105 @@ class Pipeline:
                 samples_per_tick=service.samples_per_tick,
                 metadata={"hosts": service.n_hosts, "mode": self.mode},
                 chain_params=recorder.params,
+                estimates=observer is not None and observer.estimates,
+            )
+        estimate_writer = (
+            writer if observer is not None and observer.estimates else None
+        )
+        if on_slice is not None or estimate_writer is not None:
+            inner = on_slice
+
+            def tap(host_id, record, means, stds, report):
+                if estimate_writer is not None:
+                    # The complete run log: every slice's posterior lands in
+                    # the same sink as the chain records that produced it.
+                    estimate_writer.write_estimate(host_id, record.tick, means, stds)
+                if inner is not None:
+                    inner(host_id, record, means, stds, report)
+
+            pool.set_on_slice(tap)
+        mixing = (
+            MixingAccumulator()
+            if observer is not None and observer.mixing and recorder is not None
+            else None
+        )
+        root = None
+        if observer is not None and observer.tracing:
+            root = observer.tracer.start(
+                "pipeline.run", mode=self.mode, hosts=service.n_hosts
             )
         total = 0
         start = time.perf_counter()
+        rounds_iter = pool.rounds(service.ingest, pump_records=service.pump_records)
         try:
-            for processed in pool.rounds(service.ingest, pump_records=service.pump_records):
+            for processed in rounds_iter:
                 total += processed
                 if writer is not None:
                     # Bounded memory: hand the round's chain records to the
                     # sink and forget them (the ROADMAP streaming item).
-                    writer.flush_chain(recorder)
+                    self._consume_visits(recorder.drain(), writer, mixing, observer)
                 yield processed
         finally:
+            # Close the drive generator first so any round span it holds
+            # open ends before the mixing/root spans below.
+            rounds_iter.close()
             elapsed = time.perf_counter() - start
             if writer is not None:
-                writer.flush_chain(recorder)
+                self._consume_visits(recorder.drain(), writer, mixing, observer)
                 writer.close()
+            elif mixing is not None:
+                # In-memory recorder: nothing was drained; analyse in place.
+                self._consume_visits(recorder.visits, None, mixing, observer)
+            if mixing is not None:
+                self.mixing_report = mixing.report()
+                self._emit_mixing(self.mixing_report, observer, service.dispatcher)
+            if root is not None:
+                root.set_attribute("slices", total)
+                observer.tracer.end(root)
             service.dispatcher.shutdown()
+            if observer is not None:
+                observer.close()
             self._fleet_result = service._build_result(self.mode, total, elapsed, pool)
+
+    @staticmethod
+    def _consume_visits(visits, writer, mixing, observer) -> None:
+        """Route one batch of chain records to the sink and health analysis."""
+        if writer is not None:
+            writer.write_visits(visits)
+        if mixing is not None:
+            mixing.consume(visits)
+            for visit in visits:
+                observer.observe(
+                    "chain.acceptance",
+                    visit.acceptance_rate,
+                    buckets=_ACCEPTANCE_BUCKETS,
+                )
+
+    @staticmethod
+    def _emit_mixing(report: MixingReport, observer, dispatcher) -> None:
+        """Publish chain-health findings as events, spans and metrics."""
+        with observer.span(
+            "mixing.report", flags=len(report.flags), slices=report.n_slices
+        ):
+            for flag in report.flags:
+                with observer.span(
+                    "mixing.flag",
+                    reason=flag.reason,
+                    slice=flag.slice_id,
+                    site=flag.site,
+                ):
+                    dispatcher.emit(
+                        ChainHealthFlagged(
+                            host="fleet",
+                            reason=flag.reason,
+                            slice_id=flag.slice_id,
+                            site=flag.site,
+                            value=flag.value,
+                            detail=flag.detail,
+                        )
+                    )
+                    observer.count(f"mixing.flags.{flag.reason}")
+        observer.gauge("mixing.acceptance.median", report.median_acceptance)
 
     def stream(self) -> Iterator[SliceResult]:
         """Yield per-slice results incrementally while the run progresses.
@@ -225,6 +323,7 @@ class Pipeline:
             fleet=self.fleet_result,
             chain_trace=service.chain_recorder,
             chain_path=service.chain_sink,
+            mixing=self.mixing_report,
         )
 
     def run_fleet(self) -> FleetResult:

@@ -9,10 +9,13 @@ that describe *what* to run without touching *how*:
 * :class:`RecorderSpec` — chain-trace capture: record every per-site MCMC
   chain, optionally streaming the records to a tracefile sink as the run
   progresses (bounded recorder memory).
+* :class:`ObserverSpec` — observability: OTel-style span export, the
+  metrics registry, per-slice estimate records in the trace sink, and the
+  end-of-run chain-health (mixing) analysis.  Off by default.
 * :class:`HostSpec` — one fleet host: a synthetic workload simulation or a
   recorded trace replay.
 * :class:`RunSpec` — the whole run: architecture, monitored events, hosts,
-  estimator, recorder and fleet sizing.
+  estimator, recorder, observer and fleet sizing.
 
 ``Pipeline.from_spec(spec)`` (:mod:`repro.api.pipeline`) turns a spec into
 an executable pipeline; the legacy ``PerfSession`` / ``FleetService``
@@ -27,8 +30,9 @@ from typing import Dict, Mapping, Optional, Tuple
 
 from repro.fg.mcmc import ChainTrace
 from repro.fg.registry import get_estimator
+from repro.obs.observer import Observer
 
-__all__ = ["EstimatorSpec", "HostSpec", "RecorderSpec", "RunSpec"]
+__all__ = ["EstimatorSpec", "HostSpec", "ObserverSpec", "RecorderSpec", "RunSpec"]
 
 
 def _frozen_tuple(spec, name: str) -> None:
@@ -111,6 +115,47 @@ class RecorderSpec:
 
 
 @dataclass(frozen=True)
+class ObserverSpec:
+    """Observability for a run; everything defaults off.
+
+    ``trace`` names a JSONL file that receives one OTLP-shaped dict per
+    finished span (the run → round → slice → kernel hierarchy).
+    ``metrics`` enables the metrics registry and names where its summary
+    goes: ``"console"`` (or ``"-"``) prints it, anything else is a JSON
+    file path.  ``estimates=True`` streams one ``"estimate"`` record per
+    completed slice into the recorder's tracefile sink (requires a
+    :class:`RecorderSpec` with ``sink`` set), making the tracefile a
+    complete replayable run log.  ``mixing`` (on whenever the observer is
+    present) runs the fleet-wide chain-health analysis over recorded chain
+    visits at end of run and emits its findings as events and spans.
+    ``spans_in_memory`` additionally retains finished spans on
+    ``Observer.spans`` for inspection.
+    """
+
+    trace: Optional[str] = None
+    metrics: Optional[str] = None
+    estimates: bool = False
+    mixing: bool = True
+    spans_in_memory: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("trace", "metrics"):
+            value = getattr(self, name)
+            if value is not None and not isinstance(value, str):
+                object.__setattr__(self, name, str(value))
+
+    def build(self) -> Observer:
+        """Materialise the run's :class:`~repro.obs.Observer`."""
+        return Observer.from_options(
+            trace=self.trace,
+            metrics=self.metrics,
+            estimates=self.estimates,
+            mixing=self.mixing,
+            spans_in_memory=self.spans_in_memory,
+        )
+
+
+@dataclass(frozen=True)
 class HostSpec:
     """One fleet host: simulate a workload, or replay a recorded trace.
 
@@ -150,6 +195,7 @@ class RunSpec:
     hosts: Tuple[HostSpec, ...] = ()
     estimator: EstimatorSpec = field(default_factory=EstimatorSpec)
     recorder: Optional[RecorderSpec] = None
+    observer: Optional[ObserverSpec] = None
     mode: str = "pool"
     n_workers: int = 4
     batch_size: int = 8

@@ -31,6 +31,7 @@ together.
 from __future__ import annotations
 
 import math
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -176,6 +177,11 @@ class BayesPerfEngine:
         per (slice, EP iteration, site) chain the ``"mcmc"`` estimator
         runs; serialise it with :mod:`repro.fleet.tracefile` and feed it to
         the :mod:`repro.accelerator` co-simulation.
+    observer:
+        Optional :class:`~repro.obs.Observer`.  When present the engine
+        emits ``kernel.compile``/``kernel.bind``/``kernel.solve`` spans and
+        kernel-cache hit/miss counters; when ``None`` (the default) the hot
+        path is untouched.
     drift:
         Relative standard deviation of the temporal prior: how much an event
         is expected to change between consecutive slices.
@@ -214,6 +220,7 @@ class BayesPerfEngine:
         mcmc_burn_in: int = 200,
         mcmc_adapt: Optional[bool] = None,
         chain_recorder: Optional[ChainTrace] = None,
+        observer=None,
         use_intensity_chain: bool = True,
         use_compiled_kernel: bool = True,
         seed: int = 0,
@@ -260,6 +267,7 @@ class BayesPerfEngine:
         # Estimator-specific adaptation default (from the registry entry).
         self.mcmc_adapt = mcmc_adapt if mcmc_adapt is not None else self._estimator.default_adapt
         self.chain_recorder = chain_recorder
+        self._observer = observer
         self.use_intensity_chain = use_intensity_chain
         self.use_compiled_kernel = use_compiled_kernel
         self._seed = seed
@@ -615,24 +623,38 @@ class BayesPerfEngine:
         if not self._compiled_path():
             return None
         signature = prepared.measured
+        observer = self._observer
         try:
             kernel = self._kernel_cache[signature]
+            if observer is not None:
+                observer.count("kernel.cache.hits")
         except KeyError:
-            observation_factors, constraint_groups = self._build_factors(prepared.summaries)
-            site_lists = self._site_factor_lists(observation_factors, constraint_groups)
-            graph, sites = self._assemble_graph(site_lists)
-            structure = compile_factor_graph(graph, sites, variables=self.events)
-            if structure is None:
-                kernel = None
-            else:
-                kernel = CompiledEPKernel(
-                    structure,
-                    damping=self.ep_damping,
-                    max_iterations=self.ep_max_iterations,
+            if observer is not None:
+                observer.count("kernel.cache.misses")
+            with (
+                observer.span("kernel.compile", signature=len(signature))
+                if observer is not None
+                else nullcontext()
+            ):
+                observation_factors, constraint_groups = self._build_factors(
+                    prepared.summaries
                 )
-                self._binder_cache[signature] = self._build_binder(
-                    structure, [name for name, _ in site_lists], signature
+                site_lists = self._site_factor_lists(
+                    observation_factors, constraint_groups
                 )
+                graph, sites = self._assemble_graph(site_lists)
+                structure = compile_factor_graph(graph, sites, variables=self.events)
+                if structure is None:
+                    kernel = None
+                else:
+                    kernel = CompiledEPKernel(
+                        structure,
+                        damping=self.ep_damping,
+                        max_iterations=self.ep_max_iterations,
+                    )
+                    self._binder_cache[signature] = self._build_binder(
+                        structure, [name for name, _ in site_lists], signature
+                    )
             self._kernel_cache[signature] = kernel
         if kernel is None:
             return None
@@ -757,19 +779,50 @@ class BayesPerfEngine:
         estimator — is element-wise or gufunc-batched, so a group of one is
         bit-identical to the same slice inside a larger group.
         """
-        obs_mean = np.stack([p.obs_mean for p in group])
-        obs_variance = np.stack([p.obs_variance for p in group])
-        scales = np.stack([p.scales_vec for p in group])
-        stacked = binder.bind_batch(obs_mean, obs_variance, scales)
+        observer = self._observer
+        with (
+            observer.span("kernel.bind", batch=len(group))
+            if observer is not None
+            else nullcontext()
+        ):
+            obs_mean = np.stack([p.obs_mean for p in group])
+            obs_variance = np.stack([p.obs_variance for p in group])
+            scales = np.stack([p.scales_vec for p in group])
+            stacked = binder.bind_batch(obs_mean, obs_variance, scales)
 
-        prior_mean = np.stack([p.prior_mean_vec for p in group])
-        prior_var = np.stack([p.prior_var_vec for p in group])
-        batch, n = prior_mean.shape
-        prior_precision = np.zeros((batch, n, n))
-        diagonal = np.arange(n)
-        prior_precision[:, diagonal, diagonal] = 1.0 / prior_var
-        prior_shift = prior_mean / prior_var
+            prior_mean = np.stack([p.prior_mean_vec for p in group])
+            prior_var = np.stack([p.prior_var_vec for p in group])
+            batch, n = prior_mean.shape
+            prior_precision = np.zeros((batch, n, n))
+            diagonal = np.arange(n)
+            prior_precision[:, diagonal, diagonal] = 1.0 / prior_var
+            prior_shift = prior_mean / prior_var
 
+        with (
+            observer.span(
+                "kernel.solve", batch=len(group), estimator=self.moment_estimator
+            )
+            if observer is not None
+            else nullcontext()
+        ):
+            return self._dispatch_group_solve(
+                group, kernel, binder, stacked, prior_precision, prior_shift,
+                obs_mean, obs_variance,
+            )
+
+    def _dispatch_group_solve(
+        self,
+        group: List[_PreparedSlice],
+        kernel: CompiledEPKernel,
+        binder: CompiledBinder,
+        stacked,
+        prior_precision: np.ndarray,
+        prior_shift: np.ndarray,
+        obs_mean: np.ndarray,
+        obs_variance: np.ndarray,
+    ) -> List[Tuple[Mapping[str, float], Mapping[str, float], int, bool]]:
+        """Route one bound group to its estimator's batched solve."""
+        batch = prior_shift.shape[0]
         if self.moment_estimator == "analytic":
             result = kernel.run_stacked(stacked, prior_precision, prior_shift)
             return [

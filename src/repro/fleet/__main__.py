@@ -1,15 +1,19 @@
 """Command-line front end for the fleet service (``python -m repro.fleet``).
 
-Three subcommands:
+Four subcommands:
 
 * ``demo`` — run a synthetic fleet and report throughput for the serial
   baseline vs. the sharded worker pool; ``--estimator`` selects any
-  registered moment estimator (unknown names list the registry) and
+  registered moment estimator (unknown names list the registry),
   ``--stream`` consumes the run incrementally through
-  :meth:`repro.api.Pipeline.stream`;
+  :meth:`repro.api.Pipeline.stream`, ``--metrics`` prints the observability
+  metrics-registry summary at the end of the run, and ``--trace-out`` writes
+  the run's span tree as JSONL;
 * ``record`` — run one monitoring session and write a replayable trace file;
 * ``replay`` — feed a recorded trace back through the service and (when the
-  file carries the original estimates) verify the round-trip is exact.
+  file carries the original estimates) verify the round-trip is exact;
+* ``report`` — chain-health (mixing) analysis and run-log summary of a
+  recorded trace file, without re-running inference.
 """
 
 from __future__ import annotations
@@ -18,10 +22,11 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.api import EstimatorSpec, Pipeline
+from repro.api import EstimatorSpec, ObserverSpec, Pipeline
 from repro.fg.registry import estimator_names, get_estimator
 from repro.fleet.service import FleetService
 from repro.fleet.tracefile import read_trace, record_session_trace
+from repro.obs.mixing import analyze_chain
 
 
 def _estimator_name(value: str) -> str:
@@ -44,9 +49,20 @@ def _add_demo_parser(subparsers) -> None:
         "--workload", default="steady", help="workload driven on every host"
     )
     parser.add_argument(
-        "--metrics",
+        "--derived-metrics",
         default="ipc,l1d_mpki",
         help="comma-separated derived metrics selecting the monitored events",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the observability metrics-registry summary after the run",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help="write the run's spans (OTLP-shaped JSONL) to PATH",
     )
     parser.add_argument(
         "--estimator",
@@ -67,13 +83,24 @@ def _add_demo_parser(subparsers) -> None:
     )
 
 
-def _build_demo_service(args, *, n_workers: int) -> FleetService:
-    metrics = tuple(m for m in args.metrics.split(",") if m) or None
+def _demo_observer(args) -> Optional[ObserverSpec]:
+    """The demo's observability opt-in, from the CLI flags."""
+    if not args.metrics and args.trace_out is None:
+        return None
+    return ObserverSpec(
+        trace=args.trace_out,
+        metrics="console" if args.metrics else None,
+    )
+
+
+def _build_demo_service(args, *, n_workers: int, observe: bool = True) -> FleetService:
+    metrics = tuple(m for m in args.derived_metrics.split(",") if m) or None
     service = FleetService(
         args.arch,
         metrics=metrics,
         n_workers=n_workers,
         estimator=EstimatorSpec(args.estimator),
+        observer=_demo_observer(args) if observe else None,
     )
     for index in range(args.hosts):
         service.add_host(args.workload, seed=index, n_ticks=args.ticks)
@@ -96,6 +123,8 @@ def _run_demo_stream(args) -> int:
         f"  streamed {total} slices at {fleet.slices_per_second:.1f} slices/s "
         f"({args.estimator} estimator, {fleet.n_hosts} hosts)"
     )
+    if args.trace_out is not None:
+        print(f"  spans written to {args.trace_out}")
     return 0
 
 
@@ -109,8 +138,12 @@ def _run_demo(args) -> int:
     results = {}
     modes = (("pool", args.workers),) + ((("serial", 1),) if args.serial else ())
     for mode, workers in modes:
-        service = _build_demo_service(args, n_workers=workers)
+        # Only the pool run is observed: a second observer would reopen (and
+        # clobber) the same span-trace file for the serial baseline.
+        service = _build_demo_service(args, n_workers=workers, observe=mode == "pool")
         results[mode] = service.run(mode=mode)
+    if args.trace_out is not None:
+        print(f"  spans written to {args.trace_out}")
     for mode, result in results.items():
         cache = result.engine_cache
         print(
@@ -175,6 +208,34 @@ def _run_replay(args) -> int:
     return 0
 
 
+def _run_report(args) -> int:
+    """Summarise a trace file's run log and analyse its chain health."""
+    trace = read_trace(args.trace)
+    print(
+        f"Trace {args.trace}: arch={trace.arch or '?'} "
+        f"workload={trace.workload or '?'}"
+    )
+    if trace.sampled is not None:
+        print(f"  samples: {trace.n_ticks} quanta")
+    if trace.estimates is not None:
+        print(f"  estimates: {len(trace.estimates)} ticks ({trace.estimates.method})")
+    if trace.host_estimates:
+        n_slices = sum(len(t) for t in trace.host_estimates.values())
+        print(f"  run log: {n_slices} slices over {len(trace.host_estimates)} hosts")
+        for host_id in sorted(trace.host_estimates)[:3]:
+            host_trace = trace.host_estimates[host_id]
+            last = host_trace.at(len(host_trace) - 1)
+            shown = ", ".join(f"{k}={v:.3g}" for k, v in list(last.items())[:3])
+            print(f"    {host_id} final slice: {shown}")
+    if trace.chain is None:
+        print("  chain records: none (mixing analysis needs a version >= 2 trace)")
+        return 0
+    report = analyze_chain(trace.chain)
+    for line in report.render().splitlines():
+        print(f"  {line}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-fleet", description="BayesPerf fleet telemetry service"
@@ -192,11 +253,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     replay = subparsers.add_parser("replay", help="replay a recorded trace file")
     replay.add_argument("trace", help="trace file to replay")
 
+    report = subparsers.add_parser(
+        "report", help="chain-health and run-log report over a trace file"
+    )
+    report.add_argument("trace", help="trace file to analyse")
+
     args = parser.parse_args(argv)
     if args.command == "demo":
         return _run_demo(args)
     if args.command == "record":
         return _run_record(args)
+    if args.command == "report":
+        return _run_report(args)
     return _run_replay(args)
 
 

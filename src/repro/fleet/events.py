@@ -74,6 +74,21 @@ class SessionCompleted(FleetEvent):
     n_slices: int = 0
 
 
+@dataclass(frozen=True)
+class ChainHealthFlagged(FleetEvent):
+    """The end-of-run mixing analysis flagged a chain pathology.
+
+    ``host`` carries the slice's host id when the flag is per-slice, or
+    ``"fleet"`` for fleet-wide findings (acceptance-rate outliers).
+    """
+
+    reason: str = ""
+    slice_id: int = -1
+    site: str = ""
+    value: float = 0.0
+    detail: str = ""
+
+
 # -- processors -------------------------------------------------------------
 
 
@@ -91,23 +106,31 @@ class EventProcessor:
         """Called once when the run completes.  Override to flush buffers."""
 
 
-#: Event class name -> typed handler method name.
-_EVENT_METHOD_MAP: Dict[str, str] = {
-    "SessionStarted": "on_session_started",
-    "SliceCompleted": "on_slice_completed",
-    "EstimateReady": "on_estimate_ready",
-    "BackpressureDetected": "on_backpressure",
-    "SessionCompleted": "on_session_completed",
+#: Event type -> typed handler method name.  Keyed on the class itself (not
+#: its name) so dispatch survives renames and follows subclassing via the MRO.
+_EVENT_HANDLERS: Dict[type, str] = {
+    SessionStarted: "on_session_started",
+    SliceCompleted: "on_slice_completed",
+    EstimateReady: "on_estimate_ready",
+    BackpressureDetected: "on_backpressure",
+    SessionCompleted: "on_session_completed",
+    ChainHealthFlagged: "on_chain_health_flagged",
 }
 
 
 class TypedEventProcessor(EventProcessor):
-    """Dispatches :meth:`on_event` to typed handlers; unknown types are ignored."""
+    """Dispatches :meth:`on_event` to typed handlers; unknown types are ignored.
+
+    Dispatch walks the event's MRO, so a subclass of a known event type
+    reaches the parent type's handler unless a more specific one is mapped.
+    """
 
     def on_event(self, event: FleetEvent) -> None:
-        method_name = _EVENT_METHOD_MAP.get(type(event).__name__)
-        if method_name is not None:
-            getattr(self, method_name)(event)
+        for klass in type(event).__mro__:
+            method_name = _EVENT_HANDLERS.get(klass)
+            if method_name is not None:
+                getattr(self, method_name)(event)
+                return
 
     def on_session_started(self, event: SessionStarted) -> None: ...
 
@@ -118,6 +141,8 @@ class TypedEventProcessor(EventProcessor):
     def on_backpressure(self, event: BackpressureDetected) -> None: ...
 
     def on_session_completed(self, event: SessionCompleted) -> None: ...
+
+    def on_chain_health_flagged(self, event: ChainHealthFlagged) -> None: ...
 
 
 class LoggingProcessor(EventProcessor):
@@ -143,6 +168,7 @@ class MetricsProcessor(TypedEventProcessor):
         self.backpressure_events = 0
         self.hosts_started = 0
         self.hosts_completed = 0
+        self.mixing_flags: Counter = Counter()
 
     def on_event(self, event: FleetEvent) -> None:
         self.events_by_kind[type(event).__name__] += 1
@@ -161,6 +187,9 @@ class MetricsProcessor(TypedEventProcessor):
     def on_session_completed(self, event: SessionCompleted) -> None:
         self.hosts_completed += 1
 
+    def on_chain_health_flagged(self, event: ChainHealthFlagged) -> None:
+        self.mixing_flags[event.reason] += 1
+
     @property
     def total_slices(self) -> int:
         return sum(self.slices_by_host.values())
@@ -177,6 +206,7 @@ class MetricsProcessor(TypedEventProcessor):
             "total_slices": self.total_slices,
             "total_dropped": self.total_dropped,
             "backpressure_events": self.backpressure_events,
+            "mixing_flags": sum(self.mixing_flags.values()),
         }
 
 
@@ -214,10 +244,16 @@ class EventLog(EventProcessor):
 
 
 class EventDispatcher:
-    """Fans events out to registered processors, best-effort."""
+    """Fans events out to registered processors, best-effort.
+
+    A failing processor is logged once (per processor type) and counted
+    thereafter, so a processor that throws on every event cannot flood the
+    log from the hot path; the suppressed totals are reported at shutdown.
+    """
 
     def __init__(self, processors: Optional[Sequence[EventProcessor]] = None) -> None:
         self._processors: List[EventProcessor] = list(processors) if processors else []
+        self._failures: Counter = Counter()
 
     @property
     def active(self) -> bool:
@@ -233,15 +269,27 @@ class EventDispatcher:
             try:
                 processor.on_event(event)
             except Exception:
-                logger.warning(
-                    "EventProcessor %s failed on %s",
-                    type(processor).__name__,
-                    type(event).__name__,
-                    exc_info=True,
-                )
+                name = type(processor).__name__
+                self._failures[name] += 1
+                if self._failures[name] == 1:
+                    logger.warning(
+                        "EventProcessor %s failed on %s (further failures of "
+                        "this processor are counted, not logged)",
+                        name,
+                        type(event).__name__,
+                        exc_info=True,
+                    )
 
     def shutdown(self) -> None:
-        """Shut every processor down, best-effort."""
+        """Shut every processor down, best-effort; report suppressed failures."""
+        for name, count in self._failures.items():
+            if count > 1:
+                logger.warning(
+                    "EventProcessor %s failed on %d events during the run "
+                    "(only the first failure was logged)",
+                    name,
+                    count,
+                )
         for processor in self._processors:
             try:
                 processor.shutdown()

@@ -32,6 +32,7 @@ from repro.fleet.events import EventDispatcher, EventProcessor, MetricsProcessor
 from repro.fleet.ingest import FleetIngest, ReplayHostSource, SyntheticHostSource
 from repro.fleet.tracefile import TraceFile, TraceWorkload, read_trace
 from repro.fleet.workers import WorkerPool
+from repro.obs.observer import Observer
 from repro.pmu.noise import NoiseModel
 from repro.pmu.traces import EstimateTrace
 from repro.uarch.machine import MachineConfig
@@ -102,6 +103,13 @@ class FleetService:
         and the run's :class:`FleetResult.chain_trace` points back at it —
         the measured workload the :mod:`repro.accelerator` co-simulation
         consumes.
+    observer:
+        Optional observability bundle: a :class:`repro.obs.Observer` or a
+        :class:`~repro.api.ObserverSpec` (built on the spot).  When present
+        it is threaded through the worker pool and every engine — spans
+        over rounds/slices/kernel stages, the metrics registry — and the
+        drive loop runs the end-of-run chain-health analysis.  ``None``
+        (the default) leaves the hot path untouched.
     chain_recorder:
         Deprecated alias for ``recorder`` (emits ``DeprecationWarning``;
         behaviour is unchanged).
@@ -127,6 +135,7 @@ class FleetService:
         engine_kwargs: Optional[Dict] = None,
         estimator=None,
         recorder=None,
+        observer=None,
         chain_recorder: Optional[ChainTrace] = None,
         processors: Sequence[EventProcessor] = (),
     ) -> None:
@@ -176,6 +185,20 @@ class FleetService:
         #: The recorder the engines will actually share (an explicit
         #: engine_kwargs entry wins over the recorder parameter).
         self.chain_recorder = self.engine_kwargs.get("chain_recorder")
+        #: The run's observability bundle (``None`` = observers off).
+        if observer is not None and not isinstance(observer, Observer):
+            observer = observer.build()  # an ObserverSpec
+        self.observer: Optional[Observer] = observer
+        if observer is not None:
+            if observer.estimates and self.chain_sink is None:
+                raise ValueError(
+                    "ObserverSpec(estimates=True) streams per-slice estimate "
+                    "records into the trace sink; configure "
+                    "recorder=RecorderSpec(sink=...) too"
+                )
+            # Engines share the same observer instance, so kernel-stage spans
+            # and cache counters land in the run's tracer/registry.
+            self.engine_kwargs.setdefault("observer", observer)
 
         self.metrics_processor = MetricsProcessor()
         self.dispatcher = EventDispatcher([self.metrics_processor, *processors])
@@ -314,6 +337,7 @@ class FleetService:
             batch_size=self.batch_size,
             share_engines=share,
             engine_kwargs=self.engine_kwargs,
+            observer=self.observer,
         )
         if not share:
             # The serial baseline also pays the per-host schedule build.

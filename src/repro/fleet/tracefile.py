@@ -23,8 +23,11 @@ Layout (one JSON object per line):
 
 Version history: version 1 files carry sample/poll/estimate records only;
 version 2 adds ``chain`` records (optionally carrying a per-window burn-in
-acceptance trajectory under ``"windows"``).  The batch writer stamps
-version 2 only when chain records are present, and the reader accepts both.
+acceptance trajectory under ``"windows"``); version 3 adds *host-keyed*
+``estimate`` records (``{"type": "estimate", "host": "h12", ...}``) so one
+fleet trace can carry the complete per-slice run log for every host next to
+the chain records it replays from.  Writers stamp the lowest version that
+covers the records present, and the reader accepts all three.
 
 Two writers exist: :func:`write_trace` serialises a materialised
 :class:`TraceFile` in one pass, and :class:`TraceWriter` streams — the
@@ -53,9 +56,10 @@ from repro.pmu.traces import EstimateTrace
 from repro.workloads.registry import register_workload
 
 FORMAT_NAME = "bayesperf-trace"
-FORMAT_VERSION = 2
-#: Versions this reader understands (1 = pre-chain-record files).
-READABLE_VERSIONS = (1, 2)
+FORMAT_VERSION = 3
+#: Versions this reader understands (1 = pre-chain-record files, 2 =
+#: pre-host-keyed-estimate files).
+READABLE_VERSIONS = (1, 2, 3)
 
 
 class TraceFormatError(ValueError):
@@ -77,6 +81,8 @@ class TraceFile:
     estimates: Optional[EstimateTrace] = None
     #: Per-site MCMC chain records (version 2), if the trace carries any.
     chain: Optional[ChainTrace] = None
+    #: Host-keyed per-slice estimate logs (version 3) — the fleet run log.
+    host_estimates: Dict[str, EstimateTrace] = field(default_factory=dict)
 
     @property
     def n_ticks(self) -> int:
@@ -104,12 +110,23 @@ class TraceWorkload:
 # -- writing ----------------------------------------------------------------
 
 
+def _trace_version(trace: TraceFile) -> int:
+    """Lowest format version covering the record kinds *trace* carries.
+
+    Chain-free, host-free traces keep stamping version 1 so previously
+    recorded files and freshly written ones stay byte-comparable.
+    """
+    if trace.host_estimates:
+        return 3
+    if trace.chain is not None:
+        return 2
+    return 1
+
+
 def _header(trace: TraceFile) -> Dict:
     header = {
         "format": FORMAT_NAME,
-        # Chain-free traces keep stamping version 1 so previously recorded
-        # files and freshly written ones stay byte-comparable.
-        "version": FORMAT_VERSION if trace.chain is not None else 1,
+        "version": _trace_version(trace),
         "arch": trace.arch,
         "events": list(trace.events),
         "workload": trace.workload,
@@ -174,6 +191,16 @@ def write_trace(path: Union[str, Path], trace: TraceFile) -> Path:
         if trace.chain is not None:
             for visit in trace.chain.visits:
                 stream.write(json.dumps(_chain_line(visit)) + "\n")
+        for host_id in sorted(trace.host_estimates):
+            host_trace = trace.host_estimates[host_id]
+            for record in host_trace.to_records():
+                line = {
+                    "type": "estimate",
+                    "host": host_id,
+                    "method": host_trace.method,
+                    **record,
+                }
+                stream.write(json.dumps(line) + "\n")
     return path
 
 
@@ -201,13 +228,15 @@ class TraceWriter:
         samples_per_tick: int = 0,
         metadata: Optional[Dict] = None,
         chain_params: Optional[Dict] = None,
+        estimates: bool = False,
     ) -> None:
         self.path = Path(path)
         header = {
             "format": FORMAT_NAME,
             # Streamed traces exist to carry chain records, so the header
-            # stamps version 2 up front (readers accept chain-free v2 files).
-            "version": FORMAT_VERSION,
+            # stamps at least version 2 up front (readers accept chain-free
+            # v2 files); opting into host-keyed estimate records bumps to 3.
+            "version": FORMAT_VERSION if estimates else 2,
             "arch": arch,
             "events": list(events),
             "workload": workload,
@@ -221,6 +250,8 @@ class TraceWriter:
         self._closed = False
         #: Chain records appended so far.
         self.chain_records = 0
+        #: Host-keyed estimate records appended so far.
+        self.estimate_records = 0
         self._stream.write(json.dumps(header) + "\n")
 
     def write_visits(self, visits: Sequence[ChainSiteVisit]) -> int:
@@ -235,6 +266,30 @@ class TraceWriter:
     def flush_chain(self, chain: ChainTrace) -> int:
         """Drain *chain*'s buffered visits into the file (one flush round)."""
         return self.write_visits(chain.drain())
+
+    def write_estimate(
+        self,
+        host: str,
+        tick: int,
+        values: Dict[str, float],
+        sigma: Optional[Dict[str, float]] = None,
+        *,
+        method: str = "bayesperf",
+    ) -> None:
+        """Append one host's per-slice estimate record (format version 3)."""
+        if self._closed:
+            raise ValueError("trace writer is closed")
+        line: Dict = {
+            "type": "estimate",
+            "host": str(host),
+            "method": method,
+            "tick": int(tick),
+            "values": {name: float(v) for name, v in values.items()},
+        }
+        if sigma:
+            line["sigma"] = {name: float(v) for name, v in sigma.items()}
+        self._stream.write(json.dumps(line) + "\n")
+        self.estimate_records += 1
 
     def close(self) -> None:
         if not self._closed:
@@ -287,6 +342,7 @@ def read_trace(path: Union[str, Path]) -> TraceFile:
         polled_lines: List[Dict] = []
         estimate_lines: List[Dict] = []
         chain_lines: List[Dict] = []
+        host_estimate_lines: Dict[str, List[Dict]] = {}
         estimate_method = "replay"
         for lineno, line in enumerate(stream, start=2):
             if not line.strip():
@@ -307,8 +363,12 @@ def read_trace(path: Union[str, Path]) -> TraceFile:
             elif kind == "poll":
                 polled_lines.append(payload)
             elif kind == "estimate":
-                estimate_method = payload.get("method", estimate_method)
-                estimate_lines.append(payload)
+                if "host" in payload:
+                    # Version 3: the fleet run log, keyed by host.
+                    host_estimate_lines.setdefault(str(payload["host"]), []).append(payload)
+                else:
+                    estimate_method = payload.get("method", estimate_method)
+                    estimate_lines.append(payload)
             elif kind == "chain":
                 chain_lines.append(payload)
             else:
@@ -333,6 +393,10 @@ def read_trace(path: Union[str, Path]) -> TraceFile:
         trace.polled = polled
     if estimate_lines:
         trace.estimates = EstimateTrace.from_records(estimate_method, estimate_lines)
+    for host_id in sorted(host_estimate_lines):
+        lines = host_estimate_lines[host_id]
+        method = lines[0].get("method", "replay")
+        trace.host_estimates[host_id] = EstimateTrace.from_records(method, lines)
     if chain_lines:
         chain_lines.sort(key=lambda payload: payload["seq"])
         # Resume the slice counter past the replayed ids so the trace can

@@ -26,6 +26,8 @@ stay bit-identical for sampled estimators too).
 
 from __future__ import annotations
 
+import time
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
@@ -109,6 +111,7 @@ class InferenceWorker:
         batch_size: int = 8,
         share_engines: bool = True,
         engine_kwargs: Optional[Dict] = None,
+        observer=None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -117,6 +120,10 @@ class InferenceWorker:
         self.batch_size = batch_size
         self.share_engines = share_engines
         self.engine_kwargs = dict(engine_kwargs) if engine_kwargs else {}
+        #: Optional :class:`~repro.obs.Observer`: ``slice.solve`` spans plus
+        #: latency/occupancy metrics around every engine call.  ``None`` (the
+        #: default) keeps the hot path untouched.
+        self.observer = observer
         self.cache = EngineCache()
         #: Engines constructed outside the cache (per-host baseline mode).
         self.private_builds = 0
@@ -228,13 +235,34 @@ class InferenceWorker:
                 items = [
                     (self._runs[h].engine_state, taken[h][slot]) for h in batch_hosts
                 ]
-                results = engine.process_batch(items)
+                observer = self.observer
+                if observer is None:
+                    results = engine.process_batch(items)
+                else:
+                    with observer.span(
+                        "slice.solve", worker=self.worker_id, n_records=len(items)
+                    ):
+                        start = time.perf_counter()
+                        results = engine.process_batch(items)
+                        elapsed = time.perf_counter() - start
+                    self._observe_solve(elapsed, len(items))
                 for host_id, (report, state) in zip(batch_hosts, results):
                     run = self._runs[host_id]
                     run.engine_state = state
                     self._record_slice(run, taken[host_id][slot], report)
                     processed += 1
         return processed
+
+    def _observe_solve(self, elapsed: float, n_records: int) -> None:
+        """Record one engine call's latency and occupancy metrics."""
+        observer = self.observer
+        per_slice = elapsed / n_records if n_records else 0.0
+        for _ in range(n_records):
+            observer.observe("slice.latency_seconds", per_slice)
+        observer.observe(
+            "batch.occupancy", n_records, buckets=(1, 2, 4, 8, 16, 32, 64, 128)
+        )
+        observer.count("slices.solved", n_records)
 
     def _process_serial(self, run: HostRun, records: List) -> int:
         """Per-host sequential solves (the dedicated-engine baseline)."""
@@ -243,8 +271,18 @@ class InferenceWorker:
             engine.restore(run.engine_state)
         else:
             engine.reset()
+        observer = self.observer
         for record in records:
-            report = engine.process_record(record)
+            if observer is None:
+                report = engine.process_record(record)
+            else:
+                with observer.span(
+                    "slice.solve", worker=self.worker_id, n_records=1
+                ):
+                    start = time.perf_counter()
+                    report = engine.process_record(record)
+                    elapsed = time.perf_counter() - start
+                self._observe_solve(elapsed, 1)
             self._record_slice(run, record, report)
         run.engine_state = engine.snapshot()
         return len(records)
@@ -268,10 +306,12 @@ class WorkerPool:
         batch_size: int = 8,
         share_engines: bool = True,
         engine_kwargs: Optional[Dict] = None,
+        observer=None,
     ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
         self.dispatcher = dispatcher if dispatcher is not None else EventDispatcher()
+        self.observer = observer
         self.workers: List[InferenceWorker] = [
             InferenceWorker(
                 worker_id,
@@ -279,6 +319,7 @@ class WorkerPool:
                 batch_size=batch_size,
                 share_engines=share_engines,
                 engine_kwargs=engine_kwargs,
+                observer=observer,
             )
             for worker_id in range(n_workers)
         ]
@@ -303,12 +344,38 @@ class WorkerPool:
         streaming pipeline's pacing signal: per-slice results (via the
         ``on_slice`` hook) and buffered chain records can be handed off
         between rounds, so nothing has to accumulate for the whole run.
+
+        With an observer attached each round runs inside a ``fleet.round``
+        span (the consumer's between-round flush work is part of the round),
+        and the ring-buffer high-water mark is tracked per round.
         """
+        observer = self.observer
+        index = 0
         while True:
-            pumped = ingest.pump_all(pump_records)
-            round_accepted = sum(stats.accepted for stats in pumped.values())
-            round_processed = sum(worker.process_available() for worker in self.workers)
-            yield round_processed
+            round_cm = (
+                observer.span("fleet.round", round=index)
+                if observer is not None
+                else nullcontext()
+            )
+            with round_cm as round_span:
+                pumped = ingest.pump_all(pump_records)
+                round_accepted = sum(stats.accepted for stats in pumped.values())
+                if observer is not None:
+                    depth = max(
+                        (len(channel.buffer) for channel in ingest.channels),
+                        default=0,
+                    )
+                    observer.gauge_max("ring.depth.max", depth)
+                    observer.count("rounds")
+                round_processed = sum(
+                    worker.process_available() for worker in self.workers
+                )
+                if round_span is not None:
+                    round_span.set_attribute("processed", round_processed)
+                # The consumer's flush work (estimate/chain records) happens
+                # while this generator is suspended, inside the round span.
+                yield round_processed
+            index += 1
             if ingest.all_done and all(worker.all_completed for worker in self.workers):
                 return
             if round_processed == 0 and round_accepted == 0:

@@ -1,0 +1,58 @@
+"""Observability for the estimation pipeline: spans, metrics, chain health.
+
+Three layers, composable and individually optional:
+
+* :mod:`repro.obs.spans` — an OTel-compatible span model and
+  :class:`Tracer` instrumenting the whole pipeline (run → worker round →
+  per-slice solve → kernel compile/bind/solve), exported as OTLP-shaped
+  JSONL or kept in memory;
+* :mod:`repro.obs.metrics` — counters/gauges/histograms behind one
+  :class:`MetricsRegistry` (slice latency, batch occupancy, ring-buffer
+  depth, kernel-cache hit rate, chain acceptance), with console and JSON
+  exports;
+* :mod:`repro.obs.mixing` — fleet-wide chain-health analytics over the
+  per-window burn-in acceptance trajectories chain traces carry (stuck
+  chains, collapsed acceptance, non-monotone adaptation, robust fleet
+  outliers).
+
+An :class:`Observer` bundles a run's tracer and registry behind null-safe
+helpers; runs opt in through :class:`repro.api.ObserverSpec` (observers
+default off, and a disabled observer costs the hot path nothing).
+"""
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.mixing import (
+    ChainHealthFlag,
+    MixingAccumulator,
+    MixingReport,
+    analyze_chain,
+    analyze_tracefile,
+)
+from repro.obs.observer import Observer
+from repro.obs.spans import (
+    InMemorySpanProcessor,
+    JsonlSpanExporter,
+    Span,
+    SpanContext,
+    SpanProcessor,
+    Tracer,
+)
+
+__all__ = [
+    "ChainHealthFlag",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "InMemorySpanProcessor",
+    "JsonlSpanExporter",
+    "MetricsRegistry",
+    "MixingAccumulator",
+    "MixingReport",
+    "Observer",
+    "Span",
+    "SpanContext",
+    "SpanProcessor",
+    "Tracer",
+    "analyze_chain",
+    "analyze_tracefile",
+]

@@ -1,0 +1,307 @@
+"""Chain-health analytics: the fleet-wide mixing-pathology report.
+
+The per-site tilted-MCMC samplers record one :class:`ChainSiteVisit` per
+chain they run, including the per-window burn-in acceptance trajectory when
+adaptation is on.  This module turns that stream — live from a
+:class:`~repro.fg.mcmc.ChainTrace` recorder, or replayed from a tracefile —
+into actionable health flags:
+
+* ``stuck-chain`` — a chain that never accepted a proposal: its moment
+  estimates are the initial state, not samples.
+* ``collapsed-acceptance`` — the burn-in trajectory started healthy and fell
+  to zero: adaptation drove the proposal scale somewhere pathological.
+* ``non-monotone-adaptation`` — the windowed acceptance oscillated instead
+  of settling: the adaptation loop is fighting the target.
+* ``fleet-outlier`` — a slice whose aggregate acceptance rate is a robust
+  (median/MAD) outlier against the whole fleet: the cross-host comparison
+  only a fleet-wide view can make.
+
+The :class:`MixingAccumulator` consumes visits incrementally (it sits on the
+streaming flush path, so analyzing a run costs no extra memory); a
+:class:`MixingReport` is its end-of-run summary, renderable for the CLI and
+serialisable for dashboards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.fg.mcmc import ChainSiteVisit, ChainTrace
+
+__all__ = [
+    "ChainHealthFlag",
+    "MixingAccumulator",
+    "MixingReport",
+    "analyze_chain",
+    "analyze_tracefile",
+]
+
+#: Acceptance below this (with enough steps to judge) marks a stuck chain.
+STUCK_RATE = 1e-9
+#: Minimum chain steps before a zero-acceptance chain counts as stuck.
+MIN_STEPS_TO_JUDGE = 10
+#: Robust z-score (0.6745 * (x - median) / MAD) beyond which a slice's
+#: acceptance rate is a fleet-wide outlier (the classic 3.5 cutoff).
+OUTLIER_Z = 3.5
+#: Minimum slices before fleet-wide outlier detection is meaningful.
+MIN_SLICES_FOR_OUTLIERS = 8
+#: Direction changes in the burn-in trajectory beyond which adaptation is
+#: flagged as non-monotone (one reversal is normal overshoot-and-settle).
+MAX_DIRECTION_CHANGES = 1
+
+
+@dataclass(frozen=True)
+class ChainHealthFlag:
+    """One detected mixing pathology."""
+
+    reason: str
+    slice_id: int
+    site: str = ""
+    value: float = 0.0
+    detail: str = ""
+
+    def render(self) -> str:
+        site = f" site={self.site}" if self.site else ""
+        return f"[{self.reason}] slice={self.slice_id}{site} value={self.value:.4g} {self.detail}"
+
+
+@dataclass
+class _SliceStats:
+    """Aggregate chain statistics for one inference slice."""
+
+    accepted: int = 0
+    steps: int = 0
+    visits: int = 0
+
+    @property
+    def acceptance_rate(self) -> float:
+        return self.accepted / self.steps if self.steps else 0.0
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    return ordered[mid] if n % 2 else 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def _trajectory_flags(visit: ChainSiteVisit) -> List[ChainHealthFlag]:
+    """Per-visit pathology checks on the burn-in acceptance trajectory."""
+    flags: List[ChainHealthFlag] = []
+    if visit.n_steps >= MIN_STEPS_TO_JUDGE and visit.acceptance_rate <= STUCK_RATE:
+        flags.append(
+            ChainHealthFlag(
+                reason="stuck-chain",
+                slice_id=visit.slice_id,
+                site=visit.site,
+                value=visit.acceptance_rate,
+                detail=f"0/{visit.n_steps} proposals accepted",
+            )
+        )
+    windows = visit.windows
+    if len(windows) >= 2 and windows[0] > 0 and windows[-1] == 0:
+        flags.append(
+            ChainHealthFlag(
+                reason="collapsed-acceptance",
+                slice_id=visit.slice_id,
+                site=visit.site,
+                value=float(windows[-1]),
+                detail=f"burn-in windows {list(windows)} collapsed to zero",
+            )
+        )
+    if len(windows) >= 3:
+        deltas = [b - a for a, b in zip(windows, windows[1:])]
+        directions = [d for d in deltas if d != 0]
+        changes = sum(
+            1 for a, b in zip(directions, directions[1:]) if (a > 0) != (b > 0)
+        )
+        swing = max(windows) - min(windows)
+        # Small jitter around the target is healthy; flag only oscillations
+        # with real amplitude relative to the best window.
+        if changes > MAX_DIRECTION_CHANGES and swing >= max(2, max(windows) // 2):
+            flags.append(
+                ChainHealthFlag(
+                    reason="non-monotone-adaptation",
+                    slice_id=visit.slice_id,
+                    site=visit.site,
+                    value=float(changes),
+                    detail=f"burn-in windows {list(windows)} oscillated",
+                )
+            )
+    return flags
+
+
+@dataclass
+class MixingReport:
+    """Fleet-wide chain-health summary (what ``fleet report`` renders)."""
+
+    n_visits: int = 0
+    n_slices: int = 0
+    median_acceptance: float = 0.0
+    mad_acceptance: float = 0.0
+    min_acceptance: float = 0.0
+    max_acceptance: float = 0.0
+    flags: List[ChainHealthFlag] = field(default_factory=list)
+
+    @property
+    def outlier_slices(self) -> Tuple[int, ...]:
+        """Slice ids flagged as fleet-wide acceptance outliers."""
+        seen: Dict[int, None] = {}
+        for flag in self.flags:
+            if flag.reason == "fleet-outlier":
+                seen.setdefault(flag.slice_id, None)
+        return tuple(seen)
+
+    @property
+    def healthy(self) -> bool:
+        return not self.flags
+
+    def flags_by_reason(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for flag in self.flags:
+            counts[flag.reason] = counts.get(flag.reason, 0) + 1
+        return counts
+
+    def to_dict(self) -> Dict:
+        return {
+            "n_visits": self.n_visits,
+            "n_slices": self.n_slices,
+            "acceptance": {
+                "median": self.median_acceptance,
+                "mad": self.mad_acceptance,
+                "min": self.min_acceptance,
+                "max": self.max_acceptance,
+            },
+            "healthy": self.healthy,
+            "flags": [
+                {
+                    "reason": flag.reason,
+                    "slice": flag.slice_id,
+                    "site": flag.site,
+                    "value": flag.value,
+                    "detail": flag.detail,
+                }
+                for flag in self.flags
+            ],
+        }
+
+    def render(self) -> str:
+        lines = [
+            f"chains: {self.n_visits} visits over {self.n_slices} slices",
+            (
+                f"acceptance: median={self.median_acceptance:.3f} "
+                f"mad={self.mad_acceptance:.3f} "
+                f"range=[{self.min_acceptance:.3f}, {self.max_acceptance:.3f}]"
+            ),
+        ]
+        if self.healthy:
+            lines.append("mixing: healthy (no pathologies flagged)")
+        else:
+            by_reason = ", ".join(
+                f"{reason}: {count}" for reason, count in sorted(self.flags_by_reason().items())
+            )
+            lines.append(f"mixing: {len(self.flags)} flag(s) ({by_reason})")
+            lines.extend(f"  {flag.render()}" for flag in self.flags)
+        return "\n".join(lines)
+
+
+class MixingAccumulator:
+    """Streams chain visits into per-slice statistics, bounded memory.
+
+    Sits on the tracefile flush path: :meth:`consume` each drained batch of
+    visits, then :meth:`report` once at end of run.  Per-visit pathologies
+    are detected at consume time, so only one aggregate per slice (three
+    ints) and the flag list persist.
+    """
+
+    def __init__(self) -> None:
+        self._slices: Dict[int, _SliceStats] = {}
+        self._flags: List[ChainHealthFlag] = []
+        self._seen_flags: set = set()
+        self._n_visits = 0
+
+    def consume(self, visits: Iterable[ChainSiteVisit]) -> None:
+        for visit in visits:
+            self._n_visits += 1
+            stats = self._slices.setdefault(visit.slice_id, _SliceStats())
+            stats.accepted += visit.accepted
+            stats.steps += visit.n_steps
+            stats.visits += 1
+            for flag in _trajectory_flags(visit):
+                # One pathology per (reason, slice, site): the same site
+                # re-visited across EP iterations is one finding, not many.
+                key = (flag.reason, flag.slice_id, flag.site)
+                if key not in self._seen_flags:
+                    self._seen_flags.add(key)
+                    self._flags.append(flag)
+
+    @property
+    def n_visits(self) -> int:
+        return self._n_visits
+
+    def report(self) -> MixingReport:
+        """Close the books: fleet-wide outlier detection plus the summary."""
+        rates = {
+            slice_id: stats.acceptance_rate
+            for slice_id, stats in self._slices.items()
+            if stats.steps > 0
+        }
+        flags = list(self._flags)
+        median = mad = lo = hi = 0.0
+        if rates:
+            values = list(rates.values())
+            median = _median(values)
+            mad = _median([abs(v - median) for v in values])
+            lo, hi = min(values), max(values)
+            if len(rates) >= MIN_SLICES_FOR_OUTLIERS:
+                for slice_id in sorted(rates):
+                    rate = rates[slice_id]
+                    if mad > 0:
+                        z = 0.6745 * (rate - median) / mad
+                        is_outlier = abs(z) > OUTLIER_Z
+                        value = z
+                    else:
+                        # A perfectly uniform fleet: any real deviation from
+                        # the common rate is an outlier by itself.
+                        is_outlier = abs(rate - median) > 0.05
+                        value = rate - median
+                    if is_outlier:
+                        flags.append(
+                            ChainHealthFlag(
+                                reason="fleet-outlier",
+                                slice_id=slice_id,
+                                value=value,
+                                detail=(
+                                    f"acceptance {rate:.3f} vs fleet median "
+                                    f"{median:.3f} (mad {mad:.3f})"
+                                ),
+                            )
+                        )
+        return MixingReport(
+            n_visits=self._n_visits,
+            n_slices=len(self._slices),
+            median_acceptance=median,
+            mad_acceptance=mad,
+            min_acceptance=lo,
+            max_acceptance=hi,
+            flags=flags,
+        )
+
+
+def analyze_chain(chain: Union[ChainTrace, Iterable[ChainSiteVisit]]) -> MixingReport:
+    """One-shot analysis of a recorded chain trace (or any visit iterable)."""
+    accumulator = MixingAccumulator()
+    visits = chain.visits if isinstance(chain, ChainTrace) else chain
+    accumulator.consume(visits)
+    return accumulator.report()
+
+
+def analyze_tracefile(path) -> Optional[MixingReport]:
+    """Analyze the chain records of a tracefile; ``None`` if it has none."""
+    from repro.fleet.tracefile import read_trace  # local import: fleet sits above obs
+
+    trace = read_trace(path)
+    if trace.chain is None:
+        return None
+    return analyze_chain(trace.chain)

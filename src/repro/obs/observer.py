@@ -1,0 +1,131 @@
+"""The observer: one handle bundling a run's tracer and metrics registry.
+
+Every instrumentation site in the pipeline (engine kernel stages, worker
+solves, the drive loop) holds at most an ``Optional[Observer]``; when it is
+``None`` — the default everywhere — the hot path pays nothing.  When
+present, the observer's null-safe helpers route spans to the
+:class:`~repro.obs.spans.Tracer` and measurements to the
+:class:`~repro.obs.metrics.MetricsRegistry`, each of which is independently
+optional (a metrics-only observer never constructs spans and vice versa).
+
+``Observer.from_options`` is the one constructor the spec layer and the CLI
+share: *trace* names the span JSONL export path, *metrics* names the
+summary destination (``"console"``/``"-"`` prints, anything else is a JSON
+file path), *estimates* asks the pipeline to stream per-slice estimate
+records into the recorder's tracefile sink, and *mixing* runs the
+chain-health analysis at end of run.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import (
+    InMemorySpanProcessor,
+    JsonlSpanExporter,
+    SpanProcessor,
+    Tracer,
+)
+
+__all__ = ["Observer"]
+
+_NULL = nullcontext()
+
+
+class Observer:
+    """A run's observability bundle; ``close()`` flushes every export."""
+
+    def __init__(
+        self,
+        *,
+        tracer: Optional[Tracer] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        estimates: bool = False,
+        mixing: bool = True,
+        metrics_sink: Optional[str] = None,
+    ) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+        self.estimates = estimates
+        self.mixing = mixing
+        self.metrics_sink = metrics_sink
+        #: The in-memory span sink, when one was requested (test inspection).
+        self.spans: Optional[InMemorySpanProcessor] = None
+        self._closed = False
+
+    @classmethod
+    def from_options(
+        cls,
+        *,
+        trace: Optional[str] = None,
+        metrics: Optional[str] = None,
+        estimates: bool = False,
+        mixing: bool = True,
+        spans_in_memory: bool = False,
+    ) -> "Observer":
+        """Build an observer from the :class:`~repro.api.ObserverSpec` knobs."""
+        processors: list[SpanProcessor] = []
+        memory: Optional[InMemorySpanProcessor] = None
+        if trace is not None:
+            processors.append(JsonlSpanExporter(trace))
+        if spans_in_memory:
+            memory = InMemorySpanProcessor()
+            processors.append(memory)
+        tracer = Tracer(processors) if processors else None
+        registry = MetricsRegistry() if metrics is not None else None
+        observer = cls(
+            tracer=tracer,
+            metrics=registry,
+            estimates=estimates,
+            mixing=mixing,
+            metrics_sink=metrics,
+        )
+        observer.spans = memory
+        return observer
+
+    # -- null-safe instrumentation helpers --------------------------------
+
+    @property
+    def tracing(self) -> bool:
+        return self.tracer is not None
+
+    def span(self, name: str, **attributes):
+        """A span context manager, or a no-op one when tracing is off."""
+        if self.tracer is None:
+            return _NULL
+        return self.tracer.span(name, **attributes)
+
+    def count(self, name: str, amount: int = 1) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def gauge(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(name).set(value)
+
+    def gauge_max(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge(name).max(value)
+
+    def observe(
+        self, name: str, value: float, buckets: Optional[Sequence[float]] = None
+    ) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(name, buckets).record(value)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush spans and export the metrics summary (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self.tracer is not None:
+            self.tracer.shutdown()
+        if self.metrics is not None and self.metrics_sink is not None:
+            if self.metrics_sink in ("console", "-"):
+                print(self.metrics.render())
+            else:
+                self.metrics.export_json(self.metrics_sink)

@@ -1,0 +1,248 @@
+"""OTel-compatible spans over the estimation pipeline.
+
+The span model mirrors OpenTelemetry's wire shape without depending on the
+SDK: a :class:`Span` carries a :class:`SpanContext` (trace id + span id), a
+parent link, free-form attributes, and both wall-clock and CPU timing.  A
+:class:`Tracer` hands spans out as context managers and maintains the active
+span stack, so nested instrumentation (pipeline run → worker round →
+per-slice solve → kernel stage) parents itself without any explicit
+plumbing.  Finished spans fan out to :class:`SpanProcessor` instances —
+:class:`JsonlSpanExporter` writes OTLP-shaped dicts one per line (greppable,
+ingestable by collectors), :class:`InMemorySpanProcessor` keeps the finished
+spans and reconstructs the tree for tests and reports.
+
+Everything here is synchronous and single-process, matching the fleet drive
+loop; the active-span stack is therefore a plain list, and ``end()`` is
+tolerant of out-of-order closure (an abandoned streaming consumer can close
+the root before an in-flight round span).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "InMemorySpanProcessor",
+    "JsonlSpanExporter",
+    "Span",
+    "SpanContext",
+    "SpanProcessor",
+    "Tracer",
+]
+
+
+@dataclass(frozen=True)
+class SpanContext:
+    """Identity of one span: the run's trace id plus the span's own id."""
+
+    trace_id: str
+    span_id: str
+
+
+@dataclass
+class Span:
+    """One timed operation in the pipeline, OTel-shaped.
+
+    Wall-clock timing uses the epoch (``start_unix_nano``/``end_unix_nano``)
+    so exported spans line up with external monitoring; ``cpu_ns`` measures
+    process CPU time over the same interval, which is what separates "slow
+    because computing" from "slow because waiting".
+    """
+
+    name: str
+    context: SpanContext
+    parent_id: Optional[str] = None
+    attributes: Dict[str, object] = field(default_factory=dict)
+    start_unix_nano: int = 0
+    end_unix_nano: int = 0
+    cpu_ns: int = 0
+    status: str = "OK"
+    _start_perf: int = 0
+    _start_cpu: int = 0
+
+    @property
+    def trace_id(self) -> str:
+        return self.context.trace_id
+
+    @property
+    def span_id(self) -> str:
+        return self.context.span_id
+
+    @property
+    def duration_ns(self) -> int:
+        return max(self.end_unix_nano - self.start_unix_nano, 0)
+
+    @property
+    def ended(self) -> bool:
+        return self.end_unix_nano != 0
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def to_otlp(self) -> Dict:
+        """The span as an OTLP-shaped JSON-serialisable dict."""
+        return {
+            "name": self.name,
+            "trace_id": self.context.trace_id,
+            "span_id": self.context.span_id,
+            "parent_span_id": self.parent_id,
+            "start_time_unix_nano": int(self.start_unix_nano),
+            "end_time_unix_nano": int(self.end_unix_nano),
+            "duration_ns": int(self.duration_ns),
+            "cpu_time_ns": int(self.cpu_ns),
+            "attributes": dict(self.attributes),
+            "status": self.status,
+        }
+
+
+class SpanProcessor:
+    """Base class for span consumers (the event-processor idiom for spans)."""
+
+    def on_start(self, span: Span) -> None:
+        """Called when a span starts.  Override as needed."""
+
+    def on_end(self, span: Span) -> None:
+        """Called when a span ends.  Override as needed."""
+
+    def shutdown(self) -> None:
+        """Called once when tracing shuts down.  Override to flush buffers."""
+
+
+class JsonlSpanExporter(SpanProcessor):
+    """Writes every finished span to a JSONL file, one OTLP dict per line."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._stream = self.path.open("w", encoding="utf-8")
+        self.exported = 0
+
+    def on_end(self, span: Span) -> None:
+        self._stream.write(json.dumps(span.to_otlp()) + "\n")
+        self.exported += 1
+
+    def shutdown(self) -> None:
+        if not self._stream.closed:
+            self._stream.close()
+
+
+class InMemorySpanProcessor(SpanProcessor):
+    """Keeps finished spans and reconstructs the tree (the testing sink)."""
+
+    def __init__(self) -> None:
+        self.spans: List[Span] = []
+
+    def on_end(self, span: Span) -> None:
+        self.spans.append(span)
+
+    def by_name(self, name: str) -> List[Span]:
+        return [span for span in self.spans if span.name == name]
+
+    def roots(self) -> List[Span]:
+        """Spans whose parent never finished here (usually the run roots)."""
+        ids = {span.span_id for span in self.spans}
+        return [span for span in self.spans if span.parent_id not in ids]
+
+    def children(self, span: Span) -> List[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def tree(self) -> Dict[Optional[str], List[Span]]:
+        """Parent span id -> finished children, in completion order."""
+        tree: Dict[Optional[str], List[Span]] = {}
+        for span in self.spans:
+            tree.setdefault(span.parent_id, []).append(span)
+        return tree
+
+
+class _ActiveSpan:
+    """Context-manager wrapper the tracer hands out from :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.status = "ERROR"
+            self._span.attributes.setdefault("error.type", exc_type.__name__)
+        self._tracer.end(self._span)
+
+
+class Tracer:
+    """Starts spans, tracks the active stack, fans finished spans out.
+
+    One tracer per run: every span it starts shares one ``trace_id``.  The
+    parent of a new span is whatever span is currently innermost — callers
+    never pass parents explicitly, the call structure *is* the tree.
+    """
+
+    def __init__(self, processors: Sequence[SpanProcessor] = ()) -> None:
+        self._processors: List[SpanProcessor] = list(processors)
+        self.trace_id = uuid.uuid4().hex
+        self._ids = itertools.count(1)
+        self._stack: List[Span] = []
+
+    def add(self, processor: SpanProcessor) -> None:
+        self._processors.append(processor)
+
+    @property
+    def current(self) -> Optional[Span]:
+        """The innermost active span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def start(self, name: str, **attributes) -> Span:
+        """Start a span (parented under the current one) and push it active."""
+        span = Span(
+            name=name,
+            context=SpanContext(
+                trace_id=self.trace_id, span_id=f"{next(self._ids):016x}"
+            ),
+            parent_id=self._stack[-1].span_id if self._stack else None,
+            attributes=dict(attributes),
+            start_unix_nano=time.time_ns(),
+            _start_perf=time.perf_counter_ns(),
+            _start_cpu=time.process_time_ns(),
+        )
+        self._stack.append(span)
+        for processor in self._processors:
+            processor.on_start(span)
+        return span
+
+    def end(self, span: Span) -> None:
+        """Finish *span* and hand it to every processor.
+
+        Closure is stack-tolerant: ending a span that is not innermost just
+        removes it from wherever it sits (an early-terminated consumer may
+        unwind out of order), and ending twice is a no-op.
+        """
+        if span.ended:
+            return
+        span.end_unix_nano = span.start_unix_nano + max(
+            time.perf_counter_ns() - span._start_perf, 0
+        )
+        span.cpu_ns = max(time.process_time_ns() - span._start_cpu, 0)
+        if span in self._stack:
+            self._stack.remove(span)
+        for processor in self._processors:
+            processor.on_end(span)
+
+    def span(self, name: str, **attributes) -> _ActiveSpan:
+        """Start a span as a context manager: ``with tracer.span("x"): ...``."""
+        return _ActiveSpan(self, self.start(name, **attributes))
+
+    def shutdown(self) -> None:
+        """End any spans left active (outermost last), then flush processors."""
+        while self._stack:
+            self.end(self._stack[-1])
+        for processor in self._processors:
+            processor.shutdown()

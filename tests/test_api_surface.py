@@ -21,6 +21,7 @@ def test_api_all_is_pinned():
     assert set(api.__all__) == {
         "EstimatorSpec",
         "HostSpec",
+        "ObserverSpec",
         "Pipeline",
         "PipelineResult",
         "RecorderSpec",
@@ -46,6 +47,16 @@ def test_recorder_spec_fields_are_pinned():
     assert _field_names(api.RecorderSpec) == ("sink", "params")
 
 
+def test_observer_spec_fields_are_pinned():
+    assert _field_names(api.ObserverSpec) == (
+        "trace",
+        "metrics",
+        "estimates",
+        "mixing",
+        "spans_in_memory",
+    )
+
+
 def test_host_spec_fields_are_pinned():
     assert _field_names(api.HostSpec) == (
         "workload",
@@ -66,6 +77,7 @@ def test_run_spec_fields_are_pinned():
         "hosts",
         "estimator",
         "recorder",
+        "observer",
         "mode",
         "n_workers",
         "batch_size",

@@ -1,0 +1,151 @@
+"""Edge cases of the fleet event stream: log overflow, mid-iteration
+appends, failing-processor isolation, rate-limited failure logging, and the
+type-keyed handler dispatch."""
+
+import logging
+from dataclasses import dataclass
+
+from repro.fleet.events import (
+    ChainHealthFlagged,
+    EventDispatcher,
+    EventLog,
+    EventProcessor,
+    FleetEvent,
+    MetricsProcessor,
+    SliceCompleted,
+    TypedEventProcessor,
+)
+
+
+def _slices(n):
+    return [SliceCompleted(host=f"h{i}", tick=i) for i in range(n)]
+
+
+# -- EventLog -----------------------------------------------------------------
+
+
+class TestEventLog:
+    def test_overflow_discards_oldest_and_counts(self):
+        log = EventLog(maxlen=3)
+        for event in _slices(5):
+            log.on_event(event)
+        assert log.discarded == 2
+        assert len(log) == 3
+        assert [event.tick for event in log.snapshot()] == [2, 3, 4]
+
+    def test_events_appended_mid_iteration_are_seen(self):
+        log = EventLog()
+        log.on_event(SliceCompleted(host="a", tick=0))
+        seen = []
+        iterator = log.iter()
+        seen.append(next(iterator))
+        log.on_event(SliceCompleted(host="a", tick=1))  # arrives while draining
+        seen.extend(iterator)
+        assert [event.tick for event in seen] == [0, 1]
+        assert len(log) == 0
+
+    def test_unbounded_log_never_discards(self):
+        log = EventLog(maxlen=None)
+        for event in _slices(10):
+            log.on_event(event)
+        assert log.discarded == 0 and len(log) == 10
+
+
+# -- dispatcher fan-out -------------------------------------------------------
+
+
+class _Exploding(EventProcessor):
+    def on_event(self, event):
+        raise RuntimeError("broken consumer")
+
+
+class _Collecting(EventProcessor):
+    def __init__(self):
+        self.events = []
+
+    def on_event(self, event):
+        self.events.append(event)
+
+
+class TestDispatcher:
+    def test_failing_processor_does_not_break_the_others(self):
+        collector = _Collecting()
+        dispatcher = EventDispatcher([_Exploding(), collector])
+        for event in _slices(3):
+            dispatcher.emit(event)
+        assert len(collector.events) == 3
+
+    def test_failures_are_logged_once_per_processor_type(self, caplog):
+        dispatcher = EventDispatcher([_Exploding()])
+        with caplog.at_level(logging.WARNING, logger="repro.fleet.events"):
+            for event in _slices(5):
+                dispatcher.emit(event)
+        failures = [
+            record for record in caplog.records if "failed on" in record.message
+        ]
+        assert len(failures) == 1  # 4 further failures suppressed
+
+    def test_shutdown_reports_suppressed_failure_count(self, caplog):
+        dispatcher = EventDispatcher([_Exploding()])
+        for event in _slices(4):
+            dispatcher.emit(event)
+        with caplog.at_level(logging.WARNING, logger="repro.fleet.events"):
+            dispatcher.shutdown()
+        summaries = [
+            record
+            for record in caplog.records
+            if "failed on 4 events" in record.getMessage()
+        ]
+        assert len(summaries) == 1
+
+    def test_single_failure_gets_no_shutdown_summary(self, caplog):
+        dispatcher = EventDispatcher([_Exploding()])
+        dispatcher.emit(SliceCompleted(host="a"))
+        with caplog.at_level(logging.WARNING, logger="repro.fleet.events"):
+            dispatcher.shutdown()
+        assert not any("events during the run" in r.getMessage() for r in caplog.records)
+
+
+# -- typed dispatch -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _FancySliceCompleted(SliceCompleted):
+    """A downstream specialisation of a known event type."""
+
+    fancy: bool = True
+
+
+@dataclass(frozen=True)
+class _UnknownEvent(FleetEvent):
+    pass
+
+
+class TestTypedDispatch:
+    def test_dispatch_is_keyed_on_the_type_not_its_name(self):
+        received = []
+
+        class Handler(TypedEventProcessor):
+            def on_slice_completed(self, event):
+                received.append(event)
+
+        handler = Handler()
+        handler.on_event(SliceCompleted(host="a", tick=1))
+        # A subclass reaches the parent type's handler via the MRO — the old
+        # class-name table would have silently dropped it.
+        handler.on_event(_FancySliceCompleted(host="a", tick=2))
+        assert [event.tick for event in received] == [1, 2]
+
+    def test_unknown_event_types_are_ignored(self):
+        TypedEventProcessor().on_event(_UnknownEvent(host="a"))  # no raise
+
+    def test_chain_health_flags_reach_metrics(self):
+        metrics = MetricsProcessor()
+        metrics.on_event(
+            ChainHealthFlagged(host="fleet", reason="stuck-chain", slice_id=3)
+        )
+        metrics.on_event(
+            ChainHealthFlagged(host="fleet", reason="fleet-outlier", slice_id=3)
+        )
+        assert metrics.mixing_flags == {"stuck-chain": 1, "fleet-outlier": 1}
+        assert metrics.summary()["mixing_flags"] == 2
