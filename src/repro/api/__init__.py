@@ -27,13 +27,27 @@ run with frozen specs, then execute it::
   OTel-style span export over the whole pipeline, the metrics registry,
   per-slice estimate records in the trace sink, and the end-of-run
   chain-health (mixing) analysis.
+* :class:`FaultPolicySpec` opts the workers into retry/timeout/quarantine
+  enforcement, and :class:`CheckpointSpec` opts the run into durable
+  write-ahead logging — a killed run resumes from its log with
+  ``Pipeline.resume(path)`` to bit-identical final estimates.
 """
 
 from repro.api.pipeline import Pipeline, PipelineResult, SliceResult
-from repro.api.spec import EstimatorSpec, HostSpec, ObserverSpec, RecorderSpec, RunSpec
+from repro.api.spec import (
+    CheckpointSpec,
+    EstimatorSpec,
+    FaultPolicySpec,
+    HostSpec,
+    ObserverSpec,
+    RecorderSpec,
+    RunSpec,
+)
 
 __all__ = [
+    "CheckpointSpec",
     "EstimatorSpec",
+    "FaultPolicySpec",
     "HostSpec",
     "ObserverSpec",
     "Pipeline",

@@ -22,13 +22,21 @@ does internally).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Union
 
-from repro.api.spec import RunSpec
-from repro.fleet.events import ChainHealthFlagged
+from repro.api.spec import CheckpointSpec, RunSpec
+from repro.fleet.events import ChainHealthFlagged, CheckpointWritten
 from repro.fleet.service import FleetResult, FleetService
 from repro.fleet.tracefile import TraceWriter
+from repro.fleet.wal import (
+    WalState,
+    checkpoint_host,
+    load_wal,
+    restore_host,
+    truncate_to_commit,
+)
 from repro.fg.mcmc import ChainTrace
 from repro.obs.mixing import MixingAccumulator, MixingReport
 from repro.pmu.traces import EstimateTrace
@@ -99,15 +107,20 @@ class Pipeline:
         #: End-of-run chain-health analysis (set by the drive loop when the
         #: service carries an observer and chains were recorded).
         self.mixing_report: Optional[MixingReport] = None
+        #: Recovery point loaded by :meth:`resume` (``None`` = fresh run).
+        self._resume_state: Optional[WalState] = None
 
     @classmethod
-    def from_spec(cls, spec: RunSpec) -> "Pipeline":
+    def from_spec(cls, spec: RunSpec, *, chaos=None) -> "Pipeline":
         """Build the pipeline a :class:`~repro.api.RunSpec` describes.
 
         Estimator names resolve through the :mod:`repro.fg.registry` (so an
         unknown name fails here, listing the registered estimators), hosts
         are registered exactly as ``FleetService.add_host``/``add_trace``
         would, and a recorder spec's sink is wired up for streaming.
+        *chaos* (a :class:`~repro.fleet.chaos.FaultInjector`) is a test-only
+        hook: it wraps the run's sources, solves and WAL stream with the
+        injector's seeded fault schedule.
         """
         if not spec.hosts:
             raise ValueError("RunSpec needs at least one HostSpec in hosts")
@@ -124,6 +137,8 @@ class Pipeline:
             estimator=spec.estimator,
             recorder=spec.recorder,
             observer=spec.observer,
+            fault_policy=spec.fault_policy,
+            chaos=chaos,
         )
         for host in spec.hosts:
             if host.trace is not None:
@@ -141,6 +156,36 @@ class Pipeline:
                 )
         pipeline = cls(service, mode=spec.mode)
         pipeline.spec = spec
+        return pipeline
+
+    @classmethod
+    def resume(cls, trace_path: Union[str, Path], *, chaos=None) -> "Pipeline":
+        """Rebuild a crashed run's pipeline from its write-ahead log.
+
+        The log's header carries the full serialized :class:`RunSpec`, so
+        the file alone suffices: the spec is rebuilt, the uncommitted
+        suffix of the log is rolled back (standard WAL truncation), and the
+        returned pipeline — once run — restores every host from the last
+        committed checkpoint, re-executes from there, and appends to the
+        same log.  Final estimates are bit-identical with an uninterrupted
+        run (sources, backoff jitter and engine RNG are all deterministic).
+        """
+        state = load_wal(trace_path)
+        payload = state.run_spec
+        if payload is None:
+            raise ValueError(
+                f"{trace_path}: header carries no run_spec; cannot resume"
+            )
+        # A crash before the first commit leaves nothing durable beyond the
+        # header; the recovery point is then the header itself and the run
+        # simply restarts from scratch (still bit-identical: nothing ran).
+        spec = RunSpec.from_dict(payload)
+        checkpoint = spec.checkpoint or CheckpointSpec(path=str(trace_path))
+        # Resume against the file actually given (it may have been moved).
+        spec = replace(spec, checkpoint=replace(checkpoint, path=str(trace_path)))
+        truncate_to_commit(state)
+        pipeline = cls.from_spec(spec, chaos=chaos)
+        pipeline._resume_state = state
         return pipeline
 
     @property
@@ -191,7 +236,46 @@ class Pipeline:
         estimate_writer = (
             writer if observer is not None and observer.estimates else None
         )
-        if on_slice is not None or estimate_writer is not None:
+        checkpoint = self.spec.checkpoint if self.spec is not None else None
+        resume_state = self._resume_state
+        wal_writer: Optional[TraceWriter] = None
+        if checkpoint is not None:
+            chaos = service.chaos
+            wal_writer = TraceWriter(
+                checkpoint.path,
+                arch=service.arch,
+                events=service.events,
+                workload="fleet-wal",
+                samples_per_tick=service.samples_per_tick,
+                metadata={
+                    "hosts": service.n_hosts,
+                    "mode": self.mode,
+                    "run_spec": self.spec.to_dict(),
+                },
+                wal=True,
+                mode="a" if resume_state is not None else "w",
+                stream_wrapper=chaos.wrap_stream if chaos is not None else None,
+            )
+        next_round = 0
+        if resume_state is not None:
+            # Re-materialise every host from the last committed checkpoint
+            # before the first pump, then append from the recovery point.
+            # (A pre-first-commit crash has no checkpoints: every host — and
+            # the round counter — starts fresh, ``resume`` round -1.)
+            for host_id, run in pool.runs().items():
+                entry = resume_state.checkpoints.get(host_id)
+                if entry is None:
+                    continue
+                restore_host(
+                    run,
+                    entry.get("state"),
+                    entry.get("progress", {}),
+                    resume_state.host_estimates.get(host_id, []),
+                )
+            last_commit = resume_state.last_commit_round
+            wal_writer.write_resume(-1 if last_commit is None else last_commit)
+            next_round = 0 if last_commit is None else last_commit + 1
+        if on_slice is not None or estimate_writer is not None or wal_writer is not None:
             inner = on_slice
 
             def tap(host_id, record, means, stds, report):
@@ -199,6 +283,10 @@ class Pipeline:
                     # The complete run log: every slice's posterior lands in
                     # the same sink as the chain records that produced it.
                     estimate_writer.write_estimate(host_id, record.tick, means, stds)
+                if wal_writer is not None:
+                    # The WAL's redo stream: committed estimates are the
+                    # slices a resumed run never re-executes.
+                    wal_writer.write_estimate(host_id, record.tick, means, stds)
                 if inner is not None:
                     inner(host_id, record, means, stds, report)
 
@@ -223,12 +311,30 @@ class Pipeline:
                     # Bounded memory: hand the round's chain records to the
                     # sink and forget them (the ROADMAP streaming item).
                     self._consume_visits(recorder.drain(), writer, mixing, observer)
+                if wal_writer is not None and (next_round + 1) % checkpoint.every == 0:
+                    self._write_checkpoint(
+                        wal_writer,
+                        pool,
+                        next_round,
+                        fsync=checkpoint.fsync,
+                        dispatcher=service.dispatcher,
+                        observer=observer,
+                    )
+                next_round += 1
                 yield processed
+        except BaseException as error:
+            if wal_writer is not None:
+                # Stamp the abort reason into the log (best-effort) so a
+                # recovery reader can tell a crash from a clean shutdown.
+                wal_writer.__exit__(type(error), error, error.__traceback__)
+            raise
         finally:
             # Close the drive generator first so any round span it holds
             # open ends before the mixing/root spans below.
             rounds_iter.close()
             elapsed = time.perf_counter() - start
+            if wal_writer is not None:
+                wal_writer.close()
             if writer is not None:
                 self._consume_visits(recorder.drain(), writer, mixing, observer)
                 writer.close()
@@ -245,6 +351,22 @@ class Pipeline:
             if observer is not None:
                 observer.close()
             self._fleet_result = service._build_result(self.mode, total, elapsed, pool)
+
+    @staticmethod
+    def _write_checkpoint(
+        wal_writer, pool, round_idx, *, fsync, dispatcher, observer
+    ) -> None:
+        """Checkpoint every host and seal the round with a commit marker."""
+        runs = pool.runs()
+        for host_id in sorted(runs):
+            state, progress = checkpoint_host(runs[host_id])
+            wal_writer.write_checkpoint(host_id, state, round_idx, progress=progress)
+        wal_writer.commit_checkpoint(round_idx, fsync=fsync)
+        dispatcher.emit(
+            CheckpointWritten(host="fleet", round_idx=round_idx, n_hosts=len(runs))
+        )
+        if observer is not None:
+            observer.count("wal.commits")
 
     @staticmethod
     def _consume_visits(visits, writer, mixing, observer) -> None:

@@ -25,14 +25,23 @@ estimator resolution has one implementation everywhere.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, Mapping, Optional, Tuple
 
 from repro.fg.mcmc import ChainTrace
 from repro.fg.registry import get_estimator
+from repro.fleet.faults import FaultPolicySpec
 from repro.obs.observer import Observer
 
-__all__ = ["EstimatorSpec", "HostSpec", "ObserverSpec", "RecorderSpec", "RunSpec"]
+__all__ = [
+    "CheckpointSpec",
+    "EstimatorSpec",
+    "FaultPolicySpec",
+    "HostSpec",
+    "ObserverSpec",
+    "RecorderSpec",
+    "RunSpec",
+]
 
 
 def _frozen_tuple(spec, name: str) -> None:
@@ -156,6 +165,30 @@ class ObserverSpec:
 
 
 @dataclass(frozen=True)
+class CheckpointSpec:
+    """Durable write-ahead logging for a run (crash-resume).
+
+    ``path`` names the WAL tracefile (format version 4): every completed
+    slice's estimate streams into it, and every ``every`` inference rounds
+    each host's engine snapshot + ingest position is checkpointed and sealed
+    with a commit marker (fsynced by default — turn ``fsync`` off only for
+    benchmarks).  A run killed at any point resumes from the file with
+    ``Pipeline.resume(path)`` to final estimates bit-identical with an
+    uninterrupted run.
+    """
+
+    path: str
+    every: int = 1
+    fsync: bool = True
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.path, str):
+            object.__setattr__(self, "path", str(self.path))
+        if self.every < 1:
+            raise ValueError("every must be >= 1")
+
+
+@dataclass(frozen=True)
 class HostSpec:
     """One fleet host: simulate a workload, or replay a recorded trace.
 
@@ -186,7 +219,11 @@ class RunSpec:
     ``events`` win over ``metrics`` (derived-metric selection), and with
     neither the standard profiling set is monitored.  ``engine_overrides``
     is the escape hatch for engine kwargs the spec does not model
-    (key/value pairs, applied last).
+    (key/value pairs, applied last).  ``fault_policy`` opts the workers
+    into retry/timeout/quarantine enforcement
+    (:class:`~repro.fleet.faults.FaultPolicySpec`), ``checkpoint`` opts the
+    run into durable write-ahead logging (:class:`CheckpointSpec`); both
+    default off, leaving the hot path untouched.
     """
 
     arch: str = "x86"
@@ -203,6 +240,8 @@ class RunSpec:
     pump_records: Optional[int] = None
     samples_per_tick: int = 4
     engine_overrides: Tuple[Tuple[str, object], ...] = ()
+    fault_policy: Optional[FaultPolicySpec] = None
+    checkpoint: Optional[CheckpointSpec] = None
 
     def __post_init__(self) -> None:
         _frozen_tuple(self, "events")
@@ -233,3 +272,66 @@ class RunSpec:
         kwargs = self.estimator.engine_kwargs()
         kwargs.update(self.engine_overrides)
         return kwargs
+
+    # -- serialization ------------------------------------------------------
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form of the whole spec.
+
+        The write-ahead log stamps this into its header so a crashed run's
+        file alone suffices to rebuild and resume the pipeline
+        (``RunSpec.from_dict`` is the exact inverse).  ``engine_overrides``
+        values must be JSON-representable — runtime objects (e.g. a shared
+        ``ChainTrace``) cannot ride along.
+        """
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "RunSpec":
+        """Rebuild a spec from :meth:`to_dict` output (JSON round-tripped)."""
+        data = dict(payload)
+        recorder = None
+        if data.get("recorder"):
+            fields_ = dict(data["recorder"])
+            fields_["params"] = tuple(
+                (str(key), value) for key, value in fields_.get("params", ())
+            )
+            recorder = RecorderSpec(**fields_)
+        return cls(
+            arch=data.get("arch", "x86"),
+            events=tuple(data["events"]) if data.get("events") is not None else None,
+            metrics=tuple(data["metrics"]) if data.get("metrics") is not None else None,
+            hosts=tuple(HostSpec(**dict(host)) for host in data.get("hosts", ())),
+            estimator=(
+                EstimatorSpec(**dict(data["estimator"]))
+                if data.get("estimator")
+                else EstimatorSpec()
+            ),
+            recorder=recorder,
+            observer=(
+                ObserverSpec(**dict(data["observer"])) if data.get("observer") else None
+            ),
+            mode=data.get("mode", "pool"),
+            n_workers=int(data.get("n_workers", 4)),
+            batch_size=int(data.get("batch_size", 8)),
+            buffer_capacity=int(data.get("buffer_capacity", 256)),
+            pump_records=(
+                int(data["pump_records"])
+                if data.get("pump_records") is not None
+                else None
+            ),
+            samples_per_tick=int(data.get("samples_per_tick", 4)),
+            engine_overrides=tuple(
+                (str(key), value) for key, value in data.get("engine_overrides", ())
+            ),
+            fault_policy=(
+                FaultPolicySpec(**dict(data["fault_policy"]))
+                if data.get("fault_policy")
+                else None
+            ),
+            checkpoint=(
+                CheckpointSpec(**dict(data["checkpoint"]))
+                if data.get("checkpoint")
+                else None
+            ),
+        )

@@ -68,3 +68,11 @@ class RingBuffer(Generic[T]):
     def peek(self) -> Optional[T]:
         """The oldest item without removing it."""
         return self._entries[0] if self._entries else None
+
+    def snapshot(self) -> List[T]:
+        """Every buffered item, oldest first, without consuming any.
+
+        The durability layer serialises this (plus the counters) into WAL
+        checkpoints so a resumed run re-materialises the exact buffer.
+        """
+        return list(self._entries)

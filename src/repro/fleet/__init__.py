@@ -14,27 +14,41 @@ reproduction accordingly:
   workloads;
 * :mod:`repro.fleet.events` — a unified observability event stream with
   push-based processors and pull-based iteration;
+* :mod:`repro.fleet.faults` — worker retry/timeout/backoff/quarantine
+  policies (:class:`FaultPolicySpec`);
+* :mod:`repro.fleet.wal` — write-ahead-log recovery: load a crashed run's
+  checkpoint state and roll back its uncommitted suffix;
+* :mod:`repro.fleet.chaos` — the deterministic fault-injection harness
+  (:class:`FaultInjector`) the fault-tolerance tests run on;
 * :mod:`repro.fleet.service` — the :class:`FleetService` facade tying it all
   together.
 
-Run the synthetic demo or replay a trace from the command line with
-``python -m repro.fleet``.
+Run the synthetic demo, replay a trace, or resume a crashed checkpointed
+run from the command line with ``python -m repro.fleet``.
 """
 
+from repro.fleet.chaos import Fault, FaultInjector, InjectedCrash, InjectedFault
 from repro.fleet.events import (
     BackpressureDetected,
+    CheckpointWritten,
     EstimateReady,
     EventDispatcher,
     EventLog,
     EventProcessor,
     FleetEvent,
+    HostQuarantined,
     LoggingProcessor,
+    MalformedRecordSkipped,
     MetricsProcessor,
     SessionCompleted,
     SessionStarted,
+    SliceAttemptFailed,
     SliceCompleted,
+    SliceRetried,
+    SliceSkipped,
     TypedEventProcessor,
 )
+from repro.fleet.faults import FaultPolicySpec, SliceFailed, SliceTimeout
 from repro.fleet.ingest import FleetIngest, HostChannel, ReplayHostSource, SyntheticHostSource
 from repro.fleet.service import FleetResult, FleetService
 from repro.fleet.tracefile import (
@@ -48,21 +62,35 @@ from repro.fleet.tracefile import (
     register_trace_workload,
     write_trace,
 )
+from repro.fleet.wal import WalState, load_wal, truncate_to_commit
 from repro.fleet.workers import EngineCache, InferenceWorker, WorkerPool
 
 __all__ = [
     "BackpressureDetected",
+    "CheckpointWritten",
     "EstimateReady",
     "EventDispatcher",
     "EventLog",
     "EventProcessor",
     "FleetEvent",
+    "HostQuarantined",
     "LoggingProcessor",
+    "MalformedRecordSkipped",
     "MetricsProcessor",
     "SessionCompleted",
     "SessionStarted",
+    "SliceAttemptFailed",
     "SliceCompleted",
+    "SliceRetried",
+    "SliceSkipped",
     "TypedEventProcessor",
+    "Fault",
+    "FaultInjector",
+    "FaultPolicySpec",
+    "InjectedCrash",
+    "InjectedFault",
+    "SliceFailed",
+    "SliceTimeout",
     "FleetIngest",
     "HostChannel",
     "ReplayHostSource",
@@ -78,6 +106,9 @@ __all__ = [
     "record_session_trace",
     "register_trace_workload",
     "write_trace",
+    "WalState",
+    "load_wal",
+    "truncate_to_commit",
     "EngineCache",
     "InferenceWorker",
     "WorkerPool",

@@ -1,6 +1,6 @@
 """Command-line front end for the fleet service (``python -m repro.fleet``).
 
-Four subcommands:
+Five subcommands:
 
 * ``demo`` — run a synthetic fleet and report throughput for the serial
   baseline vs. the sharded worker pool; ``--estimator`` selects any
@@ -13,7 +13,9 @@ Four subcommands:
 * ``replay`` — feed a recorded trace back through the service and (when the
   file carries the original estimates) verify the round-trip is exact;
 * ``report`` — chain-health (mixing) analysis and run-log summary of a
-  recorded trace file, without re-running inference.
+  recorded trace file, without re-running inference;
+* ``resume`` — continue a crashed checkpointed run from its write-ahead
+  log (format version 4) to completion.
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ from typing import List, Optional
 from repro.api import EstimatorSpec, ObserverSpec, Pipeline
 from repro.fg.registry import estimator_names, get_estimator
 from repro.fleet.service import FleetService
-from repro.fleet.tracefile import read_trace, record_session_trace
+from repro.fleet.tracefile import TraceFormatError, read_trace, record_session_trace
 from repro.obs.mixing import analyze_chain
 
 
@@ -208,13 +210,52 @@ def _run_replay(args) -> int:
     return 0
 
 
+def _run_resume(args) -> int:
+    """Continue a crashed checkpointed run from its write-ahead log."""
+    try:
+        pipeline = Pipeline.resume(args.trace)
+    except (TraceFormatError, ValueError) as error:
+        print(f"Cannot resume: {error}")
+        return 1
+    result = pipeline.run_fleet()
+    print(
+        f"Resumed {args.trace}: {result.total_slices} slices re-executed at "
+        f"{result.slices_per_second:.1f} slices/s "
+        f"({result.n_hosts} hosts, {len(result.quarantined)} quarantined)"
+    )
+    for host_id in sorted(result.estimates)[:3]:
+        estimates = result.estimates[host_id]
+        if not len(estimates):
+            continue
+        last = estimates.at(len(estimates) - 1)
+        shown = ", ".join(f"{k}={v:.3g}" for k, v in list(last.items())[:3])
+        print(f"  {host_id} final slice: {shown}")
+    return 0
+
+
 def _run_report(args) -> int:
     """Summarise a trace file's run log and analyse its chain health."""
-    trace = read_trace(args.trace)
+    trace = read_trace(args.trace, strict=False)
     print(
         f"Trace {args.trace}: arch={trace.arch or '?'} "
         f"workload={trace.workload or '?'}"
     )
+    if trace.checkpoints or trace.aborted or trace.torn_tail or trace.resumes:
+        commit = (
+            f"last commit round {trace.last_commit_round}"
+            if trace.last_commit_round is not None
+            else "no committed round"
+        )
+        print(
+            f"  write-ahead log: {trace.checkpoints} checkpoint(s), "
+            f"{commit}, {trace.resumes} resume(s)"
+        )
+        if trace.aborted:
+            print(f"  aborted: {trace.aborted}")
+        if trace.torn_tail:
+            print("  torn tail: final line truncated mid-write (recoverable)")
+    if trace.malformed_lines:
+        print(f"  malformed lines skipped: {len(trace.malformed_lines)}")
     if trace.sampled is not None:
         print(f"  samples: {trace.n_ticks} quanta")
     if trace.estimates is not None:
@@ -258,6 +299,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     report.add_argument("trace", help="trace file to analyse")
 
+    resume = subparsers.add_parser(
+        "resume", help="continue a crashed checkpointed run from its write-ahead log"
+    )
+    resume.add_argument("trace", help="write-ahead log (version 4 trace file)")
+
     args = parser.parse_args(argv)
     if args.command == "demo":
         return _run_demo(args)
@@ -265,6 +311,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_record(args)
     if args.command == "report":
         return _run_report(args)
+    if args.command == "resume":
+        return _run_resume(args)
     return _run_replay(args)
 
 

@@ -89,6 +89,61 @@ class ChainHealthFlagged(FleetEvent):
     detail: str = ""
 
 
+@dataclass(frozen=True)
+class SliceAttemptFailed(FleetEvent):
+    """One solve attempt for one slice failed (raised or timed out)."""
+
+    tick: int = 0
+    attempt: int = 0
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class SliceRetried(FleetEvent):
+    """A failed slice attempt is being retried after its backoff delay."""
+
+    tick: int = 0
+    attempt: int = 0
+    delay_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class SliceSkipped(FleetEvent):
+    """A slice exhausted its attempts under an ``on_exhausted="skip"`` policy."""
+
+    tick: int = 0
+    attempts: int = 0
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class HostQuarantined(FleetEvent):
+    """A host was excised from the run after exhausting a slice's attempts."""
+
+    tick: int = 0
+    attempts: int = 0
+    error: str = ""
+
+
+@dataclass(frozen=True)
+class MalformedRecordSkipped(FleetEvent):
+    """A replayed source skipped malformed/partial record lines."""
+
+    n_lines: int = 0
+    torn_tail: bool = False
+
+
+@dataclass(frozen=True)
+class CheckpointWritten(FleetEvent):
+    """A full round of per-host checkpoints was committed to the WAL.
+
+    ``host`` is ``"fleet"``: the commit marker covers every host.
+    """
+
+    round_idx: int = 0
+    n_hosts: int = 0
+
+
 # -- processors -------------------------------------------------------------
 
 
@@ -115,6 +170,12 @@ _EVENT_HANDLERS: Dict[type, str] = {
     BackpressureDetected: "on_backpressure",
     SessionCompleted: "on_session_completed",
     ChainHealthFlagged: "on_chain_health_flagged",
+    SliceAttemptFailed: "on_slice_attempt_failed",
+    SliceRetried: "on_slice_retried",
+    SliceSkipped: "on_slice_skipped",
+    HostQuarantined: "on_host_quarantined",
+    MalformedRecordSkipped: "on_malformed_record_skipped",
+    CheckpointWritten: "on_checkpoint_written",
 }
 
 
@@ -144,6 +205,18 @@ class TypedEventProcessor(EventProcessor):
 
     def on_chain_health_flagged(self, event: ChainHealthFlagged) -> None: ...
 
+    def on_slice_attempt_failed(self, event: SliceAttemptFailed) -> None: ...
+
+    def on_slice_retried(self, event: SliceRetried) -> None: ...
+
+    def on_slice_skipped(self, event: SliceSkipped) -> None: ...
+
+    def on_host_quarantined(self, event: HostQuarantined) -> None: ...
+
+    def on_malformed_record_skipped(self, event: MalformedRecordSkipped) -> None: ...
+
+    def on_checkpoint_written(self, event: CheckpointWritten) -> None: ...
+
 
 class LoggingProcessor(EventProcessor):
     """Writes every event to a :mod:`logging` logger (one line per event)."""
@@ -169,6 +242,12 @@ class MetricsProcessor(TypedEventProcessor):
         self.hosts_started = 0
         self.hosts_completed = 0
         self.mixing_flags: Counter = Counter()
+        self.attempt_failures: Counter = Counter()
+        self.retries_by_host: Counter = Counter()
+        self.skips_by_host: Counter = Counter()
+        self.quarantined_hosts: Counter = Counter()
+        self.malformed_records = 0
+        self.checkpoints_committed = 0
 
     def on_event(self, event: FleetEvent) -> None:
         self.events_by_kind[type(event).__name__] += 1
@@ -190,6 +269,24 @@ class MetricsProcessor(TypedEventProcessor):
     def on_chain_health_flagged(self, event: ChainHealthFlagged) -> None:
         self.mixing_flags[event.reason] += 1
 
+    def on_slice_attempt_failed(self, event: SliceAttemptFailed) -> None:
+        self.attempt_failures[event.host] += 1
+
+    def on_slice_retried(self, event: SliceRetried) -> None:
+        self.retries_by_host[event.host] += 1
+
+    def on_slice_skipped(self, event: SliceSkipped) -> None:
+        self.skips_by_host[event.host] += 1
+
+    def on_host_quarantined(self, event: HostQuarantined) -> None:
+        self.quarantined_hosts[event.host] += 1
+
+    def on_malformed_record_skipped(self, event: MalformedRecordSkipped) -> None:
+        self.malformed_records += event.n_lines
+
+    def on_checkpoint_written(self, event: CheckpointWritten) -> None:
+        self.checkpoints_committed += 1
+
     @property
     def total_slices(self) -> int:
         return sum(self.slices_by_host.values())
@@ -207,6 +304,11 @@ class MetricsProcessor(TypedEventProcessor):
             "total_dropped": self.total_dropped,
             "backpressure_events": self.backpressure_events,
             "mixing_flags": sum(self.mixing_flags.values()),
+            "slice_retries": sum(self.retries_by_host.values()),
+            "slice_skips": sum(self.skips_by_host.values()),
+            "hosts_quarantined": len(self.quarantined_hosts),
+            "malformed_records": self.malformed_records,
+            "checkpoints_committed": self.checkpoints_committed,
         }
 
 

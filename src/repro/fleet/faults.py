@@ -1,0 +1,131 @@
+"""Worker fault policies: retry, timeout, backoff, quarantine.
+
+A fleet-scale deployment treats worker faults as routine events: a corrupt
+telemetry record, a solver that raises on a degenerate slice, a solve that
+hangs past its deadline.  :class:`FaultPolicySpec` declares what happens —
+how many attempts a slice gets, how long one attempt may take, how retries
+back off, and what to do when attempts are exhausted — and the inference
+workers (:mod:`repro.fleet.workers`) enforce it around every engine call.
+
+The invariants the enforcement keeps:
+
+* **No partial state leaks.**  Every attempt starts from the host's
+  pre-attempt engine snapshot, so a failed (or timed-out) attempt never
+  contaminates the temporal chain; a retry that succeeds is bit-identical
+  to a first attempt that succeeded.
+* **Deterministic backoff.**  Retry jitter is derived from the policy seed
+  and the (host, tick, attempt) coordinates, never from wall-clock entropy,
+  so two runs of the same faulty fleet sleep the same schedule.
+* **Every fault is accounted.**  Each attempt failure, retry, skip and
+  quarantine is emitted on the fleet event stream
+  (:class:`~repro.fleet.events.SliceAttemptFailed` and friends) and counted
+  by the metrics processor, so ``retries + skips + quarantines`` can be
+  audited against an injected fault schedule exactly.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = [
+    "FaultPolicySpec",
+    "SliceFailed",
+    "SliceTimeout",
+    "ON_EXHAUSTED",
+]
+
+#: Valid terminal dispositions for a slice whose attempts are exhausted.
+ON_EXHAUSTED = ("raise", "skip", "quarantine")
+
+
+class SliceTimeout(RuntimeError):
+    """One solve attempt exceeded the policy's per-slice timeout.
+
+    Raised *after* the attempt completes (the enforcement is cooperative:
+    a single-process solve cannot be preempted mid-kernel; true preemption
+    belongs to the multi-process sharding half of the roadmap item).  The
+    attempt's outputs are discarded and the pre-attempt snapshot restored,
+    so a timed-out attempt is indistinguishable from a raising one.
+    """
+
+
+class SliceFailed(RuntimeError):
+    """A slice exhausted its attempts under an ``on_exhausted="raise"`` policy.
+
+    Carries the coordinates of the failure; ``__cause__`` is the last
+    attempt's error.
+    """
+
+    def __init__(self, host: str, tick: int, attempts: int, reason: str) -> None:
+        super().__init__(
+            f"slice {host}@t{tick} failed after {attempts} attempt(s): {reason}"
+        )
+        self.host = host
+        self.tick = tick
+        self.attempts = attempts
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class FaultPolicySpec:
+    """Retry/timeout policy enforced around every worker solve.
+
+    ``max_attempts`` bounds how often one slice is tried (1 = no retries);
+    ``timeout_seconds`` flags an attempt whose wall-clock solve exceeded it
+    (``None`` = no deadline); retries sleep an exponential backoff
+    (``backoff_base * backoff_factor**(attempt-1)``, capped at
+    ``backoff_max``) stretched by a deterministic jitter in
+    ``[1, 1 + jitter]`` seeded from ``(seed, host, tick, attempt)``.
+    ``on_exhausted`` picks the terminal disposition: ``"raise"`` aborts the
+    run (the write-ahead log makes it resumable), ``"skip"`` drops the one
+    slice and continues the host, ``"quarantine"`` excises the whole host
+    from the run.
+    """
+
+    max_attempts: int = 3
+    timeout_seconds: Optional[float] = None
+    backoff_base: float = 0.01
+    backoff_factor: float = 2.0
+    backoff_max: float = 1.0
+    jitter: float = 0.1
+    seed: int = 0
+    on_exhausted: str = "raise"
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive (or None)")
+        if self.backoff_base < 0 or self.backoff_factor < 1 or self.backoff_max < 0:
+            raise ValueError(
+                "backoff_base/backoff_max must be >= 0 and backoff_factor >= 1"
+            )
+        if not 0 <= self.jitter:
+            raise ValueError("jitter must be >= 0")
+        if self.on_exhausted not in ON_EXHAUSTED:
+            raise ValueError(
+                f"unknown on_exhausted {self.on_exhausted!r}; "
+                f"expected one of {ON_EXHAUSTED}"
+            )
+
+    def backoff_delay(self, host: str, tick: int, attempt: int) -> float:
+        """Seconds to sleep before retrying *attempt* (the one that failed).
+
+        Deterministic: the jitter draw is seeded from the policy seed and
+        the (host, tick, attempt) coordinates, so repeated runs of the same
+        faulty fleet produce the same delays (and the same event stream).
+        """
+        base = min(
+            self.backoff_base * self.backoff_factor ** (attempt - 1), self.backoff_max
+        )
+        if base <= 0 or self.jitter <= 0:
+            return base
+        sequence = np.random.SeedSequence(
+            [self.seed, zlib.crc32(host.encode("utf-8")), int(tick), int(attempt)]
+        )
+        stretch = 1.0 + self.jitter * np.random.default_rng(sequence).random()
+        return base * stretch

@@ -18,7 +18,12 @@ from typing import Dict, Iterator, List, Optional, Tuple
 from repro.core.ringbuffer import RingBuffer
 from repro.events.catalog import EventCatalog
 from repro.events.registry import canonical_arch, catalog_for
-from repro.fleet.events import BackpressureDetected, EventDispatcher, SessionStarted
+from repro.fleet.events import (
+    BackpressureDetected,
+    EventDispatcher,
+    MalformedRecordSkipped,
+    SessionStarted,
+)
 from repro.fleet.tracefile import TraceFile
 from repro.pmu.noise import NoiseModel
 from repro.pmu.sampling import MultiplexedSampler, SamplingRecord
@@ -87,7 +92,16 @@ class SyntheticHostSource:
 
 
 class ReplayHostSource:
-    """Record stream backed by a recorded trace file."""
+    """Record stream backed by a recorded trace file.
+
+    Malformed or partial lines the reader tolerated (a torn tail from a
+    killed recorder, or mid-stream damage under ``read_trace(strict=False)``)
+    surface as ``skipped_lines``/``torn_tail`` here; the host's channel
+    announces them with one
+    :class:`~repro.fleet.events.MalformedRecordSkipped` event when the
+    stream opens, so a replay accounts for every record it dropped instead
+    of raising mid-iteration.
+    """
 
     def __init__(self, host_id: str, trace: TraceFile, *, workload_name: str = "") -> None:
         if trace.sampled is None:
@@ -102,6 +116,9 @@ class ReplayHostSource:
         self.n_ticks = trace.n_ticks
         self.samples_per_tick = trace.samples_per_tick
         self.workload_name = workload_name or trace.workload or "replay"
+        #: Lines the reader skipped as malformed instead of raising.
+        self.skipped_lines = len(trace.malformed_lines)
+        self.torn_tail = trace.torn_tail
 
     def records(self) -> Iterator[SamplingRecord]:
         assert self.trace.sampled is not None
@@ -129,6 +146,12 @@ class HostChannel:
         self._dispatcher = dispatcher
         self._iterator: Optional[Iterator[SamplingRecord]] = None
         self._exhausted = False
+        #: Records drawn from the source iterator so far (accepted + dropped)
+        #: — the source position a WAL checkpoint records, so a resumed run
+        #: can fast-forward a fresh iterator to exactly here.
+        self.pulled = 0
+        #: Set when a fault policy excised this host from the run.
+        self.quarantined = False
 
     @property
     def exhausted(self) -> bool:
@@ -145,6 +168,20 @@ class HostChannel:
         """Total records dropped on the floor by backpressure so far."""
         return self.buffer.dropped
 
+    def _open(self) -> Iterator[SamplingRecord]:
+        """Open the source stream, announcing any tolerated damage once."""
+        iterator = self.source.records()
+        skipped = getattr(self.source, "skipped_lines", 0)
+        if skipped:
+            self._dispatcher.emit(
+                MalformedRecordSkipped(
+                    host=self.host_id,
+                    n_lines=skipped,
+                    torn_tail=bool(getattr(self.source, "torn_tail", False)),
+                )
+            )
+        return iterator
+
     def pump(self, max_records: int) -> PumpStats:
         """Move up to *max_records* records from the source into the buffer.
 
@@ -158,13 +195,14 @@ class HostChannel:
             stats.exhausted = True
             return stats
         if self._iterator is None:
-            self._iterator = self.source.records()
+            self._iterator = self._open()
         for _ in range(max_records):
             record = next(self._iterator, None)
             if record is None:
                 self._exhausted = True
                 stats.exhausted = True
                 break
+            self.pulled += 1
             if self.buffer.push(record):
                 stats.accepted += 1
             else:
@@ -192,6 +230,48 @@ class HostChannel:
                 break
             records.append(record)
         return records
+
+    def abandon(self) -> None:
+        """Excise this host from the run (quarantine).
+
+        The source is marked exhausted and the buffer cleared, so ``done``
+        holds and the drive loop's termination conditions see a finished
+        host; backpressure totals are preserved for the final report.
+        """
+        self.quarantined = True
+        self._exhausted = True
+        self.buffer.drain()
+
+    def restore(
+        self,
+        *,
+        pulled: int,
+        buffered: List[SamplingRecord],
+        dropped: int = 0,
+        exhausted: bool = False,
+        quarantined: bool = False,
+    ) -> None:
+        """Re-materialise this channel from a WAL checkpoint's progress.
+
+        A fresh source iterator is opened and fast-forwarded past the
+        *pulled* records the crashed run already consumed (sources are
+        deterministic, so the remaining stream is identical), then the
+        checkpoint's *buffered* records re-fill the ring buffer and the
+        backpressure/exhaustion counters are restored — the channel is
+        indistinguishable from the one the crashed run checkpointed.
+        """
+        if self._iterator is not None or self.pulled:
+            raise RuntimeError("restore() must run before the first pump")
+        self._iterator = self._open()
+        for _ in range(pulled):
+            if next(self._iterator, None) is None:
+                break
+        self.pulled = pulled
+        for record in buffered:
+            self.buffer.push(record)
+        self.buffer.dropped = dropped
+        self._exhausted = exhausted
+        self.quarantined = quarantined
 
 
 class FleetIngest:

@@ -54,6 +54,8 @@ class FleetResult:
     dropped_records: Dict[str, int] = field(default_factory=dict)
     engine_cache: Dict[str, int] = field(default_factory=dict)
     metrics: Dict[str, int] = field(default_factory=dict)
+    #: Hosts excised mid-run by an ``on_exhausted="quarantine"`` policy.
+    quarantined: Tuple[str, ...] = ()
     #: The service's shared chain recorder (populated when the fleet ran a
     #: per-site MCMC estimator with one attached), ``None`` otherwise.
     chain_trace: Optional[ChainTrace] = None
@@ -136,6 +138,8 @@ class FleetService:
         estimator=None,
         recorder=None,
         observer=None,
+        fault_policy=None,
+        chaos=None,
         chain_recorder: Optional[ChainTrace] = None,
         processors: Sequence[EventProcessor] = (),
     ) -> None:
@@ -199,6 +203,14 @@ class FleetService:
             # Engines share the same observer instance, so kernel-stage spans
             # and cache counters land in the run's tracer/registry.
             self.engine_kwargs.setdefault("observer", observer)
+        #: Retry/timeout/quarantine policy enforced around every worker
+        #: solve (a :class:`~repro.fleet.faults.FaultPolicySpec`); ``None``
+        #: (the default) keeps the hot path byte-identical.
+        self.fault_policy = fault_policy
+        #: Fault injector (:class:`~repro.fleet.chaos.FaultInjector`) for
+        #: tests and demos: wraps host sources at pool build time and is
+        #: probed by the workers around every solve attempt.
+        self.chaos = chaos
 
         self.metrics_processor = MetricsProcessor()
         self.dispatcher = EventDispatcher([self.metrics_processor, *processors])
@@ -338,7 +350,14 @@ class FleetService:
             share_engines=share,
             engine_kwargs=self.engine_kwargs,
             observer=self.observer,
+            fault_policy=self.fault_policy,
+            chaos=self.chaos,
         )
+        if self.chaos is not None:
+            # Scheduled record corruption: proxy each host's source before
+            # any iterator is opened.
+            for channel in self.ingest.channels:
+                channel.source = self.chaos.wrap_source(channel.source)
         if not share:
             # The serial baseline also pays the per-host schedule build.
             for channel in self.ingest.channels:
@@ -363,6 +382,7 @@ class FleetService:
             dropped_records=self.ingest.drop_report(),
             engine_cache=pool.cache_stats(),
             metrics=self.metrics_processor.summary(),
+            quarantined=pool.quarantined_hosts(),
             # The recorder the engines actually used: an explicit
             # engine_kwargs entry wins over the service-level parameter.
             chain_trace=self.chain_recorder,

@@ -26,8 +26,22 @@ version 2 adds ``chain`` records (optionally carrying a per-window burn-in
 acceptance trajectory under ``"windows"``); version 3 adds *host-keyed*
 ``estimate`` records (``{"type": "estimate", "host": "h12", ...}``) so one
 fleet trace can carry the complete per-slice run log for every host next to
-the chain records it replays from.  Writers stamp the lowest version that
-covers the records present, and the reader accepts all three.
+the chain records it replays from; version 4 promotes the stream to a
+write-ahead log with four durability record kinds —
+``{"type": "checkpoint", "host": ..., "round": r, "state": {...}}`` (one
+host's engine snapshot plus ingest progress), ``{"type": "commit",
+"round": r}`` (fsynced after a full round of checkpoints: the atomic
+recovery point), ``{"type": "resume", "round": r}`` (a resumed run took
+over here) and ``{"type": "aborted", "error": ...}`` (the writer was
+closed by a propagating exception — a *dirty* shutdown, distinguishable
+from both a clean close and a hard kill).  Writers stamp the lowest
+version that covers the records present, and the reader accepts all four.
+
+Crash tolerance: a process killed mid-write leaves a torn final line; the
+reader truncates it (``TraceFile.torn_tail``) instead of raising, and
+``strict=False`` extends the same tolerance to malformed lines anywhere in
+the stream (``TraceFile.malformed_lines``) — the ingestion-hardening
+posture for replaying traces of unknown provenance.
 
 Two writers exist: :func:`write_trace` serialises a materialised
 :class:`TraceFile` in one pass, and :class:`TraceWriter` streams — the
@@ -43,9 +57,10 @@ by the file instead of the simulator.
 from __future__ import annotations
 
 import json
+import os
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -56,10 +71,10 @@ from repro.pmu.traces import EstimateTrace
 from repro.workloads.registry import register_workload
 
 FORMAT_NAME = "bayesperf-trace"
-FORMAT_VERSION = 3
+FORMAT_VERSION = 4
 #: Versions this reader understands (1 = pre-chain-record files, 2 =
-#: pre-host-keyed-estimate files).
-READABLE_VERSIONS = (1, 2, 3)
+#: pre-host-keyed-estimate files, 3 = pre-write-ahead-log files).
+READABLE_VERSIONS = (1, 2, 3, 4)
 
 
 class TraceFormatError(ValueError):
@@ -83,6 +98,21 @@ class TraceFile:
     chain: Optional[ChainTrace] = None
     #: Host-keyed per-slice estimate logs (version 3) — the fleet run log.
     host_estimates: Dict[str, EstimateTrace] = field(default_factory=dict)
+    #: Write-ahead-log bookkeeping (version 4): per-host checkpoint records
+    #: seen, the last *committed* checkpoint round (``None`` when no full
+    #: round of checkpoints was followed by a commit), and resume markers.
+    checkpoints: int = 0
+    last_commit_round: Optional[int] = None
+    resumes: int = 0
+    #: Error string from an ``aborted`` marker — the writer was closed by a
+    #: propagating exception (dirty shutdown).  ``None`` means either a
+    #: clean close or a hard kill (no marker could be written).
+    aborted: Optional[str] = None
+    #: The final line was torn (a partial write from a killed process) and
+    #: was truncated by the reader instead of parsed.
+    torn_tail: bool = False
+    #: 1-based line numbers skipped as malformed (``strict=False`` reads).
+    malformed_lines: Tuple[int, ...] = ()
 
     @property
     def n_ticks(self) -> int:
@@ -139,6 +169,31 @@ def _header(trace: TraceFile) -> Dict:
     return header
 
 
+def sample_line(record: SamplingRecord) -> Dict:
+    """The JSON shape of one sampled quantum (shared with WAL checkpoints,
+    which serialise a channel's buffered records in exactly this form)."""
+    return {
+        "type": "sample",
+        "tick": record.tick,
+        "config": list(record.configuration.events),
+        "samples": {
+            event: [float(v) for v in samples]
+            for event, samples in record.samples.items()
+        },
+    }
+
+
+def parse_sample(payload: Dict) -> SamplingRecord:
+    """Inverse of :func:`sample_line`."""
+    record = SamplingRecord(
+        tick=int(payload["tick"]),
+        configuration=CounterConfiguration(events=tuple(payload["config"])),
+    )
+    for event, values in payload["samples"].items():
+        record.samples[event] = np.asarray(values, dtype=float)
+    return record
+
+
 def _chain_line(visit: ChainSiteVisit) -> Dict:
     line = {
         "type": "chain",
@@ -169,16 +224,7 @@ def write_trace(path: Union[str, Path], trace: TraceFile) -> Path:
         stream.write(json.dumps(_header(trace)) + "\n")
         if trace.sampled is not None:
             for record in trace.sampled.records:
-                line = {
-                    "type": "sample",
-                    "tick": record.tick,
-                    "config": list(record.configuration.events),
-                    "samples": {
-                        event: [float(v) for v in samples]
-                        for event, samples in record.samples.items()
-                    },
-                }
-                stream.write(json.dumps(line) + "\n")
+                stream.write(json.dumps(sample_line(record)) + "\n")
         if trace.polled is not None:
             for tick, values in enumerate(trace.polled.values):
                 stream.write(
@@ -215,6 +261,18 @@ class TraceWriter:
     than one round's visits in memory.  :meth:`repro.api.Pipeline.stream`
     is the canonical caller; the resulting file reads back with
     :func:`read_trace` exactly like a batch-written one.
+
+    ``wal=True`` turns the stream into a write-ahead log (format version
+    4): :meth:`write_checkpoint` appends per-host engine snapshots,
+    :meth:`commit_checkpoint` seals a round of them with an fsynced commit
+    marker (the atomic recovery point — everything after the last commit is
+    re-executed on resume), and ``mode="a"`` reopens an existing log to
+    continue it (:meth:`write_resume` stamps the takeover).  The writer is
+    crash-safe on exception paths: leaving the ``with`` block with an
+    exception propagating appends an ``aborted`` marker and flushes/fsyncs
+    it best-effort, so readers can tell a dirty shutdown from a clean one.
+    ``stream_wrapper`` (chaos injection) wraps the underlying file object
+    before anything is written.
     """
 
     def __init__(
@@ -229,14 +287,21 @@ class TraceWriter:
         metadata: Optional[Dict] = None,
         chain_params: Optional[Dict] = None,
         estimates: bool = False,
+        wal: bool = False,
+        mode: str = "w",
+        stream_wrapper: Optional[Callable] = None,
     ) -> None:
+        if mode not in ("w", "a"):
+            raise ValueError(f"mode must be 'w' or 'a', not {mode!r}")
         self.path = Path(path)
+        self.wal = wal
         header = {
             "format": FORMAT_NAME,
             # Streamed traces exist to carry chain records, so the header
             # stamps at least version 2 up front (readers accept chain-free
-            # v2 files); opting into host-keyed estimate records bumps to 3.
-            "version": FORMAT_VERSION if estimates else 2,
+            # v2 files); opting into host-keyed estimate records bumps to 3
+            # and write-ahead logging to 4.
+            "version": FORMAT_VERSION if wal else (3 if estimates else 2),
             "arch": arch,
             "events": list(events),
             "workload": workload,
@@ -246,13 +311,18 @@ class TraceWriter:
         }
         if chain_params:
             header["chain_params"] = dict(chain_params)
-        self._stream = self.path.open("w", encoding="utf-8")
+        self._stream = self.path.open(mode, encoding="utf-8")
+        if stream_wrapper is not None:
+            self._stream = stream_wrapper(self._stream)
         self._closed = False
         #: Chain records appended so far.
         self.chain_records = 0
         #: Host-keyed estimate records appended so far.
         self.estimate_records = 0
-        self._stream.write(json.dumps(header) + "\n")
+        #: Checkpoint commits appended so far.
+        self.commits = 0
+        if mode == "w":
+            self._stream.write(json.dumps(header) + "\n")
 
     def write_visits(self, visits: Sequence[ChainSiteVisit]) -> int:
         """Append chain records for *visits*; returns how many were written."""
@@ -291,15 +361,98 @@ class TraceWriter:
         self._stream.write(json.dumps(line) + "\n")
         self.estimate_records += 1
 
+    # -- write-ahead-log records (format version 4) -------------------------
+
+    def write_checkpoint(
+        self,
+        host: str,
+        state: Optional[Dict],
+        round_idx: int,
+        *,
+        progress: Optional[Dict] = None,
+    ) -> None:
+        """Append one host's engine-snapshot checkpoint for *round_idx*.
+
+        *state* is the JSON form of an
+        :class:`~repro.core.engine.EngineState` (see
+        :func:`repro.fleet.wal.engine_state_to_json`; ``None`` for a host
+        that has not solved a slice yet) and *progress* carries the host's
+        ingest/inference position (records pulled, slices solved, buffered
+        records, quarantine flags).  A round's checkpoints are not a valid
+        recovery point until :meth:`commit_checkpoint` seals them.
+        """
+        if self._closed:
+            raise ValueError("trace writer is closed")
+        line: Dict = {
+            "type": "checkpoint",
+            "host": str(host),
+            "round": int(round_idx),
+            "state": state,
+        }
+        if progress:
+            line["progress"] = progress
+        self._stream.write(json.dumps(line) + "\n")
+
+    def commit_checkpoint(self, round_idx: int, *, fsync: bool = True) -> None:
+        """Seal the round's checkpoints: write the commit marker durably.
+
+        The marker only hits the line after every per-host checkpoint of
+        the round, and the stream is flushed (and fsynced by default)
+        before this returns — so a commit record present in the file
+        guarantees the full checkpoint set before it is present too.
+        """
+        if self._closed:
+            raise ValueError("trace writer is closed")
+        self._stream.write(json.dumps({"type": "commit", "round": int(round_idx)}) + "\n")
+        self._stream.flush()
+        if fsync:
+            os.fsync(self._stream.fileno())
+        self.commits += 1
+
+    def write_resume(self, round_idx: int) -> None:
+        """Stamp that a resumed run took over after committed *round_idx*."""
+        if self._closed:
+            raise ValueError("trace writer is closed")
+        self._stream.write(json.dumps({"type": "resume", "round": int(round_idx)}) + "\n")
+        self._stream.flush()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _flush_best_effort(self, fsync: bool) -> None:
+        try:
+            self._stream.flush()
+            if fsync:
+                os.fsync(self._stream.fileno())
+        except (OSError, ValueError):
+            # A crashed/injected stream must not mask the original error.
+            pass
+
     def close(self) -> None:
+        """Flush, fsync and close (idempotent, safe on broken streams)."""
         if not self._closed:
             self._closed = True
-            self._stream.close()
+            self._flush_best_effort(fsync=True)
+            try:
+                self._stream.close()
+            except (OSError, ValueError):
+                pass
 
     def __enter__(self) -> "TraceWriter":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None and not self._closed:
+            # Dirty shutdown: mark the tail so readers can distinguish an
+            # aborted run from a cleanly closed (or hard-killed) one.  All
+            # best-effort — the stream itself may be the thing that failed.
+            try:
+                self._stream.write(
+                    json.dumps({"type": "aborted", "error": f"{exc_type.__name__}: {exc}"})
+                    + "\n"
+                )
+            except Exception:
+                pass
+            self._flush_best_effort(fsync=True)
         self.close()
 
 
@@ -322,57 +475,115 @@ def _parse_header(line: str) -> Dict:
     return header
 
 
-def read_trace(path: Union[str, Path]) -> TraceFile:
-    """Parse a JSONL trace file back into a :class:`TraceFile`."""
+def _host_estimate_trace(method: str, records: List[Dict]) -> EstimateTrace:
+    """Build one host's estimate log, tolerating gaps and re-emissions.
+
+    Unlike :meth:`EstimateTrace.from_records` (which rejects non-consecutive
+    ticks), a fleet run log legitimately has holes: a skipped slice under an
+    ``on_exhausted="skip"`` policy, or a backpressure-dropped record, leaves
+    no estimate for its tick.  Holes become empty dicts (NaN in the series
+    views) so the trace stays index-addressed; a duplicated tick (a resumed
+    run re-emitting a slice the crashed run already logged) keeps the last
+    occurrence.
+    """
+    trace = EstimateTrace(method=method)
+    ordered = sorted(enumerate(records), key=lambda pair: (pair[1]["tick"], pair[0]))
+    base = ordered[0][1]["tick"]
+    for _, record in ordered:
+        index = record["tick"] - base
+        while len(trace.estimates) < index:
+            trace.append({})
+        if len(trace.estimates) == index:
+            trace.append(record["values"], record.get("sigma"))
+        else:  # duplicate tick: last occurrence wins
+            trace.estimates[index] = {k: float(v) for k, v in record["values"].items()}
+            sigma = record.get("sigma")
+            trace.uncertainties[index] = (
+                {k: float(v) for k, v in sigma.items()} if sigma else {}
+            )
+    return trace
+
+
+def read_trace(path: Union[str, Path], *, strict: bool = True) -> TraceFile:
+    """Parse a JSONL trace file back into a :class:`TraceFile`.
+
+    A torn final line — the signature of a process killed mid-write — is
+    always truncated rather than raised on (``TraceFile.torn_tail`` marks
+    it): the write-ahead-log recovery path depends on a killed run's file
+    still being readable.  With ``strict=False`` the same tolerance covers
+    malformed or unknown-type lines *anywhere* in the stream; each skipped
+    line's number lands in ``TraceFile.malformed_lines`` so replay layers
+    can account for every record they dropped.
+    """
     path = Path(path)
     with path.open("r", encoding="utf-8") as stream:
-        first = stream.readline()
-        if not first.strip():
-            raise TraceFormatError(f"{path} is empty")
-        header = _parse_header(first)
-        trace = TraceFile(
-            arch=header.get("arch", ""),
-            events=tuple(header.get("events", ())),
-            workload=header.get("workload", ""),
-            seed=int(header.get("seed", 0)),
-            samples_per_tick=int(header.get("samples_per_tick", 0)),
-            metadata=dict(header.get("metadata", {})),
-        )
-        samples: List[SamplingRecord] = []
-        polled_lines: List[Dict] = []
-        estimate_lines: List[Dict] = []
-        chain_lines: List[Dict] = []
-        host_estimate_lines: Dict[str, List[Dict]] = {}
-        estimate_method = "replay"
-        for lineno, line in enumerate(stream, start=2):
-            if not line.strip():
-                continue
-            try:
-                payload = json.loads(line)
-            except json.JSONDecodeError as error:
-                raise TraceFormatError(f"{path}:{lineno}: invalid JSON: {error}") from error
-            kind = payload.get("type")
-            if kind == "sample":
-                record = SamplingRecord(
-                    tick=int(payload["tick"]),
-                    configuration=CounterConfiguration(events=tuple(payload["config"])),
-                )
-                for event, values in payload["samples"].items():
-                    record.samples[event] = np.asarray(values, dtype=float)
-                samples.append(record)
-            elif kind == "poll":
-                polled_lines.append(payload)
-            elif kind == "estimate":
-                if "host" in payload:
-                    # Version 3: the fleet run log, keyed by host.
-                    host_estimate_lines.setdefault(str(payload["host"]), []).append(payload)
-                else:
-                    estimate_method = payload.get("method", estimate_method)
-                    estimate_lines.append(payload)
-            elif kind == "chain":
-                chain_lines.append(payload)
+        lines = stream.readlines()
+    if not lines or not lines[0].strip():
+        raise TraceFormatError(f"{path} is empty")
+    header = _parse_header(lines[0])
+    trace = TraceFile(
+        arch=header.get("arch", ""),
+        events=tuple(header.get("events", ())),
+        workload=header.get("workload", ""),
+        seed=int(header.get("seed", 0)),
+        samples_per_tick=int(header.get("samples_per_tick", 0)),
+        metadata=dict(header.get("metadata", {})),
+    )
+    samples: List[SamplingRecord] = []
+    polled_lines: List[Dict] = []
+    estimate_lines: List[Dict] = []
+    chain_lines: List[Dict] = []
+    host_estimate_lines: Dict[str, List[Dict]] = {}
+    estimate_method = "replay"
+    malformed: List[int] = []
+    checkpoints_seen = 0
+    last_lineno = len(lines)
+
+    def _skip(lineno: int, detail: str) -> None:
+        if lineno == last_lineno:
+            # The torn tail: a partial final line is truncated, not fatal —
+            # even strict readers must survive a killed writer.
+            trace.torn_tail = True
+            malformed.append(lineno)
+        elif strict:
+            raise TraceFormatError(f"{path}:{lineno}: {detail}")
+        else:
+            malformed.append(lineno)
+
+    for lineno, line in enumerate(lines[1:], start=2):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as error:
+            _skip(lineno, f"invalid JSON: {error}")
+            continue
+        kind = payload.get("type") if isinstance(payload, dict) else None
+        if kind == "sample":
+            samples.append(parse_sample(payload))
+        elif kind == "poll":
+            polled_lines.append(payload)
+        elif kind == "estimate":
+            if "host" in payload:
+                # Version 3: the fleet run log, keyed by host.
+                host_estimate_lines.setdefault(str(payload["host"]), []).append(payload)
             else:
-                raise TraceFormatError(f"{path}:{lineno}: unknown record type {kind!r}")
+                estimate_method = payload.get("method", estimate_method)
+                estimate_lines.append(payload)
+        elif kind == "chain":
+            chain_lines.append(payload)
+        elif kind == "checkpoint":
+            checkpoints_seen += 1
+        elif kind == "commit":
+            trace.last_commit_round = int(payload.get("round", -1))
+        elif kind == "resume":
+            trace.resumes += 1
+        elif kind == "aborted":
+            trace.aborted = str(payload.get("error", ""))
+        else:
+            _skip(lineno, f"unknown record type {kind!r}")
+    trace.checkpoints = checkpoints_seen
+    trace.malformed_lines = tuple(malformed)
 
     if samples:
         samples.sort(key=lambda record: record.tick)
@@ -394,9 +605,9 @@ def read_trace(path: Union[str, Path]) -> TraceFile:
     if estimate_lines:
         trace.estimates = EstimateTrace.from_records(estimate_method, estimate_lines)
     for host_id in sorted(host_estimate_lines):
-        lines = host_estimate_lines[host_id]
-        method = lines[0].get("method", "replay")
-        trace.host_estimates[host_id] = EstimateTrace.from_records(method, lines)
+        payloads = host_estimate_lines[host_id]
+        method = payloads[0].get("method", "replay")
+        trace.host_estimates[host_id] = _host_estimate_trace(method, payloads)
     if chain_lines:
         chain_lines.sort(key=lambda payload: payload["seq"])
         # Resume the slice counter past the replayed ids so the trace can

@@ -36,9 +36,14 @@ from repro.events.registry import canonical_arch, catalog_for
 from repro.fleet.events import (
     EstimateReady,
     EventDispatcher,
+    HostQuarantined,
     SessionCompleted,
+    SliceAttemptFailed,
     SliceCompleted,
+    SliceRetried,
+    SliceSkipped,
 )
+from repro.fleet.faults import FaultPolicySpec, SliceFailed, SliceTimeout
 from repro.fleet.ingest import FleetIngest, HostChannel
 from repro.pmu.traces import EstimateTrace
 
@@ -98,6 +103,10 @@ class HostRun:
     private_engine: Optional[BayesPerfEngine] = None
     slices: int = 0
     completed: bool = False
+    #: Slices dropped by an ``on_exhausted="skip"`` fault policy.
+    skipped: int = 0
+    #: Host excised from the run by an ``on_exhausted="quarantine"`` policy.
+    quarantined: bool = False
 
 
 class InferenceWorker:
@@ -112,6 +121,8 @@ class InferenceWorker:
         share_engines: bool = True,
         engine_kwargs: Optional[Dict] = None,
         observer=None,
+        fault_policy: Optional[FaultPolicySpec] = None,
+        chaos=None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -124,6 +135,11 @@ class InferenceWorker:
         #: latency/occupancy metrics around every engine call.  ``None`` (the
         #: default) keeps the hot path untouched.
         self.observer = observer
+        #: Optional retry/timeout/quarantine policy enforced around every
+        #: solve; ``None`` (the default) keeps the hot path byte-identical.
+        self.fault_policy = fault_policy
+        #: Optional :class:`~repro.fleet.chaos.FaultInjector` (tests/demos).
+        self.chaos = chaos
         self.cache = EngineCache()
         #: Engines constructed outside the cache (per-host baseline mode).
         self.private_builds = 0
@@ -221,6 +237,7 @@ class InferenceWorker:
     def _process_batched(self, taken: Dict[str, List]) -> int:
         """One multi-record engine batch per (engine key, slot index)."""
         processed = 0
+        guarded = self.fault_policy is not None or self.chaos is not None
         by_key: Dict[EngineKey, List[str]] = {}
         for host_id in taken:
             by_key.setdefault(self._runs[host_id].key, []).append(host_id)
@@ -232,6 +249,11 @@ class InferenceWorker:
             depth = max(len(taken[host_id]) for host_id in host_ids)
             for slot in range(depth):
                 batch_hosts = [h for h in host_ids if slot < len(taken[h])]
+                if guarded:
+                    processed += self._process_slot_guarded(
+                        engine, taken, batch_hosts, slot
+                    )
+                    continue
                 items = [
                     (self._runs[h].engine_state, taken[h][slot]) for h in batch_hosts
                 ]
@@ -253,6 +275,174 @@ class InferenceWorker:
                     processed += 1
         return processed
 
+    # -- fault-policy enforcement -------------------------------------------
+
+    def _process_slot_guarded(
+        self, engine: BayesPerfEngine, taken: Dict[str, List], batch_hosts: List[str], slot: int
+    ) -> int:
+        """One slot's batch under an active fault policy / fault injector.
+
+        Hosts with a scheduled fault pending (the chaos probe) are excised
+        up front so the surviving hosts' batch solves untouched — the
+        batch's engine-key signature is not poisoned by a faulty member.
+        If the batch still raises (an *unscheduled* fault, e.g. a corrupt
+        record), every member is re-solved per-record under the policy:
+        ``B=1 == B=N`` bit-identity means the survivors' numbers are
+        unchanged and the culprit is isolated to its own retry loop.
+        """
+        processed = 0
+        live = [h for h in batch_hosts if not self._runs[h].quarantined]
+        chaos = self.chaos
+        direct = [
+            h
+            for h in live
+            if chaos is None or not chaos.pending(h, taken[h][slot].tick, 1)
+        ]
+        per_record = [h for h in live if h not in direct]
+        results = None
+        if direct:
+            items = [(self._runs[h].engine_state, taken[h][slot]) for h in direct]
+            observer = self.observer
+            try:
+                if observer is None:
+                    results = engine.process_batch(items)
+                else:
+                    with observer.span(
+                        "slice.solve", worker=self.worker_id, n_records=len(items)
+                    ):
+                        start = time.perf_counter()
+                        results = engine.process_batch(items)
+                        elapsed = time.perf_counter() - start
+                    self._observe_solve(elapsed, len(items))
+            except Exception:
+                results = None
+        if results is not None:
+            for host_id, (report, state) in zip(direct, results):
+                run = self._runs[host_id]
+                run.engine_state = state
+                self._record_slice(run, taken[host_id][slot], report)
+                processed += 1
+        else:
+            per_record = list(live)
+        for host_id in per_record:
+            run = self._runs[host_id]
+            if run.quarantined:
+                continue
+            result = self._solve_with_policy(run, engine, taken[host_id][slot])
+            if result is None:
+                continue
+            report, state = result
+            run.engine_state = state
+            self._record_slice(run, taken[host_id][slot], report)
+            processed += 1
+        return processed
+
+    def _solve_with_policy(self, run: HostRun, engine: BayesPerfEngine, record):
+        """One slice through the retry/timeout loop; ``None`` = dropped.
+
+        Every attempt solves functionally from ``run.engine_state`` (the
+        pre-attempt snapshot), so a failed or timed-out attempt never leaks
+        partial state — a retry that succeeds is bit-identical to a first
+        attempt that succeeded.  The per-slice timeout is cooperative: it is
+        checked after the solve returns (an in-process solve cannot be
+        preempted), and a flagged attempt's outputs are discarded.
+        """
+        policy = (
+            self.fault_policy
+            if self.fault_policy is not None
+            else FaultPolicySpec(max_attempts=1)
+        )
+        host = run.channel.host_id
+        observer = self.observer
+        last_error: Optional[Exception] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                start = time.perf_counter()
+                if self.chaos is not None:
+                    self.chaos.on_attempt(host, record.tick, attempt)
+                if observer is None:
+                    results = engine.process_batch([(run.engine_state, record)])
+                else:
+                    with observer.span(
+                        "slice.solve", worker=self.worker_id, n_records=1, attempt=attempt
+                    ):
+                        results = engine.process_batch([(run.engine_state, record)])
+                elapsed = time.perf_counter() - start
+                if (
+                    policy.timeout_seconds is not None
+                    and elapsed > policy.timeout_seconds
+                ):
+                    raise SliceTimeout(
+                        f"slice {host}@t{record.tick} attempt {attempt} took "
+                        f"{elapsed:.3f}s (limit {policy.timeout_seconds}s)"
+                    )
+                if observer is not None:
+                    self._observe_solve(elapsed, 1)
+                return results[0]
+            except Exception as error:
+                last_error = error
+                self.dispatcher.emit(
+                    SliceAttemptFailed(
+                        host=host,
+                        tick=record.tick,
+                        attempt=attempt,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                )
+                if observer is not None:
+                    observer.count("slice.attempt_failures")
+                if attempt < policy.max_attempts:
+                    delay = policy.backoff_delay(host, record.tick, attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+                    self.dispatcher.emit(
+                        SliceRetried(
+                            host=host,
+                            tick=record.tick,
+                            attempt=attempt + 1,
+                            delay_seconds=delay,
+                        )
+                    )
+                    if observer is not None:
+                        observer.count("slice.retries")
+        return self._exhaust(run, record, policy, last_error)
+
+    def _exhaust(
+        self, run: HostRun, record, policy: FaultPolicySpec, error: Optional[Exception]
+    ):
+        """Terminal disposition for a slice whose attempts ran out."""
+        host = run.channel.host_id
+        reason = f"{type(error).__name__}: {error}" if error is not None else "unknown"
+        if policy.on_exhausted == "skip":
+            run.skipped += 1
+            self.dispatcher.emit(
+                SliceSkipped(
+                    host=host,
+                    tick=record.tick,
+                    attempts=policy.max_attempts,
+                    error=reason,
+                )
+            )
+            if self.observer is not None:
+                self.observer.count("slice.skips")
+            return None
+        if policy.on_exhausted == "quarantine":
+            run.quarantined = True
+            run.completed = True
+            run.channel.abandon()
+            self.dispatcher.emit(
+                HostQuarantined(
+                    host=host,
+                    tick=record.tick,
+                    attempts=policy.max_attempts,
+                    error=reason,
+                )
+            )
+            if self.observer is not None:
+                self.observer.count("hosts.quarantined")
+            return None
+        raise SliceFailed(host, record.tick, policy.max_attempts, reason) from error
+
     def _observe_solve(self, elapsed: float, n_records: int) -> None:
         """Record one engine call's latency and occupancy metrics."""
         observer = self.observer
@@ -267,6 +457,22 @@ class InferenceWorker:
     def _process_serial(self, run: HostRun, records: List) -> int:
         """Per-host sequential solves (the dedicated-engine baseline)."""
         engine = self._engine_for(run)
+        if self.fault_policy is not None or self.chaos is not None:
+            # Policy enforcement needs functional per-record solves (the
+            # pre-attempt snapshot stays untouched on failure); the batched
+            # primitive with one item is bit-identical to process_record.
+            processed = 0
+            for record in records:
+                result = self._solve_with_policy(run, engine, record)
+                if result is None:
+                    if run.quarantined:
+                        break
+                    continue
+                report, state = result
+                run.engine_state = state
+                self._record_slice(run, record, report)
+                processed += 1
+            return processed
         if run.engine_state is not None:
             engine.restore(run.engine_state)
         else:
@@ -307,6 +513,8 @@ class WorkerPool:
         share_engines: bool = True,
         engine_kwargs: Optional[Dict] = None,
         observer=None,
+        fault_policy: Optional[FaultPolicySpec] = None,
+        chaos=None,
     ) -> None:
         if n_workers <= 0:
             raise ValueError("n_workers must be positive")
@@ -320,6 +528,8 @@ class WorkerPool:
                 share_engines=share_engines,
                 engine_kwargs=engine_kwargs,
                 observer=observer,
+                fault_policy=fault_policy,
+                chaos=chaos,
             )
             for worker_id in range(n_workers)
         ]
@@ -394,6 +604,19 @@ class WorkerPool:
         for worker in self.workers:
             merged.update(worker.estimates())
         return merged
+
+    def runs(self) -> Dict[str, HostRun]:
+        """Every host's run state across all workers (checkpoint/restore)."""
+        merged: Dict[str, HostRun] = {}
+        for worker in self.workers:
+            merged.update(worker._runs)
+        return merged
+
+    def quarantined_hosts(self) -> Tuple[str, ...]:
+        """Hosts excised from the run by a quarantine policy, sorted."""
+        return tuple(
+            sorted(host for host, run in self.runs().items() if run.quarantined)
+        )
 
     def cache_stats(self) -> Dict[str, int]:
         """Aggregate engine statistics across workers.

@@ -19,7 +19,9 @@ def _field_names(spec_cls):
 
 def test_api_all_is_pinned():
     assert set(api.__all__) == {
+        "CheckpointSpec",
         "EstimatorSpec",
+        "FaultPolicySpec",
         "HostSpec",
         "ObserverSpec",
         "Pipeline",
@@ -85,6 +87,25 @@ def test_run_spec_fields_are_pinned():
         "pump_records",
         "samples_per_tick",
         "engine_overrides",
+        "fault_policy",
+        "checkpoint",
+    )
+
+
+def test_checkpoint_spec_fields_are_pinned():
+    assert _field_names(api.CheckpointSpec) == ("path", "every", "fsync")
+
+
+def test_fault_policy_spec_fields_are_pinned():
+    assert _field_names(api.FaultPolicySpec) == (
+        "max_attempts",
+        "timeout_seconds",
+        "backoff_base",
+        "backoff_factor",
+        "backoff_max",
+        "jitter",
+        "seed",
+        "on_exhausted",
     )
 
 

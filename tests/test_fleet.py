@@ -248,6 +248,37 @@ def test_engine_cache_keys_on_arch_and_events():
     assert engine_key("x86", events) == engine_key("x86_64", events)
 
 
+def test_engine_cache_survives_host_quarantine():
+    """Quarantining one host must not poison its shared engine.
+
+    Hosts with the same (arch, event-set) key share one engine; the
+    quarantine path excises the host from batching, and the surviving
+    hosts' results through the shared engine stay bit-identical with a
+    fleet that never saw the faulty host's quarantine.
+    """
+    from repro.fleet.chaos import Fault, FaultInjector
+    from repro.fleet.faults import FaultPolicySpec
+
+    clean = small_fleet(n_hosts=4, n_ticks=4).run()
+    chaos = FaultInjector([Fault("raise", "host-002", 1, attempts=99)])
+    service = small_fleet(
+        n_hosts=4,
+        n_ticks=4,
+        fault_policy=FaultPolicySpec(
+            max_attempts=2, backoff_base=0.0, on_exhausted="quarantine"
+        ),
+        chaos=chaos,
+    )
+    result = service.run()
+    assert result.quarantined == ("host-002",)
+    # All four hosts share one engine key: it was built once and kept being
+    # reused by the survivors after the quarantine.
+    assert result.engine_cache["engines_built"] <= 2
+    assert result.engine_cache["hits"] >= 2
+    for host in ("host-000", "host-001", "host-003"):
+        assert result.estimates[host].values_equal(clean.estimates[host]), host
+
+
 # -- workload registry -------------------------------------------------------
 
 
