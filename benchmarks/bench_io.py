@@ -14,11 +14,30 @@ from typing import Dict
 BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_ep.json"
 
 
-def merge_bench_entries(entries: Dict, path: Path = BENCH_PATH) -> None:
-    """Merge top-level *entries* into the JSON trajectory file at *path*.
+def deep_merge(base: Dict, entries: Dict) -> Dict:
+    """Recursively merge *entries* into *base* (in place) and return it.
 
-    Existing keys owned by other benchmarks are preserved; an unreadable or
-    corrupt file is replaced rather than crashing the benchmark.
+    Nested dicts merge key-by-key; every other value type replaces.  The
+    recursion is what lets benchmarks with *different* workload metadata
+    co-own one file: a writer whose section carries its own ``workload``
+    block no longer clobbers another section's block, because only the
+    leaves it actually measured are replaced.
+    """
+    for key, value in entries.items():
+        if isinstance(value, dict) and isinstance(base.get(key), dict):
+            deep_merge(base[key], value)
+        else:
+            base[key] = value
+    return base
+
+
+def merge_bench_entries(entries: Dict, path: Path = BENCH_PATH) -> None:
+    """Deep-merge *entries* into the JSON trajectory file at *path*.
+
+    Existing keys owned by other benchmarks are preserved — including
+    nested per-section ``workload`` blocks (see :func:`deep_merge`); an
+    unreadable or corrupt file is replaced rather than crashing the
+    benchmark.
     """
     payload = {}
     if path.exists():
@@ -26,5 +45,5 @@ def merge_bench_entries(entries: Dict, path: Path = BENCH_PATH) -> None:
             payload = json.loads(path.read_text())
         except (json.JSONDecodeError, OSError):
             payload = {}
-    payload.update(entries)
+    deep_merge(payload, entries)
     path.write_text(json.dumps(payload, indent=2) + "\n")

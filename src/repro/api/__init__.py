@@ -39,6 +39,7 @@ from repro.api.spec import (
     EstimatorSpec,
     FaultPolicySpec,
     HostSpec,
+    KernelExecSpec,
     ObserverSpec,
     RecorderSpec,
     RunSpec,
@@ -49,6 +50,7 @@ __all__ = [
     "EstimatorSpec",
     "FaultPolicySpec",
     "HostSpec",
+    "KernelExecSpec",
     "ObserverSpec",
     "Pipeline",
     "PipelineResult",

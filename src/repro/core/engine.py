@@ -46,6 +46,14 @@ from repro.fg.compiled import (
     compile_factor_graph,
 )
 from repro.fg.distributions import StudentT, student_t_moment_variance
+from repro.fg.megabatch import (
+    KernelExecSpec,
+    kernel_exec_from_env,
+    bind_bucketed_observation,
+    observation_certified,
+    padding_slots,
+    run_lane_partitioned,
+)
 from repro.fg.ep import EPSite, ExpectationPropagation
 from repro.fg.factors import (
     Factor,
@@ -191,6 +199,22 @@ class BayesPerfEngine:
         Multiplier on every relation's tolerance (ablation knob).
     ep_max_iterations, ep_damping, mcmc_samples, mcmc_burn_in, seed:
         EP and MCMC controls.
+    megabatch:
+        Merge *all* eligible measured-event signatures of one
+        :meth:`process_batch` call into a single canonical full-width
+        kernel solve (:mod:`repro.fg.megabatch`): padded lanes carry exact
+        zeros so the mega-batched posteriors are bit-identical to the
+        per-signature batched ones — only the per-call dispatch overhead
+        changes.  Off by default; heterogeneous fleets turn it on via
+        ``EstimatorSpec(megabatch=True)``.
+    kernel_exec:
+        Optional :class:`~repro.fg.megabatch.KernelExecSpec` spreading the
+        batched kernel across threads (``partition="lane"`` chunks the
+        record axis inside one solve; ``partition="signature"`` runs
+        independent signature groups concurrently).  Partitions are fixed
+        functions of the workload shape, so any thread count is
+        bit-identical to ``threads=1``.  When ``None``, the
+        ``REPRO_KERNEL_THREADS`` environment variable supplies a default.
     use_compiled_kernel:
         Route compiled-estimator slices through the vectorized array path
         (:class:`~repro.fg.compiled.CompiledEPKernel` /
@@ -223,6 +247,8 @@ class BayesPerfEngine:
         observer=None,
         use_intensity_chain: bool = True,
         use_compiled_kernel: bool = True,
+        megabatch: bool = False,
+        kernel_exec: Optional[KernelExecSpec] = None,
         seed: int = 0,
     ) -> None:
         if observation_model not in ("student_t", "gaussian"):
@@ -270,6 +296,9 @@ class BayesPerfEngine:
         self._observer = observer
         self.use_intensity_chain = use_intensity_chain
         self.use_compiled_kernel = use_compiled_kernel
+        self.megabatch = megabatch
+        self.kernel_exec = kernel_exec if kernel_exec is not None else kernel_exec_from_env()
+        self._kernel_pool = None
         self._seed = seed
         self._rng = np.random.default_rng(seed)
         self.name = "bayesperf"
@@ -281,6 +310,10 @@ class BayesPerfEngine:
         self._kernel_cache: Dict[Tuple[str, ...], Optional[CompiledEPKernel]] = {}
         #: Array-native binders, cached alongside the kernels.
         self._binder_cache: Dict[Tuple[str, ...], CompiledBinder] = {}
+        #: Canonical full-width kernel + binder for the mega-batch path
+        #: (compiled lazily; ``False`` = not built yet, ``None`` = the
+        #: canonical structure does not compile).
+        self._mega_cache = False
         self.reset()
 
     # -- lifecycle ----------------------------------------------------------
@@ -660,6 +693,223 @@ class BayesPerfEngine:
             return None
         return kernel, self._binder_cache[signature]
 
+    # -- mega-batching (repro.fg.megabatch) ---------------------------------
+
+    def _megabatch_structure(self) -> Optional[Tuple[CompiledEPKernel, CompiledBinder]]:
+        """Canonical full-width kernel + binder for cross-signature solves.
+
+        Within one engine the variable set and constraint topology are
+        signature-invariant; only the observation site's width varies.  The
+        canonical structure treats *every* engine variable as observed, so
+        any signature embeds by scattering its measured lanes and padding
+        the rest with exact zeros.  Compiled once per engine, through the
+        same ``_build_factors → compile_factor_graph`` path as per-signature
+        structures, so constraint-site variable orderings match exactly.
+        """
+        if self._mega_cache is not False:
+            return self._mega_cache
+        n = len(self.events)
+        # Placeholder summaries: only the factor *types* and variable sets
+        # matter for compilation, never the values.
+        summaries = ObservationSummaries(
+            self.events, np.ones(n), np.ones(n), np.full(n, 3.0)
+        )
+        observation_factors, constraint_groups = self._build_factors(summaries)
+        site_lists = self._site_factor_lists(observation_factors, constraint_groups)
+        graph, sites = self._assemble_graph(site_lists)
+        structure = compile_factor_graph(graph, sites, variables=self.events)
+        if structure is None:
+            self._mega_cache = None
+        else:
+            kernel = CompiledEPKernel(
+                structure,
+                damping=self.ep_damping,
+                max_iterations=self.ep_max_iterations,
+            )
+            binder = self._build_binder(
+                structure, [name for name, _ in site_lists], self.events
+            )
+            self._mega_cache = (kernel, binder)
+        return self._mega_cache
+
+    def _kernel_threads(self) -> "ThreadPoolExecutor":
+        """The engine's lazily created kernel thread pool."""
+        if self._kernel_pool is None:
+            from concurrent.futures import ThreadPoolExecutor
+
+            self._kernel_pool = ThreadPoolExecutor(
+                max_workers=self.kernel_exec.threads,
+                thread_name_prefix="repro-kernel",
+            )
+        return self._kernel_pool
+
+    def _run_kernel(
+        self,
+        kernel: CompiledEPKernel,
+        stacked,
+        prior_precision: np.ndarray,
+        prior_shift: np.ndarray,
+        certified_sites: Sequence[int] = (),
+        site_index_overrides: Optional[Dict[int, np.ndarray]] = None,
+        repair_groups: Optional[Sequence[np.ndarray]] = None,
+    ):
+        """``run_stacked`` with the engine's thread partition applied.
+
+        Lane partitioning chunks the batch axis across the thread pool;
+        the PD repair is hoisted ahead of the split and every remaining
+        kernel op is per-record, so the result is bit-identical to the
+        serial call for any thread count.
+        """
+        spec = self.kernel_exec
+        batch = prior_shift.shape[0]
+        if (
+            spec is None
+            or spec.threads <= 1
+            or spec.partition != "lane"
+            or batch < spec.threads
+        ):
+            return kernel.run_stacked(
+                stacked, prior_precision, prior_shift, certified_sites,
+                site_index_overrides, repair_groups,
+            )
+        return run_lane_partitioned(
+            kernel,
+            stacked,
+            prior_precision,
+            prior_shift,
+            certified_sites,
+            self._kernel_threads(),
+            spec.threads,
+            site_index_overrides,
+            repair_groups,
+        )
+
+    def _megabatch_eligible(
+        self, groups: Dict[Tuple[str, ...], List[int]], prepared: List[_PreparedSlice]
+    ) -> List[Tuple[str, ...]]:
+        """Signatures of this batch that may merge into one canonical solve.
+
+        A group qualifies when it measured at least one event and every
+        record's projected observation precision is finite and strictly
+        positive — the condition under which skipping the canonical
+        observation site's PD probe is bit-identical to the per-signature
+        probe (see :func:`repro.fg.megabatch.observation_certified`).
+        Merging only ever pays off across *multiple* signatures, so a
+        homogeneous batch keeps the plain per-signature path untouched.
+        Whether an estimator's batched path supports merging at all is the
+        registry's call (``EstimatorEntry.megabatch``).
+        """
+        if (
+            not self.megabatch
+            or not self._estimator.megabatch
+            or len(groups) < 2
+            or self._megabatch_structure() is None
+        ):
+            return []
+        eligible = [
+            signature
+            for signature, indices in groups.items()
+            if signature
+            and all(
+                observation_certified(prepared[index].obs_variance)
+                for index in indices
+            )
+        ]
+        return eligible if len(eligible) >= 2 else []
+
+    def _solve_megabatch(
+        self,
+        groups: List[Tuple[Tuple[str, ...], List[_PreparedSlice]]],
+    ) -> List[Tuple[Mapping[str, float], Mapping[str, float], int, bool]]:
+        """Solve several signature groups in one canonical kernel call.
+
+        Records are laid out group-contiguously in one bucketed
+        structure-of-arrays layout: the observation site is padded to the
+        round's widest signature, populated lanes carry the exact floats
+        the per-signature binder would produce, padded lanes carry exact
+        zeros scattered onto unmeasured slots via the per-record slot
+        table — so the merged solve reproduces every per-signature solve
+        bit for bit.  The kernel's PD repair re-probes at the original
+        group granularity (``repair_groups``): the Cholesky probe is
+        all-or-nothing per call, so merging must not let one group's
+        indefinite block change another group's repair.  Returns results
+        in the flattened (group-major) record order.
+        """
+        kernel, binder = self._megabatch_structure()
+        flat = [p for _, members in groups for p in members]
+        batch, n = len(flat), len(self.events)
+        obs_site = binder.observation.site
+        observer = self._observer
+        with (
+            observer.span("kernel.megabind", batch=batch, signatures=len(groups))
+            if observer is not None
+            else nullcontext()
+        ):
+            width = max(len(signature) for signature, _ in groups)
+            blocks = []
+            row = 0
+            for signature, members in groups:
+                rows = np.arange(row, row + len(members))
+                slots = np.array(
+                    [self._event_slot[event] for event in signature], dtype=np.intp
+                )
+                blocks.append(
+                    (
+                        rows,
+                        slots,
+                        padding_slots(width, slots, n),
+                        np.stack([p.obs_mean for p in members]),
+                        np.stack([p.obs_variance for p in members]),
+                    )
+                )
+                row += len(members)
+            obs_block = bind_bucketed_observation(width, batch, blocks)
+            slot_table = obs_block[2]
+            scales = np.stack([p.scales_vec for p in flat])
+            stacked: List[Tuple[np.ndarray, np.ndarray]] = [None] * len(  # type: ignore[list-item]
+                binder.structure.sites
+            )
+            stacked[obs_site] = obs_block[:2]
+            for constraint in binder.constraints:
+                site = binder.structure.sites[constraint.site]
+                stacked[constraint.site] = constraint.bind(scales[:, site.index])
+
+            prior_mean = np.stack([p.prior_mean_vec for p in flat])
+            prior_var = np.stack([p.prior_var_vec for p in flat])
+            prior_precision = np.zeros((batch, n, n))
+            diagonal = np.arange(n)
+            prior_precision[:, diagonal, diagonal] = 1.0 / prior_var
+            prior_shift = prior_mean / prior_var
+
+        with (
+            observer.span("kernel.solve", batch=batch, estimator="megabatch")
+            if observer is not None
+            else nullcontext()
+        ):
+            result = self._run_kernel(
+                kernel,
+                stacked,
+                prior_precision,
+                prior_shift,
+                certified_sites=(obs_site,),
+                site_index_overrides={obs_site: slot_table},
+                repair_groups=[block[0] for block in blocks],
+            )
+        # ``tolist()`` yields the same binary64 values ``float(...)`` would;
+        # bulk extraction just skips the per-element numpy scalar round trip.
+        names = result.variables
+        means = result.means.tolist()
+        variances = result.variances.tolist()
+        return [
+            (
+                dict(zip(names, means[b])),
+                dict(zip(names, variances[b])),
+                int(result.iterations[b]),
+                bool(result.converged[b]),
+            )
+            for b in range(batch)
+        ]
+
     def _solve_reference(
         self,
         site_lists: List[Tuple[str, List[Factor]]],
@@ -824,7 +1074,7 @@ class BayesPerfEngine:
         """Route one bound group to its estimator's batched solve."""
         batch = prior_shift.shape[0]
         if self.moment_estimator == "analytic":
-            result = kernel.run_stacked(stacked, prior_precision, prior_shift)
+            result = self._run_kernel(kernel, stacked, prior_precision, prior_shift)
             return [
                 (
                     result.mean_dict(b),
@@ -1018,7 +1268,43 @@ class BayesPerfEngine:
         for index, slice_ in enumerate(prepared):
             groups.setdefault(slice_.measured, []).append(index)
 
-        for signature, indices in groups.items():
+        # Cross-signature mega-batching: merge every eligible signature
+        # group into one canonical full-width solve (bit-identical to the
+        # per-signature solves below — padded lanes are exact no-ops).
+        mega_signatures = self._megabatch_eligible(groups, prepared)
+        if mega_signatures:
+            observer = self._observer
+            if observer is not None:
+                observer.count("kernel.megabatch.rounds")
+                observer.count("kernel.megabatch.signatures", len(mega_signatures))
+            merged = [
+                (signature, [prepared[index] for index in groups[signature]])
+                for signature in mega_signatures
+            ]
+            solved = self._solve_megabatch(merged)
+            position = 0
+            for signature in mega_signatures:
+                for index in groups[signature]:
+                    means, variances, iterations, converged = solved[position]
+                    outputs[index] = self._finalize(
+                        prepared[index], means, variances, iterations, converged
+                    )
+                    position += 1
+            merged_set = set(mega_signatures)
+            remaining = {
+                signature: indices
+                for signature, indices in groups.items()
+                if signature not in merged_set
+            }
+        else:
+            remaining = groups
+
+        # Per-signature groups: compile/lookup sequentially (the caches are
+        # engine state), then solve — concurrently across groups under
+        # ``KernelExecSpec(partition="signature")``, in which case results
+        # are still recorded in the deterministic group order after the join.
+        jobs: List[Tuple[List[int], CompiledEPKernel, CompiledBinder]] = []
+        for signature, indices in remaining.items():
             first = prepared[indices[0]]
             if not (first.measured or self._has_sites):
                 for index in indices:
@@ -1033,9 +1319,38 @@ class BayesPerfEngine:
                     outputs[index] = (self.process_record(slice_.record), self.snapshot())
                 continue
             kernel, binder = compiled
-            solved = self._solve_group_arrays(
-                [prepared[index] for index in indices], kernel, binder
-            )
+            jobs.append((indices, kernel, binder))
+
+        spec = self.kernel_exec
+        parallel_groups = (
+            spec is not None
+            and spec.threads > 1
+            and spec.partition == "signature"
+            and len(jobs) > 1
+            and self._estimator.megabatch
+            and self._observer is None
+            and self.chain_recorder is None
+        )
+        if parallel_groups:
+            pool = self._kernel_threads()
+            futures = [
+                pool.submit(
+                    self._solve_group_arrays,
+                    [prepared[index] for index in indices],
+                    kernel,
+                    binder,
+                )
+                for indices, kernel, binder in jobs
+            ]
+            solved_jobs = [future.result() for future in futures]
+        else:
+            solved_jobs = [
+                self._solve_group_arrays(
+                    [prepared[index] for index in indices], kernel, binder
+                )
+                for indices, kernel, binder in jobs
+            ]
+        for (indices, _, _), solved in zip(jobs, solved_jobs):
             for position, index in enumerate(indices):
                 means, variances, iterations, converged = solved[position]
                 outputs[index] = self._finalize(

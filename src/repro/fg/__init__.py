@@ -10,6 +10,9 @@ This package implements the machinery behind the BayesPerf ML model (§4):
   estimation per site,
 * a compiled, vectorized EP kernel (index-compiled graph structures,
   Cholesky-based updates, batched multi-record solves),
+* cross-signature mega-batching and multicore kernel execution
+  (:mod:`repro.fg.megabatch`: canonical padded shapes whose padded lanes
+  are exact no-ops, plus deterministic lane/signature thread partitions),
 * a moment-estimator registry (:mod:`repro.fg.registry`) the samplers and
   their reference twins self-register into — every front door
   (engine, sessions, fleet CLI, :mod:`repro.api`) resolves estimator names
@@ -65,6 +68,16 @@ from repro.fg.compiled import (
     compile_factor_graph,
     site_factor_lists,
 )
+from repro.fg.megabatch import (
+    KernelExecSpec,
+    bind_bucketed_observation,
+    concat_results,
+    kernel_exec_from_env,
+    lane_chunks,
+    observation_certified,
+    padding_slots,
+    run_lane_partitioned,
+)
 from repro.fg.mle import credible_interval, map_estimate
 
 __all__ = [
@@ -81,6 +94,14 @@ __all__ = [
     "CompiledEPResult",
     "CompiledGraph",
     "ConstraintSiteBinder",
+    "KernelExecSpec",
+    "bind_bucketed_observation",
+    "concat_results",
+    "kernel_exec_from_env",
+    "lane_chunks",
+    "observation_certified",
+    "padding_slots",
+    "run_lane_partitioned",
     "MCMCMoments",
     "ObservationSiteBinder",
     "ReferenceMCMC",

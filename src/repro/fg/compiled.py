@@ -53,7 +53,7 @@ this.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -416,6 +416,7 @@ class CompiledEPResult:
     "analytic",
     compiled_path=True,
     default_adapt=False,
+    megabatch=True,
     description="exact Gaussian tilted-moment projections on the compiled kernel",
 )
 class CompiledEPKernel:
@@ -448,7 +449,10 @@ class CompiledEPKernel:
     # -- site targets -----------------------------------------------------
 
     def _repaired_targets(
-        self, stacked: Sequence[Tuple[np.ndarray, np.ndarray]]
+        self,
+        stacked: Sequence[Tuple[np.ndarray, np.ndarray]],
+        certified_sites: Sequence[int] = (),
+        repair_groups: Optional[Sequence[np.ndarray]] = None,
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
         """PD-repair every site's factor-block precision (Cholesky first).
 
@@ -457,19 +461,67 @@ class CompiledEPKernel:
         successful Cholesky factorisation certifies PD without the
         eigendecomposition; on failure the eigenvalue repair runs per
         record, so mixed batches behave exactly like the reference.
+
+        ``certified_sites`` names site indices whose blocks the caller has
+        already certified PD-on-the-populated-lanes (the mega-batch path's
+        padded observation site: a diagonal block whose measured lanes are
+        strictly positive and whose padded lanes are exactly zero).  Such a
+        block would fail the full-width Cholesky probe even though every
+        populated lane is fine, and the eigenvalue repair would bump *all*
+        lanes — so certified sites pass through untouched, exactly as the
+        per-signature (unpadded) stack would have.
+
+        ``repair_groups`` partitions the batch axis into the record-index
+        groups that would each have been one ``run_stacked`` call on their
+        own (the mega-batch path's merged signature groups).  The probe is
+        all-or-nothing *per call*: one failing record sends every record in
+        its call through the eigenvalue repair, and the repair can bump a
+        Cholesky-healthy record whose smallest eigenvalue rounds to ``<= 0``.
+        Repair outcomes therefore depend on how records are grouped into
+        calls — so a merged batch must re-run the probe at the original
+        group granularity to stay bit-identical to the per-signature calls
+        it replaces.  A full-batch Cholesky success short-circuits (every
+        subset of a PD stack is PD); only on failure does the per-group
+        probe run.
         """
+        certified = frozenset(certified_sites)
         repaired: List[Tuple[np.ndarray, np.ndarray]] = []
         for k, (precision, shift) in enumerate(stacked):
+            if k in certified:
+                repaired.append((precision, shift))
+                continue
             try:
                 np.linalg.cholesky(precision)
                 repaired.append((precision, shift))
                 continue
             except np.linalg.LinAlgError:
                 pass
-            symmetric = 0.5 * (precision + np.swapaxes(precision, -1, -2))
-            smallest = np.linalg.eigvalsh(symmetric)[..., 0]
-            bump = np.where(smallest <= 0, np.abs(smallest) + 1e-9, 0.0)
-            repaired.append((precision + bump[:, None, None] * self._site_eyes[k], shift))
+            if repair_groups is None:
+                symmetric = 0.5 * (precision + np.swapaxes(precision, -1, -2))
+                smallest = np.linalg.eigvalsh(symmetric)[..., 0]
+                bump = np.where(smallest <= 0, np.abs(smallest) + 1e-9, 0.0)
+                repaired.append(
+                    (precision + bump[:, None, None] * self._site_eyes[k], shift)
+                )
+                continue
+            out = precision.copy()
+            failing: List[np.ndarray] = []
+            for rows in repair_groups:
+                try:
+                    np.linalg.cholesky(precision[rows])
+                except np.linalg.LinAlgError:
+                    failing.append(rows)
+            if failing:
+                # One batched eigendecomposition over every failing group:
+                # the gufunc factorises each matrix independently, so this
+                # is bit-identical to repairing group by group.
+                rows = np.concatenate(failing)
+                block = precision[rows]
+                symmetric = 0.5 * (block + np.swapaxes(block, -1, -2))
+                smallest = np.linalg.eigvalsh(symmetric)[..., 0]
+                bump = np.where(smallest <= 0, np.abs(smallest) + 1e-9, 0.0)
+                out[rows] = block + bump[:, None, None] * self._site_eyes[k]
+            repaired.append((out, shift))
         return repaired
 
     # -- main entry points -------------------------------------------------
@@ -510,6 +562,9 @@ class CompiledEPKernel:
         stacked: Sequence[Tuple[np.ndarray, np.ndarray]],
         prior_precision: np.ndarray,
         prior_shift: np.ndarray,
+        certified_sites: Sequence[int] = (),
+        site_index_overrides: Optional[Mapping[int, np.ndarray]] = None,
+        repair_groups: Optional[Sequence[np.ndarray]] = None,
     ) -> CompiledEPResult:
         """Solve a batch given already-stacked site blocks and priors.
 
@@ -518,6 +573,19 @@ class CompiledEPKernel:
         and ``prior_shift`` are the ``(B, n, n)`` / ``(B, n)`` proper
         Gaussian priors in the structure's variable ordering.  This is the
         array-native hot entry — :meth:`run` is the object-level wrapper.
+        ``certified_sites`` is forwarded to the PD repair (see
+        :meth:`_repaired_targets`); padded mega-batch observation sites use
+        it to keep padded lanes exact no-ops.
+
+        ``site_index_overrides`` maps a site position to a per-record
+        ``(B, w)`` global-slot table replacing that site's compiled
+        ``index`` — the mega-batch path's bucketed observation site, where
+        each record scatters its own measured lanes.  Every record's slots
+        must be distinct (the scatter uses buffered fancy indexing); the
+        block width ``w`` may differ from the compiled site's width, since
+        a certified overridden site touches no other per-site structure.
+        ``repair_groups`` makes the PD repair probe at the original
+        per-signature call granularity (see :meth:`_repaired_targets`).
         """
         sites = self.structure.sites
         if len(stacked) != len(sites):
@@ -526,10 +594,11 @@ class CompiledEPKernel:
             )
         batch = prior_shift.shape[0]
         variables = self.structure.variables
+        overrides: Mapping[int, np.ndarray] = site_index_overrides or {}
 
         # PD-repair the site targets once: anchor-free factors make the site
         # target iteration-invariant (see module docstring).
-        targets = self._repaired_targets(stacked)
+        targets = self._repaired_targets(stacked, certified_sites, repair_groups)
 
         # Preallocated state buffers.
         global_precision = prior_precision.copy()
@@ -542,6 +611,18 @@ class CompiledEPKernel:
         converged = np.zeros(batch, dtype=bool)
         iterations = np.zeros(batch, dtype=np.intp)
         max_delta = np.full(batch, np.inf)
+
+        # Hoist the per-record scatter indices for overridden sites: they
+        # are iteration-invariant, and broadcasting them once keeps the
+        # inner loop allocation-free on the index side.
+        override_index = {
+            k: (
+                np.arange(batch)[:, None, None],
+                table[:, :, None],
+                table[:, None, :],
+            )
+            for k, table in overrides.items()
+        }
 
         for iteration in range(1, self.max_iterations + 1):
             iteration_delta = np.zeros(batch)
@@ -571,10 +652,20 @@ class CompiledEPKernel:
                 diff_shift = np.where(active[:, None], damped_shift - old_shift, 0.0)
                 site_precision[k] = old_precision + diff_precision
                 site_shift[k] = old_shift + diff_shift
-                rows = site.index[:, None]
-                cols = site.index[None, :]
-                global_precision[:, rows, cols] += diff_precision
-                global_shift[:, site.index] += diff_shift
+                override = overrides.get(k)
+                if override is None:
+                    rows = site.index[:, None]
+                    cols = site.index[None, :]
+                    global_precision[:, rows, cols] += diff_precision
+                    global_shift[:, site.index] += diff_shift
+                else:
+                    # Per-record slot tables: each record's block scatters
+                    # onto its own global entries.  Slots are distinct
+                    # within every record, so the buffered ``+=`` loses no
+                    # contribution.
+                    records, table_rows, table_cols = override_index[k]
+                    global_precision[records, table_rows, table_cols] += diff_precision
+                    global_shift[records[:, :, 0], override] += diff_shift
 
             iterations = np.where(active, iteration, iterations)
             max_delta = np.where(active, iteration_delta, max_delta)

@@ -47,6 +47,11 @@ class EstimatorEntry:
     #: Default for burn-in proposal-scale adaptation when the engine's
     #: ``mcmc_adapt`` is left unset.
     default_adapt: bool = False
+    #: Supports cross-signature mega-batched solves
+    #: (:mod:`repro.fg.megabatch`): the estimator's batched path is a pure
+    #: function of the stacked site arrays, so padded no-op lanes embed a
+    #: heterogeneous round into one canonical kernel call.
+    megabatch: bool = False
     description: str = ""
     #: Array-native implementation class (``None`` for the analytic
     #: estimator, whose batched path is the compiled kernel itself).
@@ -63,6 +68,7 @@ def register_estimator(
     *,
     compiled_path: bool = True,
     default_adapt: bool = False,
+    megabatch: bool = False,
     description: str = "",
 ):
     """Class decorator registering *name* with the decorated implementation.
@@ -80,6 +86,7 @@ def register_estimator(
             _ESTIMATORS[name] = entry
         entry.compiled_path = compiled_path
         entry.default_adapt = default_adapt
+        entry.megabatch = megabatch
         entry.description = description
         entry.batched = cls
         return cls

@@ -13,6 +13,8 @@ batched MCMC — must agree within 1e-6, and the array-native binding/summary
 code paths must be bit-identical between B=1 and B=N.
 """
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -44,6 +46,9 @@ from repro.fg import (
 )
 from repro.fg.ep import EPSite
 from repro.fg.mcmc import RandomWalkMetropolis
+from repro.fg.megabatch import KernelExecSpec
+from repro.fleet.service import FleetService
+from repro.fleet.tracefile import read_trace
 from repro.pmu.sampling import MultiplexedSampler
 from repro.scheduling.cache import cached_schedule
 from repro.uarch.machine import Machine, MachineConfig
@@ -609,3 +614,138 @@ class TestReferenceMCMCSeedHandling:
         prior = GaussianDensity.diagonal({"a": 0.0}, {"a": 1.0})
         with pytest.raises(ValueError, match="anchor-free"):
             ReferenceMCMC([Anchored("obs", "a", 0.0, 1.0)], prior)
+
+
+#: Committed golden traces.  The homogeneous one (a single-host session
+#: recording, pinned in ``test_fleet.py``) replays here under the mega-batch
+#: engine; the heterogeneous one is a 32-host mixed-signature fleet run log
+#: (version-3 host-keyed estimates) whose generation recipe is re-executed
+#: below and compared host-by-host.
+GOLDEN_TRACE = Path(__file__).parent / "fixtures" / "golden_fleet_trace.jsonl"
+GOLDEN_HETERO_TRACE = Path(__file__).parent / "fixtures" / "golden_hetero_trace.jsonl"
+
+
+class TestGoldenHeteroFleet:
+    """Replay pin for the committed heterogeneous 32-host fleet run log.
+
+    Host ``h`` monitors a seeded random subset (4-12 events) of the
+    12-event x86 profiling union, phase-shifted ``h mod R`` into its
+    schedule rotation, so one fleet round spans ~37 distinct measured-event
+    signatures.  The fixture stores every host's per-tick estimates from
+    the default (per-signature batched) engine; re-running the recipe must
+    reproduce them, and the mega-batched / thread-partitioned paths must
+    match the default path **exactly** on the same fleet.
+
+    Comparison against the committed file uses the same 1e-9 relative
+    tolerance as the homogeneous golden pin (exact float equality would be
+    BLAS/CPU-build dependent across CI runners); within-run cross-path
+    comparisons stay exact.
+    """
+
+    N_HOSTS = 32
+    TICKS = 2
+    SEED_BASE = 2000
+
+    @pytest.fixture(scope="class")
+    def fleet(self):
+        catalog = catalog_for("x86")
+        union = standard_profiling_events(catalog, n_events=12)
+        spec = get_workload("steady")
+        hosts = []
+        for host in range(self.N_HOSTS):
+            rng = np.random.default_rng(self.SEED_BASE + host)
+            size = int(rng.integers(4, 13))
+            subset = tuple(
+                union[i]
+                for i in sorted(rng.choice(len(union), size=size, replace=False))
+            )
+            schedule = cached_schedule(catalog, subset)
+            offset = host % len(schedule.configurations)
+            trace = Machine(MachineConfig(), spec, seed=host).run(offset + self.TICKS)
+            sampled = MultiplexedSampler(
+                catalog, schedule, seed=host + 1, samples_per_tick=4
+            )
+            hosts.append(sampled.sample(trace).records[offset : offset + self.TICKS])
+        return catalog, union, hosts
+
+    def _run_fleet(self, catalog, union, hosts, **engine_kwargs):
+        """One fleet round per tick through ``process_batch`` (the recipe)."""
+        engine = BayesPerfEngine(catalog, union, **engine_kwargs)
+        states = [None] * len(hosts)
+        outputs = [[] for _ in hosts]
+        for tick in range(self.TICKS):
+            items = [(states[h], records[tick]) for h, records in enumerate(hosts)]
+            for h, (report, state) in enumerate(engine.process_batch(items)):
+                states[h] = state
+                outputs[h].append((report.means(), report.stds()))
+        return outputs
+
+    def test_fixture_is_a_mixed_signature_fleet(self, fleet):
+        """The fixture covers what it claims: 32 hosts, many signatures."""
+        _, _, hosts = fleet
+        golden = read_trace(GOLDEN_HETERO_TRACE)
+        assert len(golden.host_estimates) == self.N_HOSTS
+        assert all(len(t) == self.TICKS for t in golden.host_estimates.values())
+        signatures = {
+            tuple(sorted(record.samples)) for records in hosts for record in records
+        }
+        assert len(signatures) == golden.metadata["distinct_signatures"] > 30
+
+    def test_replay_reproduces_committed_estimates(self, fleet):
+        """Re-running the recorded recipe reproduces every host's estimates."""
+        catalog, union, hosts = fleet
+        golden = read_trace(GOLDEN_HETERO_TRACE)
+        outputs = self._run_fleet(catalog, union, hosts)
+        for h, per_tick in enumerate(outputs):
+            want = golden.host_estimates[f"h{h:02d}"]
+            for tick, (means, stds) in enumerate(per_tick):
+                stored = want.at(tick)
+                assert stored.keys() == means.keys()
+                for event, value in stored.items():
+                    assert means[event] == pytest.approx(value, rel=1e-9)
+                sigma = want.uncertainties[tick]
+                for event, value in sigma.items():
+                    assert stds[event] == pytest.approx(value, rel=1e-9)
+        # Spot-pin one value so a wholesale fixture rewrite is also caught.
+        assert golden.host_estimates["h00"].at(0)[
+            "BR_INST_RETIRED.ALL_BRANCHES"
+        ] == pytest.approx(331128.2579, abs=1e-3)
+
+    def test_megabatch_and_partitioned_paths_match_exactly(self, fleet):
+        """Mega-batched and thread-partitioned engines equal the default
+        per-signature path bit-for-bit on the golden fleet (and therefore
+        pin against the fixture transitively)."""
+        catalog, union, hosts = fleet
+        baseline = self._run_fleet(catalog, union, hosts)
+        assert baseline == self._run_fleet(catalog, union, hosts, megabatch=True)
+        assert baseline == self._run_fleet(
+            catalog,
+            union,
+            hosts,
+            megabatch=True,
+            kernel_exec=KernelExecSpec(threads=4, partition="lane"),
+        )
+        assert baseline == self._run_fleet(
+            catalog,
+            union,
+            hosts,
+            kernel_exec=KernelExecSpec(threads=4, partition="signature"),
+        )
+
+    def test_homogeneous_golden_replays_under_megabatch_engine(self):
+        """The pre-existing single-host golden fixture, replayed through a
+        mega-batch-enabled fleet service, still reproduces its committed
+        estimates — the merge path degrades to a single-signature batch."""
+        golden = read_trace(GOLDEN_TRACE)
+        service = FleetService(
+            golden.arch, n_workers=2, engine_kwargs={"megabatch": True}
+        )
+        host = service.add_trace(GOLDEN_TRACE)
+        result = service.run()
+        got, want = result.estimates[host], golden.estimates
+        assert len(got) == len(want)
+        for tick in range(len(want)):
+            got_values, want_values = got.at(tick), want.at(tick)
+            assert got_values.keys() == want_values.keys()
+            for event, value in want_values.items():
+                assert got_values[event] == pytest.approx(value, rel=1e-9)
