@@ -1,0 +1,118 @@
+"""Benchmark: scenario-grid pipeline throughput and comparison accuracy.
+
+Runs one grid cell per scheduling policy — the same small KMeans fleet
+multiplexed under the paper's overlap-aware scheduler and under round-robin
+(the Linux perf behaviour) — through the spec-driven pipeline with the
+``linux`` scaling baseline in ``RunSpec.baselines``.  Two things land in
+``BENCH_ep.json`` under a ``scenario_grid`` section:
+
+* ``slices_per_second`` per policy — the full pipeline including the
+  comparison stage (ground-truth reconstruction + baseline correction), so
+  a regression in the comparison layer shows up in the gated throughput.
+* fleet-mean error per method per policy — metadata, not gated; it
+  documents the accuracy ordering (BayesPerf well under the scaling
+  baseline in every cell) the grid exists to demonstrate.
+"""
+
+import time
+
+import pytest
+
+from bench_io import merge_bench_entries
+from repro.api import EstimatorSpec, Pipeline, RunSpec, SchedulerSpec
+
+N_HOSTS = 2
+TICKS = 24
+POLICIES = ("overlap", "round-robin")
+BASELINES = ("linux",)
+ROUNDS = 2  # initial timed rounds per policy; best-of is reported
+MAX_ROUNDS = 5
+
+
+def _grid_spec(policy):
+    return RunSpec.fleet(
+        N_HOSTS,
+        "KMeans",
+        n_ticks=TICKS,
+        estimator=EstimatorSpec("analytic"),
+        scheduler=SchedulerSpec(policy=policy),
+        baselines=BASELINES,
+        n_workers=2,
+    )
+
+
+def _run_cell(policy):
+    start = time.perf_counter()
+    result = Pipeline.from_spec(_grid_spec(policy)).run()
+    return time.perf_counter() - start, result
+
+
+@pytest.mark.benchmark(group="scenario-grid")
+def test_bench_scenario_grid(benchmark):
+    total_slices = N_HOSTS * TICKS
+    timings = {policy: [] for policy in POLICIES}
+    reports = {}
+
+    def compare():
+        rounds = ROUNDS
+        while True:
+            for policy in POLICIES:
+                elapsed, result = _run_cell(policy)
+                timings[policy].append(elapsed)
+                reports[policy] = result.comparison
+            if len(timings[POLICIES[0]]) >= rounds:
+                # Escalate only while timings straddle a 2x spread (noisy box).
+                spreads = [
+                    max(timings[p]) / min(timings[p]) for p in POLICIES
+                ]
+                if max(spreads) < 2.0 or len(timings[POLICIES[0]]) >= MAX_ROUNDS:
+                    return timings
+                rounds += 1
+
+    benchmark.pedantic(compare, iterations=1, rounds=1)
+
+    throughput = {
+        policy: total_slices / min(timings[policy]) for policy in POLICIES
+    }
+    errors = {
+        policy: {
+            method: round(reports[policy].mean_error_percent(method), 2)
+            for method in reports[policy].methods
+        }
+        for policy in POLICIES
+    }
+
+    print(f"\nscenario grid — {N_HOSTS} hosts x {TICKS} ticks, baselines={BASELINES}")
+    for policy in POLICIES:
+        print(
+            f"  {policy:12s}: {throughput[policy]:7.1f} slices/s, "
+            f"errors {errors[policy]}"
+        )
+
+    merge_bench_entries(
+        {
+            "scenario_grid": {
+                "benchmark": "scenario-grid",
+                "workload": {
+                    "arch": "x86",
+                    "n_hosts": N_HOSTS,
+                    "ticks_per_host": TICKS,
+                    "workload": "KMeans",
+                    "baselines": list(BASELINES),
+                },
+                "slices_per_second": {
+                    policy: round(throughput[policy], 2) for policy in POLICIES
+                },
+                "fleet_mean_error_percent": errors,
+                "rounds": {policy: len(timings[policy]) for policy in POLICIES},
+            }
+        }
+    )
+
+    # The grid's raison d'être: the engine beats the scaling baseline in
+    # every cell, under both multiplexing policies.
+    for policy in POLICIES:
+        assert errors[policy]["bayesperf"] < errors[policy]["linux"], (
+            f"BayesPerf did not beat the linux baseline under {policy}: "
+            f"{errors[policy]}"
+        )

@@ -1,0 +1,53 @@
+"""Scenario grid demo: BayesPerf vs baselines across scheduling policies.
+
+Runs one small grid cell per scheduling policy: the same two-host KMeans
+fleet is multiplexed under the paper's overlap-aware scheduler and under
+plain round-robin (the Linux perf behaviour), and in each cell the engine's
+estimates are scored against the Linux ``t_enabled/t_running`` scaling
+baseline on the host's noise-free ground truth.  Everything is selected
+through frozen specs — ``SchedulerSpec`` picks the multiplexing policy,
+``RunSpec.baselines`` names the comparison methods — so the grid is just a
+loop over ``RunSpec`` values; no estimator or fleet internals are touched.
+
+See docs/scenario-grid.md for how to read the tables and how to add a
+baseline to the registry.
+
+Run with:  python examples/scenario_grid.py
+"""
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.api import EstimatorSpec, Pipeline, RunSpec, SchedulerSpec
+
+N_HOSTS = 2
+TICKS = 24
+POLICIES = ("overlap", "round-robin")
+BASELINES = ("linux",)
+
+
+def main() -> None:
+    for policy in POLICIES:
+        spec = RunSpec.fleet(
+            N_HOSTS,
+            "KMeans",
+            n_ticks=TICKS,
+            estimator=EstimatorSpec("analytic"),
+            scheduler=SchedulerSpec(policy=policy),
+            baselines=BASELINES,
+            n_workers=2,
+        )
+        result = Pipeline.from_spec(spec).run()
+        report = result.comparison
+        print(f"\n=== scheduler={policy} ===")
+        print(report.render())
+    print(
+        "\nLower is better; 'bayesperf err%' is the engine, the other columns"
+        "\nare the registered baseline correction methods on the same samples."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -31,11 +31,19 @@ run with frozen specs, then execute it::
   enforcement, and :class:`CheckpointSpec` opts the run into durable
   write-ahead logging — a killed run resumes from its log with
   ``Pipeline.resume(path)`` to bit-identical final estimates.
+* The scenario grid (``docs/scenario-grid.md``): :class:`SchedulerSpec`
+  selects the multiplexing policy, :class:`ContentionSpec` throttles
+  synthetic workloads with PCIe contention, and ``RunSpec.baselines``
+  fans the same sampled streams through registered baseline correction
+  methods — the run's :class:`ComparisonReport` scores BayesPerf against
+  each of them on reconstructed ground truth.
 """
 
+from repro.api.comparison import ComparisonReport, HostComparison, baseline_names
 from repro.api.pipeline import Pipeline, PipelineResult, SliceResult
 from repro.api.spec import (
     CheckpointSpec,
+    ContentionSpec,
     EstimatorSpec,
     FaultPolicySpec,
     HostSpec,
@@ -43,12 +51,16 @@ from repro.api.spec import (
     ObserverSpec,
     RecorderSpec,
     RunSpec,
+    SchedulerSpec,
 )
 
 __all__ = [
     "CheckpointSpec",
+    "ComparisonReport",
+    "ContentionSpec",
     "EstimatorSpec",
     "FaultPolicySpec",
+    "HostComparison",
     "HostSpec",
     "KernelExecSpec",
     "ObserverSpec",
@@ -56,5 +68,7 @@ __all__ = [
     "PipelineResult",
     "RecorderSpec",
     "RunSpec",
+    "SchedulerSpec",
     "SliceResult",
+    "baseline_names",
 ]

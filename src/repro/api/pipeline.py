@@ -24,7 +24,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Union
 
 from repro.api.spec import CheckpointSpec, RunSpec
 from repro.fleet.events import ChainHealthFlagged, CheckpointWritten
@@ -40,6 +40,9 @@ from repro.fleet.wal import (
 from repro.fg.mcmc import ChainTrace
 from repro.obs.mixing import MixingAccumulator, MixingReport
 from repro.pmu.traces import EstimateTrace
+
+if TYPE_CHECKING:
+    from repro.api.comparison import ComparisonReport
 
 __all__ = ["Pipeline", "PipelineResult", "SliceResult"]
 
@@ -75,6 +78,11 @@ class PipelineResult:
     chain_path: Optional[str] = None
     #: End-of-run chain-health analysis (when an observer ran with chains).
     mixing: Optional[MixingReport] = None
+    #: BayesPerf-vs-baseline scoring (when ``RunSpec.baselines`` is set).
+    comparison: Optional["ComparisonReport"] = None
+    #: JSONL file the comparison was exported to (when a recorder sink
+    #: anchors the run's tracefile records; ``<sink>.comparison.jsonl``).
+    comparison_path: Optional[str] = None
 
     @property
     def estimates(self) -> Dict[str, EstimateTrace]:
@@ -124,6 +132,23 @@ class Pipeline:
         """
         if not spec.hosts:
             raise ValueError("RunSpec needs at least one HostSpec in hosts")
+        contended = None
+        if spec.contention is not None:
+            from repro.workloads import contended_workload, get_workload
+
+            def contended(name: str):
+                workload = get_workload(name)
+                if not hasattr(workload, "phases"):
+                    raise ValueError(
+                        f"ContentionSpec cannot throttle non-synthetic "
+                        f"workload {name!r}"
+                    )
+                return contended_workload(
+                    workload,
+                    background=spec.contention.background,
+                    size_mb=spec.contention.size_mb,
+                )
+
         service = FleetService(
             spec.arch,
             metrics=spec.metrics,
@@ -147,13 +172,26 @@ class Pipeline:
                 )
             else:
                 service.add_host(
-                    host.workload,
+                    # Contention rides the existing workload parameter
+                    # (specs are first-class there): the PCIe-throttled
+                    # WorkloadSpec changes the machine trace, not the
+                    # service surface.
+                    contended(host.workload) if contended is not None else host.workload,
                     host_id=host.host_id,
                     seed=host.seed,
                     n_ticks=host.n_ticks,
                     arch=host.arch,
                     events=host.events,
                 )
+        if spec.scheduler is not None:
+            # Route the multiplexing policy to every synthetic source.
+            # ``records()`` is lazy — nothing has sampled yet — and the
+            # attribute lives on the source, so FleetService's signature
+            # stays untouched (the "one front door" contract).
+            for channel in service.ingest.channels:
+                if hasattr(channel.source, "schedule_policy"):
+                    channel.source.schedule_policy = spec.scheduler.policy
+                    channel.source.schedule_seed = spec.scheduler.seed
         pipeline = cls(service, mode=spec.mode)
         pipeline.spec = spec
         return pipeline
@@ -297,10 +335,24 @@ class Pipeline:
             else None
         )
         root = None
+        spec = self.spec
         if observer is not None and observer.tracing:
             root = observer.tracer.start(
                 "pipeline.run", mode=self.mode, hosts=service.n_hosts
             )
+            if spec is not None:
+                # Scenario-grid keys: which cell of the grid this run is.
+                root.set_attribute(
+                    "scenario.scheduler",
+                    spec.scheduler.policy if spec.scheduler is not None else "overlap",
+                )
+                root.set_attribute(
+                    "scenario.contention",
+                    spec.contention.background if spec.contention is not None else 0,
+                )
+                root.set_attribute("scenario.baselines", list(spec.baselines))
+        if observer is not None and spec is not None and spec.contention is not None:
+            observer.gauge("scenario.contention.slowdown", spec.contention.slowdown())
         total = 0
         start = time.perf_counter()
         rounds_iter = pool.rounds(service.ingest, pump_records=service.pump_records)
@@ -437,15 +489,33 @@ class Pipeline:
 
     def run(self) -> PipelineResult:
         """Execute to completion, collecting every slice (the convenience
-        counterpart of :meth:`stream`)."""
+        counterpart of :meth:`stream`).
+
+        With ``RunSpec.baselines`` set, the result additionally carries a
+        :class:`~repro.api.comparison.ComparisonReport` scoring the engine
+        against every listed baseline on reconstructed ground truth; when a
+        recorder sink anchors the run's tracefile, the report is exported as
+        JSON lines alongside it (``<sink>.comparison.jsonl``).
+        """
         slices = list(self.stream())
         service = self._service
+        comparison = comparison_path = None
+        if self.spec is not None and self.spec.baselines:
+            from repro.api.comparison import build_comparison
+
+            comparison = build_comparison(self.spec, service, slices)
+            if service.chain_sink is not None:
+                comparison_path = comparison.write_jsonl(
+                    f"{service.chain_sink}.comparison.jsonl"
+                )
         return PipelineResult(
             slices=slices,
             fleet=self.fleet_result,
             chain_trace=service.chain_recorder,
             chain_path=service.chain_sink,
             mixing=self.mixing_report,
+            comparison=comparison,
+            comparison_path=comparison_path,
         )
 
     def run_fleet(self) -> FleetResult:

@@ -14,8 +14,14 @@ that describe *what* to run without touching *how*:
   end-of-run chain-health (mixing) analysis.  Off by default.
 * :class:`HostSpec` — one fleet host: a synthetic workload simulation or a
   recorded trace replay.
+* :class:`SchedulerSpec` — the multiplexing policy rotating events across
+  the PMU counters (overlap / round-robin / rl / invariant-aware), resolved
+  through the :mod:`repro.scheduling` policy table.
+* :class:`ContentionSpec` — PCIe interconnect contention applied to every
+  synthetic workload (:func:`repro.workloads.contended_workload`).
 * :class:`RunSpec` — the whole run: architecture, monitored events, hosts,
-  estimator, recorder, observer and fleet sizing.
+  estimator, scheduler, contention, baseline comparators, recorder,
+  observer and fleet sizing.
 
 ``Pipeline.from_spec(spec)`` (:mod:`repro.api.pipeline`) turns a spec into
 an executable pipeline; the legacy ``PerfSession`` / ``FleetService``
@@ -36,6 +42,7 @@ from repro.obs.observer import Observer
 
 __all__ = [
     "CheckpointSpec",
+    "ContentionSpec",
     "EstimatorSpec",
     "FaultPolicySpec",
     "HostSpec",
@@ -43,6 +50,7 @@ __all__ = [
     "ObserverSpec",
     "RecorderSpec",
     "RunSpec",
+    "SchedulerSpec",
 ]
 
 
@@ -97,9 +105,18 @@ class EstimatorSpec:
 
         Raises ``ValueError`` (listing the registered names) for an unknown
         estimator — validation happens at spec-resolution time, before any
-        engine is built.
+        engine is built.  Baseline correction methods (registry entries with
+        ``baseline=True``) are rejected here too: they consume whole sampled
+        traces through the scenario-grid comparison (``RunSpec.baselines``),
+        not slices through the engine.
         """
-        get_estimator(self.name)
+        entry = get_estimator(self.name)
+        if entry.baseline:
+            raise ValueError(
+                f"{self.name!r} is a baseline correction method, not a moment "
+                f"estimator; list it in RunSpec.baselines to compare it "
+                f"against the engine estimator"
+            )
         kwargs: Dict = {
             "moment_estimator": self.name,
             "use_compiled_kernel": self.use_compiled_kernel,
@@ -232,6 +249,68 @@ class HostSpec:
 
 
 @dataclass(frozen=True)
+class SchedulerSpec:
+    """The multiplexing policy rotating monitored events across counters.
+
+    ``policy`` selects how synthetic hosts group events into counter
+    configurations (:data:`repro.scheduling.SCHEDULE_KINDS`):
+
+    * ``"overlap"`` — the paper's overlap-aware scheduler (the default when
+      no ``SchedulerSpec`` is given, so existing runs are bit-identical);
+    * ``"round-robin"`` — the Linux perf rotation;
+    * ``"rl"`` — the :mod:`repro.mlsched` actor-critic policy (trained
+      in-process, greedy rollout; deterministic for a fixed ``seed``);
+    * ``"invariant-aware"`` — events grouped only along
+      :mod:`repro.invariants` relations, so every configuration is jointly
+      constrained.
+
+    ``seed`` feeds the ``"rl"`` policy's agent; other policies ignore it.
+    """
+
+    policy: str = "overlap"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        from repro.scheduling import SCHEDULE_KINDS
+
+        if self.policy not in SCHEDULE_KINDS:
+            raise ValueError(
+                f"unknown scheduler policy {self.policy!r}; "
+                f"expected one of {SCHEDULE_KINDS}"
+            )
+
+
+@dataclass(frozen=True)
+class ContentionSpec:
+    """PCIe interconnect contention applied to every synthetic workload.
+
+    ``background`` accelerator streams (0-5: the training GPU, then the
+    socket-1 worker GPUs) share the monitored host's DMA path through the
+    case-study topology (:mod:`repro.interconnect`); the resulting max-min
+    fair slowdown throttles each host's workload via
+    :func:`repro.workloads.contended_workload` before the machine model
+    runs, so contention changes the *trace*, deterministically, not the
+    estimator.  ``size_mb`` sizes every transfer (slowdown is
+    size-invariant in the fair-share model but recorded for reports).
+    """
+
+    background: int = 2
+    size_mb: float = 64.0
+
+    def __post_init__(self) -> None:
+        from repro.workloads.contention import contention_slowdown
+
+        # Validates the ranges and proves the topology can price this spec.
+        contention_slowdown(background=self.background, size_mb=self.size_mb)
+
+    def slowdown(self) -> float:
+        """The fractional DMA slowdown this spec resolves to (pure)."""
+        from repro.workloads.contention import contention_slowdown
+
+        return contention_slowdown(background=self.background, size_mb=self.size_mb)
+
+
+@dataclass(frozen=True)
 class RunSpec:
     """A complete declarative estimation run.
 
@@ -244,6 +323,17 @@ class RunSpec:
     (:class:`~repro.fleet.faults.FaultPolicySpec`), ``checkpoint`` opts the
     run into durable write-ahead logging (:class:`CheckpointSpec`); both
     default off, leaving the hot path untouched.
+
+    The scenario-grid axes are spec fields too: ``scheduler``
+    (:class:`SchedulerSpec`) picks the multiplexing policy for synthetic
+    hosts, ``contention`` (:class:`ContentionSpec`) throttles their
+    workloads with PCIe contention, and ``baselines`` names registered
+    baseline correction methods (``repro.fg.registry`` entries with
+    ``baseline=True``, e.g. ``"linux"``/``"counterminer"``/``"wm+pin"``)
+    to fan the same sampled streams through — the run then carries a
+    :class:`~repro.api.comparison.ComparisonReport` scoring BayesPerf
+    against each baseline on ground truth.  All three default to the seed
+    behaviour (overlap scheduling, no contention, no comparison).
     """
 
     arch: str = "x86"
@@ -262,12 +352,25 @@ class RunSpec:
     engine_overrides: Tuple[Tuple[str, object], ...] = ()
     fault_policy: Optional[FaultPolicySpec] = None
     checkpoint: Optional[CheckpointSpec] = None
+    scheduler: Optional[SchedulerSpec] = None
+    contention: Optional[ContentionSpec] = None
+    baselines: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
         _frozen_tuple(self, "events")
         _frozen_tuple(self, "metrics")
         _frozen_tuple(self, "hosts")
         _frozen_tuple(self, "engine_overrides")
+        _frozen_tuple(self, "baselines")
+        if self.baselines:
+            import repro.baselines  # noqa: F401  (registers the baseline entries)
+        for name in self.baselines:
+            entry = get_estimator(name)
+            if not entry.baseline:
+                raise ValueError(
+                    f"{name!r} is a moment estimator, not a baseline "
+                    f"correction method; put it in RunSpec.estimator instead"
+                )
 
     @classmethod
     def fleet(
@@ -354,4 +457,15 @@ class RunSpec:
                 if data.get("checkpoint")
                 else None
             ),
+            scheduler=(
+                SchedulerSpec(**dict(data["scheduler"]))
+                if data.get("scheduler")
+                else None
+            ),
+            contention=(
+                ContentionSpec(**dict(data["contention"]))
+                if data.get("contention")
+                else None
+            ),
+            baselines=tuple(str(name) for name in data.get("baselines", ())),
         )

@@ -8,6 +8,14 @@
 * :class:`WeaverPin` — the Weaver & McKee instruction-count correction
   ("WM+Pin"), which fixes instruction counts through binary instrumentation
   but leaves every other event uncorrected and perturbs the application.
+
+Each class self-registers into :mod:`repro.fg.registry` with
+``baseline=True`` (names ``"linux"``, ``"counterminer"``, ``"wm+pin"``), so
+importing this package is what makes the names available to
+``RunSpec.baselines`` and the scenario-grid comparison
+(:mod:`repro.api.comparison`).  Baselines share the registry with the
+engine's moment estimators but not the role: the spec layer and the engine
+both reject a baseline name where a moment estimator is expected.
 """
 
 from repro.baselines.base import CorrectionMethod

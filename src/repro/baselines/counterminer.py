@@ -14,10 +14,17 @@ from typing import Deque, Dict
 
 import numpy as np
 
+from repro.fg.registry import register_estimator
 from repro.pmu.sampling import SampledTrace
 from repro.pmu.traces import EstimateTrace
 
 
+@register_estimator(
+    "counterminer",
+    compiled_path=False,
+    baseline=True,
+    description="CounterMiner MAD outlier dropping (baseline correction)",
+)
 class CounterMiner:
     """Sliding-window outlier rejection over multiplexed samples.
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.fg.registry import register_estimator
 from repro.pmu.sampling import SampledTrace
 from repro.pmu.traces import EstimateTrace
 
@@ -22,6 +23,12 @@ from repro.pmu.traces import EstimateTrace
 MODES = ("scaling", "hold", "cumulative")
 
 
+@register_estimator(
+    "linux",
+    compiled_path=False,
+    baseline=True,
+    description="Linux t_enabled/t_running scaling (baseline correction)",
+)
 class LinuxScaling:
     """Per-tick estimates using the kernel's time-based scaling.
 

@@ -20,10 +20,17 @@ import numpy as np
 from repro.events import semantics as sem
 from repro.events.catalog import EventCatalog
 from repro.baselines.linux_scaling import LinuxScaling
+from repro.fg.registry import register_estimator
 from repro.pmu.sampling import SampledTrace
 from repro.pmu.traces import EstimateTrace
 
 
+@register_estimator(
+    "wm+pin",
+    compiled_path=False,
+    baseline=True,
+    description="Weaver&McKee+Pin instruction-count correction (baseline)",
+)
 class WeaverPin:
     """Instruction-count-only correction with instrumentation perturbation.
 

@@ -256,6 +256,12 @@ class BayesPerfEngine:
         # Registry resolution: raises for unknown names, listing the
         # registered estimators.
         self._estimator = get_estimator(moment_estimator)
+        if self._estimator.baseline:
+            raise ValueError(
+                f"{moment_estimator!r} is a baseline correction method, not a "
+                f"moment estimator; run it through the scenario-grid comparison "
+                f"(RunSpec.baselines) instead"
+            )
         if drift <= 0:
             raise ValueError("drift must be positive")
         if min_relative_sigma <= 0:

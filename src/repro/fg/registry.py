@@ -30,6 +30,8 @@ from typing import Dict, Optional, Tuple
 
 __all__ = [
     "EstimatorEntry",
+    "baseline_names",
+    "engine_estimator_names",
     "estimator_names",
     "get_estimator",
     "register_estimator",
@@ -52,6 +54,13 @@ class EstimatorEntry:
     #: function of the stacked site arrays, so padded no-op lanes embed a
     #: heterogeneous round into one canonical kernel call.
     megabatch: bool = False
+    #: A baseline *correction method* (:mod:`repro.baselines`), not a tilted
+    #: moment engine: it consumes a whole ``SampledTrace`` through
+    #: ``.correct()`` instead of solving sites on the kernel.  Baseline
+    #: entries are listed alongside estimators (one registry, one front
+    #: door) but are rejected by ``EstimatorSpec`` — they run through the
+    #: scenario-grid comparison (``RunSpec.baselines``).
+    baseline: bool = False
     description: str = ""
     #: Array-native implementation class (``None`` for the analytic
     #: estimator, whose batched path is the compiled kernel itself).
@@ -69,14 +78,17 @@ def register_estimator(
     compiled_path: bool = True,
     default_adapt: bool = False,
     megabatch: bool = False,
+    baseline: bool = False,
     description: str = "",
 ):
     """Class decorator registering *name* with the decorated implementation.
 
     The decorated class becomes the entry's ``batched`` implementation (the
-    analytic estimator registers its compiled kernel).  Re-registering a
-    name replaces the implementation but keeps any attached reference twin,
-    so decoration order between a sampler and its twin does not matter.
+    analytic estimator registers its compiled kernel; a ``baseline=True``
+    entry registers its :class:`repro.baselines.CorrectionMethod`).
+    Re-registering a name replaces the implementation but keeps any attached
+    reference twin, so decoration order between a sampler and its twin does
+    not matter.
     """
 
     def decorate(cls: type) -> type:
@@ -87,6 +99,7 @@ def register_estimator(
         entry.compiled_path = compiled_path
         entry.default_adapt = default_adapt
         entry.megabatch = megabatch
+        entry.baseline = baseline
         entry.description = description
         entry.batched = cls
         return cls
@@ -109,8 +122,18 @@ def register_reference(name: str):
 
 
 def estimator_names() -> Tuple[str, ...]:
-    """All registered estimator names, sorted for stable listings."""
+    """All registered names (engines *and* baselines), sorted for stable listings."""
     return tuple(sorted(_ESTIMATORS))
+
+
+def engine_estimator_names() -> Tuple[str, ...]:
+    """Names that can drive the engine (``moment_estimator`` candidates)."""
+    return tuple(sorted(name for name, entry in _ESTIMATORS.items() if not entry.baseline))
+
+
+def baseline_names() -> Tuple[str, ...]:
+    """Registered baseline correction methods (scenario-grid comparators)."""
+    return tuple(sorted(name for name, entry in _ESTIMATORS.items() if entry.baseline))
 
 
 def get_estimator(name: str) -> EstimatorEntry:

@@ -24,21 +24,58 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.api import EstimatorSpec, ObserverSpec, Pipeline
-from repro.fg.registry import estimator_names, get_estimator
+from repro.api import (
+    ContentionSpec,
+    EstimatorSpec,
+    HostSpec,
+    ObserverSpec,
+    Pipeline,
+    RunSpec,
+    SchedulerSpec,
+    baseline_names,
+)
+from repro.fg.registry import engine_estimator_names, get_estimator
 from repro.fleet.service import FleetService
 from repro.fleet.tracefile import TraceFormatError, read_trace, record_session_trace
 from repro.obs.mixing import analyze_chain
+from repro.scheduling import SCHEDULE_KINDS
 
 
 def _estimator_name(value: str) -> str:
-    """argparse type for ``--estimator``: resolves through the registry."""
+    """argparse type for ``--estimator``: resolves through the registry.
+
+    Unknown names list the whole registry (engines *and* baselines — the
+    registry error carries it); a known-but-baseline name gets a pointer to
+    ``--baselines``, since baselines are comparators, not engines.
+    """
     try:
-        get_estimator(value)
+        entry = get_estimator(value)
     except ValueError as error:
         # The registry's message already lists the registered names.
         raise argparse.ArgumentTypeError(str(error)) from None
+    if entry.baseline:
+        raise argparse.ArgumentTypeError(
+            f"{value!r} is a baseline correction method, not a moment "
+            f"estimator; pass it to --baselines to compare it against the "
+            f"engine (engine estimators: {', '.join(engine_estimator_names())})"
+        )
     return value
+
+
+def _baseline_list(value: str) -> tuple:
+    """argparse type for ``--baselines``: comma-separated registry names."""
+    names = tuple(name for name in value.split(",") if name)
+    for name in names:
+        try:
+            entry = get_estimator(name)
+        except ValueError as error:
+            raise argparse.ArgumentTypeError(str(error)) from None
+        if not entry.baseline:
+            raise argparse.ArgumentTypeError(
+                f"{name!r} is a moment estimator, not a baseline correction "
+                f"method (baselines: {', '.join(baseline_names())})"
+            )
+    return names
 
 
 def _add_demo_parser(subparsers) -> None:
@@ -72,8 +109,32 @@ def _add_demo_parser(subparsers) -> None:
         default="analytic",
         help=(
             "registered moment estimator to run "
-            f"(one of: {', '.join(estimator_names())})"
+            f"(one of: {', '.join(engine_estimator_names())})"
         ),
+    )
+    parser.add_argument(
+        "--scheduler",
+        choices=SCHEDULE_KINDS,
+        default="overlap",
+        help="multiplexing policy rotating events across the counters",
+    )
+    parser.add_argument(
+        "--baselines",
+        type=_baseline_list,
+        default=(),
+        metavar="NAMES",
+        help=(
+            "comma-separated baseline correction methods to score against "
+            f"BayesPerf (registered: {', '.join(baseline_names())}); "
+            "prints the comparison table after the run"
+        ),
+    )
+    parser.add_argument(
+        "--contention",
+        type=int,
+        default=0,
+        metavar="N",
+        help="background PCIe streams (0-5) throttling every host's workload",
     )
     parser.add_argument(
         "--serial", action="store_true", help="also run the per-host serial baseline"
@@ -130,11 +191,50 @@ def _run_demo_stream(args) -> int:
     return 0
 
 
+def _run_demo_grid(args) -> int:
+    """Scenario-grid demo: one spec-driven run, throughput + comparison table."""
+    metrics = tuple(m for m in args.derived_metrics.split(",") if m) or None
+    spec = RunSpec(
+        arch=args.arch,
+        metrics=metrics,
+        hosts=tuple(
+            HostSpec(workload=args.workload, seed=index, n_ticks=args.ticks)
+            for index in range(args.hosts)
+        ),
+        estimator=EstimatorSpec(args.estimator),
+        observer=_demo_observer(args),
+        n_workers=args.workers,
+        scheduler=(
+            SchedulerSpec(policy=args.scheduler) if args.scheduler != "overlap" else None
+        ),
+        contention=(
+            ContentionSpec(background=args.contention) if args.contention else None
+        ),
+        baselines=tuple(args.baselines),
+    )
+    result = Pipeline.from_spec(spec).run()
+    fleet = result.fleet
+    print(
+        f"  scenario: scheduler={args.scheduler} contention={args.contention} "
+        f"-> {fleet.total_slices} slices at {fleet.slices_per_second:.1f} slices/s"
+    )
+    if result.comparison is not None:
+        for line in result.comparison.render().splitlines():
+            print(f"  {line}")
+    if args.trace_out is not None:
+        print(f"  spans written to {args.trace_out}")
+    return 0
+
+
 def _run_demo(args) -> int:
     print(
         f"Fleet demo: {args.hosts} hosts x {args.ticks} quanta on {args.arch} "
         f"({args.workload!r}, {args.estimator} estimator)"
     )
+    if args.baselines or args.scheduler != "overlap" or args.contention:
+        # Any scenario-grid flag routes through the spec'd pipeline: the
+        # grid axes are RunSpec fields, not service kwargs.
+        return _run_demo_grid(args)
     if args.stream:
         return _run_demo_stream(args)
     results = {}

@@ -27,8 +27,7 @@ from repro.fleet.events import (
 from repro.fleet.tracefile import TraceFile
 from repro.pmu.noise import NoiseModel
 from repro.pmu.sampling import MultiplexedSampler, SamplingRecord
-from repro.scheduling.cache import cached_schedule
-from repro.scheduling.overlap import BayesPerfScheduler
+from repro.scheduling.cache import build_schedule, cached_schedule
 from repro.uarch.machine import Machine, MachineConfig
 from repro.uarch.profile import WorkloadSpec
 
@@ -68,6 +67,12 @@ class SyntheticHostSource:
         #: construction cost the fleet's shared caches exist to amortise
         #: (kept as the serial baseline's behaviour).
         self.use_schedule_cache = use_schedule_cache
+        #: Multiplexing policy (a :data:`repro.scheduling.SCHEDULE_KINDS`
+        #: name) and its seed.  Set by ``Pipeline.from_spec`` from
+        #: ``SchedulerSpec`` after host registration — ``records()`` is
+        #: lazy, so the policy lands before any record is pumped.
+        self.schedule_policy = "overlap"
+        self.schedule_seed = 0
         self.workload_name = spec.name
 
     def records(self) -> Iterator[SamplingRecord]:
@@ -78,9 +83,13 @@ class SyntheticHostSource:
         machine = Machine(config, self.spec, seed=self.seed)
         trace = machine.run(self.n_ticks)
         if self.use_schedule_cache:
-            schedule = cached_schedule(catalog, self.events, kind="overlap")
+            schedule = cached_schedule(
+                catalog, self.events, kind=self.schedule_policy, seed=self.schedule_seed
+            )
         else:
-            schedule = BayesPerfScheduler(catalog).build(list(self.events))
+            schedule = build_schedule(
+                catalog, self.events, kind=self.schedule_policy, seed=self.schedule_seed
+            )
         sampler = MultiplexedSampler(
             catalog,
             schedule,

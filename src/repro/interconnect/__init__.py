@@ -4,6 +4,13 @@ Models the dual-socket topology of Fig. 9 (CPUs, PCIe switches, GPUs, NICs
 and the BayesPerf FPGA), routes transfers through it, and computes achieved
 bandwidth under link contention — the resource-sharing effect the ML-based
 IO scheduler of the case study is trying to avoid.
+
+The scenario grid prices its contention axis here:
+``ContentionSpec(background=n)`` on a :class:`repro.api.RunSpec` has
+:func:`repro.workloads.contention_slowdown` route a probe transfer against
+``n`` background DMA streams through :class:`ContentionModel` on the
+case-study topology, and the resulting slowdown throttles every synthetic
+workload in the run.
 """
 
 from repro.interconnect.topology import PCIeDevice, PCIeLink, PCIeTopology, build_case_study_topology

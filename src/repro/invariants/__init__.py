@@ -5,6 +5,11 @@ equal L1D misses plus L1I misses*, or the DRAM-bandwidth identity from the
 paper's footnote 1).  They are written once over semantic keys and
 instantiated per catalog into relations over concrete event names; the factor
 graph used by the BayesPerf model is compiled from these relations.
+
+The same relations drive the scenario grid's ``"invariant-aware"``
+scheduling policy (:func:`repro.scheduling.invariant_aware_schedule`):
+events share a counter configuration only when an instantiated relation
+joins them, so every configuration carries jointly-constrained events.
 """
 
 from repro.invariants.relation import EventRelation, LinearRelation

@@ -7,6 +7,12 @@ filtering model (after Paragon) and an actor-critic reinforcement-learning
 model (after the authors' prior scheduler).  This package provides the
 scheduling environment (built on the PCIe contention model), both model
 families, and the training/decision-quality experiments.
+
+In the scenario grid the actor-critic model doubles as a *counter*
+scheduler: ``SchedulerSpec(policy="rl")`` has
+:func:`repro.scheduling.rl_schedule` train an :class:`ActorCriticScheduler`
+in-process over candidate event groupings and roll it out greedily —
+deterministic per seed, selected purely through the spec.
 """
 
 from repro.mlsched.features import FeatureSpec, HPCFeatureExtractor

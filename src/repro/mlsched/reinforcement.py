@@ -3,8 +3,10 @@
 The paper's RL model is a four-layer fully connected ReLU network (36-16-16-2
 neurons) trained with actor-critic reinforcement learning whose loss is the
 normalised shuffle completion time (§6.3).  The NumPy implementation below
-follows that structure: a shared trunk, a softmax policy head over the two
-NICs, a scalar value head as the critic/baseline, and advantage-weighted
+follows that structure: a shared trunk, a softmax policy head over the
+action choices (two NICs in the case study; candidate event groupings when
+the scenario grid's ``"rl"`` counter-scheduling policy reuses this class),
+a scalar value head as the critic/baseline, and advantage-weighted
 policy-gradient updates.
 """
 

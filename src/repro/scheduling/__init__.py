@@ -1,29 +1,46 @@
-"""Counter scheduling.
+"""Counter scheduling — the policy axis of the scenario grid.
 
-Two schedulers are provided:
+Four schedulers are provided, selectable by name through
+``SchedulerSpec(policy=...)`` on :class:`repro.api.RunSpec` (resolved via
+:data:`SCHEDULE_KINDS` / :func:`cached_schedule`):
 
-* :func:`round_robin_schedule` — the Linux perf behaviour: events are rotated
-  across configurations in registration order with no regard for statistical
-  relationships.
-* :class:`BayesPerfScheduler` — the paper's overlap-aware scheduler (§4.1):
-  configurations are built so that consecutive time slices share events (or at
-  least overlapping Markov blankets in the factor graph), enabling cross-slice
-  Bayesian inference.
+* :func:`round_robin_schedule` (``"round-robin"``) — the Linux perf
+  behaviour: events are rotated across configurations in registration order
+  with no regard for statistical relationships.
+* :class:`BayesPerfScheduler` (``"overlap"``) — the paper's overlap-aware
+  scheduler (§4.1): configurations are built so that consecutive time slices
+  share events (or at least overlapping Markov blankets in the factor
+  graph), enabling cross-slice Bayesian inference.
+* :func:`invariant_aware_schedule` (``"invariant-aware"``) — events only
+  share a configuration when a :mod:`repro.invariants` relation joins them.
+* :func:`rl_schedule` (``"rl"``) — the :mod:`repro.mlsched` actor-critic
+  policy, trained in-process and rolled out greedily (seed-deterministic).
 """
 
 from repro.scheduling.schedule import Schedule
 from repro.scheduling.round_robin import round_robin_schedule
 from repro.scheduling.structure import build_event_adjacency, build_structure_graph
 from repro.scheduling.overlap import BayesPerfScheduler, overlap_schedule
-from repro.scheduling.cache import cached_schedule, clear_schedule_cache, schedule_cache_stats
+from repro.scheduling.policies import invariant_aware_schedule, rl_schedule
+from repro.scheduling.cache import (
+    SCHEDULE_KINDS,
+    build_schedule,
+    cached_schedule,
+    clear_schedule_cache,
+    schedule_cache_stats,
+)
 
 __all__ = [
+    "SCHEDULE_KINDS",
     "Schedule",
     "round_robin_schedule",
     "build_structure_graph",
     "build_event_adjacency",
     "BayesPerfScheduler",
     "overlap_schedule",
+    "invariant_aware_schedule",
+    "rl_schedule",
+    "build_schedule",
     "cached_schedule",
     "clear_schedule_cache",
     "schedule_cache_stats",

@@ -16,15 +16,19 @@ from weakref import WeakKeyDictionary
 
 from repro.events.catalog import EventCatalog
 from repro.scheduling.overlap import BayesPerfScheduler
+from repro.scheduling.policies import invariant_aware_schedule, rl_schedule
 from repro.scheduling.round_robin import round_robin_schedule
 from repro.scheduling.schedule import Schedule
 
-_KINDS = ("overlap", "round-robin")
+#: Every schedule policy the grid knows; ``SchedulerSpec`` validates against
+#: this tuple so the spec layer and the cache can never disagree.
+SCHEDULE_KINDS = ("overlap", "round-robin", "rl", "invariant-aware")
+_KINDS = SCHEDULE_KINDS
 
 #: Keyed by catalog *identity* (not name): two different catalog objects that
 #: happen to share a name must not see each other's schedules, and dropping a
 #: catalog (e.g. ``clear_catalog_cache`` in tests) releases its schedules.
-_CACHE: "WeakKeyDictionary[EventCatalog, Dict[Tuple[Tuple[str, ...], str], Schedule]]" = (
+_CACHE: "WeakKeyDictionary[EventCatalog, Dict[Tuple[Tuple[str, ...], str, int], Schedule]]" = (
     WeakKeyDictionary()
 )
 _LOCK = Lock()
@@ -32,18 +36,44 @@ _LOCK = Lock()
 _STATS = {"hits": 0, "misses": 0}
 
 
-def cached_schedule(
-    catalog: EventCatalog, events: Sequence[str], *, kind: str = "overlap"
+def build_schedule(
+    catalog: EventCatalog, events: Sequence[str], *, kind: str = "overlap", seed: int = 0
 ) -> Schedule:
-    """Return the schedule for (catalog, events, kind), building it at most once.
+    """Build (uncached) the schedule for (catalog, events, kind, seed).
 
-    ``kind`` selects the scheduler: ``"overlap"`` (the paper's overlap-aware
-    scheduler, used by BayesPerf) or ``"round-robin"`` (the Linux baseline
-    behaviour used by every other method).
+    ``kind`` selects the policy: ``"overlap"`` (the paper's overlap-aware
+    scheduler, used by BayesPerf), ``"round-robin"`` (the Linux baseline
+    behaviour), ``"rl"`` (the :mod:`repro.mlsched` actor-critic policy) or
+    ``"invariant-aware"`` (:mod:`repro.invariants`-constrained groupings).
+    ``seed`` only affects the ``"rl"`` policy; every builder is a pure
+    function of its arguments.
     """
     if kind not in _KINDS:
         raise ValueError(f"unknown schedule kind {kind!r}; expected one of {_KINDS}")
-    key = (tuple(events), kind)
+    if kind == "overlap":
+        return BayesPerfScheduler(catalog).build(list(events))
+    if kind == "round-robin":
+        return round_robin_schedule(catalog, list(events))
+    if kind == "rl":
+        return rl_schedule(catalog, list(events), seed=seed)
+    return invariant_aware_schedule(catalog, list(events))
+
+
+def cached_schedule(
+    catalog: EventCatalog,
+    events: Sequence[str],
+    *,
+    kind: str = "overlap",
+    seed: int = 0,
+) -> Schedule:
+    """Return the schedule for (catalog, events, kind, seed), building it at most once.
+
+    See :func:`build_schedule` for the policy names; the builders are pure,
+    which is what makes caching by key sound.
+    """
+    if kind not in _KINDS:
+        raise ValueError(f"unknown schedule kind {kind!r}; expected one of {_KINDS}")
+    key = (tuple(events), kind, seed)
     with _LOCK:
         per_catalog = _CACHE.get(catalog)
         schedule = per_catalog.get(key) if per_catalog is not None else None
@@ -51,10 +81,7 @@ def cached_schedule(
             _STATS["hits"] += 1
             return schedule
         _STATS["misses"] += 1
-    if kind == "overlap":
-        schedule = BayesPerfScheduler(catalog).build(list(events))
-    else:
-        schedule = round_robin_schedule(catalog, list(events))
+    schedule = build_schedule(catalog, events, kind=kind, seed=seed)
     with _LOCK:
         return _CACHE.setdefault(catalog, {}).setdefault(key, schedule)
 

@@ -1,0 +1,211 @@
+"""Scenario-grid scheduling policies beyond the seed pair.
+
+The seed shipped two multiplexing policies — the paper's overlap-aware
+scheduler (:class:`~repro.scheduling.overlap.BayesPerfScheduler`) and the
+Linux-style :func:`~repro.scheduling.round_robin.round_robin_schedule`.  This
+module adds the two policies that make the scenario grid interesting:
+
+* :func:`invariant_aware_schedule` — groups events so that every
+  configuration is a clique-ish neighbourhood of the vendor-manual invariant
+  graph (:mod:`repro.invariants`): events only share a configuration when a
+  linear relation joins them, so each time slice measures quantities the
+  factor graph can actually cross-check.
+* :func:`rl_schedule` — drives the same grouping decisions through the
+  :mod:`repro.mlsched` actor-critic policy.  A small seeded agent is trained
+  in-process on the event set (reward = invariant-overlap of its groupings)
+  and the final schedule is its greedy rollout, so the result is a pure
+  function of ``(catalog, events, seed)``.
+
+Both builders respect :class:`~repro.pmu.constraints.ValidityChecker`
+legality exactly like the seed schedulers and return ordinary immutable
+:class:`~repro.scheduling.schedule.Schedule` objects, so samplers, engines
+and the schedule cache treat them interchangeably.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.events.catalog import EventCatalog
+from repro.invariants import InvariantLibrary
+from repro.pmu.configuration import CounterConfiguration
+from repro.pmu.constraints import ConfigurationError, ValidityChecker
+from repro.scheduling.round_robin import _pack_events
+from repro.scheduling.schedule import Schedule
+from repro.scheduling.structure import (
+    build_event_adjacency,
+    connectivity_order,
+    instantiate_relations,
+)
+
+__all__ = ["invariant_aware_schedule", "rl_schedule"]
+
+
+def invariant_aware_schedule(
+    catalog: EventCatalog,
+    events: Sequence[str],
+    *,
+    library: Optional[InvariantLibrary] = None,
+    checker: Optional[ValidityChecker] = None,
+    quantum_ticks: int = 1,
+) -> Schedule:
+    """Group events into configurations connected by shared invariants.
+
+    Events joined by a vendor-manual linear relation are scheduled together
+    (up to the counter budget), so every configuration measures a set of
+    quantities at least one invariant constrains jointly.  Events no relation
+    touches are packed round-robin style into trailing configurations rather
+    than wasting a full rotation slot each.
+    """
+    checker = checker if checker is not None else ValidityChecker(catalog)
+    _, programmable = checker.split_events(events)
+    if not programmable:
+        raise ValueError("invariant-aware scheduling needs at least one programmable event")
+    relations = instantiate_relations(catalog, events=programmable, library=library)
+    adjacency = build_event_adjacency(relations, programmable)
+    connected = [e for e in connectivity_order(adjacency, programmable) if adjacency.degree(e) > 0]
+    isolated = [e for e in programmable if adjacency.degree(e) == 0]
+
+    capacity = checker.n_counters
+    configurations: List[CounterConfiguration] = []
+    pending = list(connected)
+    while pending:
+        seed_event = pending.pop(0)
+        if not checker.can_schedule([seed_event]):
+            raise ConfigurationError(
+                f"event {seed_event!r} cannot be scheduled on any counter"
+            )
+        group = [seed_event]
+        # Grow the group only along invariant edges; a candidate must share a
+        # relation with a member already in the group AND keep the
+        # configuration legal.  First-fit over the connectivity order keeps
+        # the build deterministic.
+        grew = True
+        while len(group) < capacity and grew:
+            grew = False
+            for candidate in pending:
+                joined = any(adjacency.has_edge(candidate, member) for member in group)
+                if joined and checker.can_schedule(group + [candidate]):
+                    group.append(candidate)
+                    pending.remove(candidate)
+                    grew = True
+                    break
+        configurations.append(checker.build_configuration(group))
+    if isolated:
+        configurations.extend(_pack_events(isolated, checker, capacity))
+    return Schedule(
+        configurations=tuple(configurations),
+        quantum_ticks=quantum_ticks,
+        name="invariant-aware",
+    )
+
+
+def _rank_candidates(pending, group, adjacency, limit):
+    """Top-*limit* pending events, most invariant-linked to *group* first."""
+
+    def score(event):
+        links = sum(1 for member in group if adjacency.has_edge(event, member))
+        degree = adjacency.degree(event) if event in adjacency else 0
+        return (-links, -degree)
+
+    return sorted(pending, key=score)[:limit]
+
+
+def rl_schedule(
+    catalog: EventCatalog,
+    events: Sequence[str],
+    *,
+    checker: Optional[ValidityChecker] = None,
+    seed: int = 0,
+    training_episodes: int = 3,
+    n_candidates: int = 4,
+    quantum_ticks: int = 1,
+) -> Schedule:
+    """Build a schedule with the :mod:`repro.mlsched` actor-critic policy.
+
+    Each decision picks, from the top-``n_candidates`` invariant-ranked
+    pending events, the one that joins the configuration under construction
+    (closing it when the pick is illegal or the budget is full).  The agent
+    is trained for ``training_episodes`` full builds with a reward favouring
+    invariant overlap within and between consecutive configurations, then
+    the schedule is its greedy rollout — deterministic for a fixed ``seed``.
+    """
+    import numpy as np
+
+    # Lazy import: repro.scheduling must stay importable without pulling the
+    # whole ML scheduling stack in for the seed policies.
+    from repro.mlsched import ActorCriticScheduler
+
+    checker = checker if checker is not None else ValidityChecker(catalog)
+    _, programmable = checker.split_events(events)
+    if not programmable:
+        raise ValueError("rl scheduling needs at least one programmable event")
+    relations = instantiate_relations(catalog, events=programmable)
+    adjacency = build_event_adjacency(relations, programmable)
+    ordered = list(connectivity_order(adjacency, programmable))
+    capacity = checker.n_counters
+    n_features = 3 * n_candidates + 2
+    agent = ActorCriticScheduler(
+        n_features,
+        n_actions=n_candidates,
+        hidden=(24, 12),
+        learning_rate=0.05,
+        seed=seed,
+    )
+
+    def features(candidates, group, pending):
+        vector = np.zeros(n_features)
+        for slot, event in enumerate(candidates):
+            links = sum(1 for member in group if adjacency.has_edge(event, member))
+            degree = adjacency.degree(event) if event in adjacency else 0
+            base = 3 * slot
+            vector[base] = links / max(capacity, 1)
+            vector[base + 1] = degree / max(len(programmable), 1)
+            vector[base + 2] = 1.0
+        vector[-2] = len(group) / max(capacity, 1)
+        vector[-1] = len(pending) / len(programmable)
+        return vector
+
+    def build(greedy):
+        configurations: List[CounterConfiguration] = []
+        pending = list(ordered)
+        group: List[str] = []
+        previous: List[str] = []
+        rewards = 0.0
+        while pending:
+            candidates = _rank_candidates(pending, group, adjacency, n_candidates)
+            observation = features(candidates, group, pending)
+            action = agent.act(observation, greedy=greedy)
+            choice = candidates[action % len(candidates)]
+            fits = len(group) < capacity and checker.can_schedule(group + [choice])
+            if not fits and group:
+                configurations.append(checker.build_configuration(group))
+                previous, group = group, []
+                fits = checker.can_schedule([choice])
+            if not fits:
+                raise ConfigurationError(
+                    f"event {choice!r} cannot be scheduled on any counter"
+                )
+            pending.remove(choice)
+            group.append(choice)
+            # Reward invariant overlap: links inside the group keep each
+            # configuration jointly constrained, links back to the previous
+            # configuration give the factor graph cross-slice anchors.
+            links = sum(1 for member in group[:-1] if adjacency.has_edge(choice, member))
+            carry = sum(1 for member in previous if adjacency.has_edge(choice, member))
+            reward = (links + 0.5 * carry) / max(capacity, 1)
+            rewards += reward
+            if not greedy:
+                agent.update(observation, action, reward)
+        if group:
+            configurations.append(checker.build_configuration(group))
+        return configurations, rewards
+
+    for _ in range(max(training_episodes, 0)):
+        build(greedy=False)
+    configurations, _ = build(greedy=True)
+    return Schedule(
+        configurations=tuple(configurations),
+        quantum_ticks=quantum_ticks,
+        name="rl",
+    )

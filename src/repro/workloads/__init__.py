@@ -7,6 +7,7 @@ suite reproduces the *names* and the qualitative behavioural diversity of
 HiBench rather than running Spark jobs.
 """
 
+from repro.workloads.contention import contended_workload, contention_slowdown
 from repro.workloads.hibench import HIBENCH_WORKLOADS, hibench_suite, hibench_workload
 from repro.workloads.micro import multiplexing_stress_workload, steady_workload
 from repro.workloads.registry import (
@@ -18,6 +19,8 @@ from repro.workloads.registry import (
 
 __all__ = [
     "HIBENCH_WORKLOADS",
+    "contended_workload",
+    "contention_slowdown",
     "hibench_suite",
     "hibench_workload",
     "multiplexing_stress_workload",

@@ -48,7 +48,11 @@ class TestEstimatorRegistry:
         assert get_estimator("batched-mcmc").default_adapt is False
 
     def test_unknown_name_lists_registered_estimators(self):
-        with pytest.raises(ValueError, match="analytic, batched-mcmc, mcmc"):
+        # The listing covers the whole registry: engines and the baseline
+        # correction methods that joined it for the scenario grid.
+        with pytest.raises(
+            ValueError, match="analytic, batched-mcmc, counterminer, linux, mcmc"
+        ):
             get_estimator("turbo")
 
     def test_engine_validation_goes_through_registry(self):

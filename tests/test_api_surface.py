@@ -9,8 +9,10 @@ Additive changes (new names, new fields with defaults) extend the pins.
 
 import dataclasses
 
+import pytest
+
 import repro.api as api
-from repro.fg.registry import estimator_names
+from repro.fg.registry import baseline_names, engine_estimator_names
 
 
 def _field_names(spec_cls):
@@ -20,8 +22,11 @@ def _field_names(spec_cls):
 def test_api_all_is_pinned():
     assert set(api.__all__) == {
         "CheckpointSpec",
+        "ComparisonReport",
+        "ContentionSpec",
         "EstimatorSpec",
         "FaultPolicySpec",
+        "HostComparison",
         "HostSpec",
         "KernelExecSpec",
         "ObserverSpec",
@@ -29,7 +34,9 @@ def test_api_all_is_pinned():
         "PipelineResult",
         "RecorderSpec",
         "RunSpec",
+        "SchedulerSpec",
         "SliceResult",
+        "baseline_names",
     }
     for name in api.__all__:
         assert hasattr(api, name), f"repro.api.__all__ names missing symbol {name}"
@@ -120,7 +127,18 @@ def test_run_spec_fields_are_pinned():
         "engine_overrides",
         "fault_policy",
         "checkpoint",
+        "scheduler",
+        "contention",
+        "baselines",
     )
+
+
+def test_scheduler_spec_fields_are_pinned():
+    assert _field_names(api.SchedulerSpec) == ("policy", "seed")
+
+
+def test_contention_spec_fields_are_pinned():
+    assert _field_names(api.ContentionSpec) == ("background", "size_mb")
 
 
 def test_checkpoint_spec_fields_are_pinned():
@@ -163,8 +181,18 @@ def test_specs_are_frozen_and_hashable():
 
 
 def test_builtin_estimators_are_registered():
-    names = estimator_names()
+    names = engine_estimator_names()
     assert {"analytic", "mcmc", "batched-mcmc"} <= set(names)
     # The spec layer resolves through the same registry.
     for name in names:
         assert api.EstimatorSpec(name).engine_kwargs()["moment_estimator"] == name
+
+
+def test_baselines_are_registered_but_rejected_as_engines():
+    names = baseline_names()
+    assert {"linux", "counterminer", "wm+pin"} <= set(names)
+    # Baselines share the registry but are not moment estimators: the spec
+    # layer routes them to RunSpec.baselines instead.
+    for name in names:
+        with pytest.raises(ValueError, match="baseline correction method"):
+            api.EstimatorSpec(name).engine_kwargs()

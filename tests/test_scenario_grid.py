@@ -1,0 +1,248 @@
+"""Scenario grid: scheduler policies, contention, baselines, comparison.
+
+Covers the spec-level wiring (``SchedulerSpec``/``ContentionSpec``/
+``RunSpec.baselines`` and their dict round-trips), the schedule builders
+behind ``SCHEDULE_KINDS``, the contention workload modifier, the baseline
+registry split, and the end-to-end pipeline comparison — including its
+determinism and JSONL export.
+"""
+
+import json
+
+import pytest
+
+import repro.api as api
+from repro.events.registry import catalog_for
+from repro.fg.registry import baseline_names, engine_estimator_names, get_estimator
+from repro.pmu.constraints import ValidityChecker
+from repro.scheduling import SCHEDULE_KINDS, build_schedule, cached_schedule
+from repro.workloads import contended_workload, contention_slowdown, get_workload
+
+EVENTS = (
+    "INST_RETIRED.ANY",
+    "CPU_CLK_UNHALTED.THREAD",
+    "BR_INST_RETIRED.ALL_BRANCHES",
+    "BR_MISP_RETIRED.ALL_BRANCHES",
+    "L1D.REPLACEMENT",
+    "L2_RQSTS.REFERENCES",
+    "L2_RQSTS.MISS",
+    "LONGEST_LAT_CACHE.REFERENCE",
+)
+
+
+# -- spec round-trips --------------------------------------------------------
+
+
+def test_scenario_spec_round_trips_through_dict():
+    spec = api.RunSpec.fleet(
+        2,
+        "KMeans",
+        n_ticks=8,
+        scheduler=api.SchedulerSpec(policy="round-robin", seed=3),
+        contention=api.ContentionSpec(background=2, size_mb=32.0),
+        baselines=("linux", "counterminer"),
+    )
+    payload = json.loads(json.dumps(spec.to_dict()))
+    rebuilt = api.RunSpec.from_dict(payload)
+    assert rebuilt == spec
+    assert rebuilt.scheduler == api.SchedulerSpec(policy="round-robin", seed=3)
+    assert rebuilt.contention == api.ContentionSpec(background=2, size_mb=32.0)
+    assert rebuilt.baselines == ("linux", "counterminer")
+
+
+def test_default_spec_round_trip_keeps_scenario_fields_none():
+    spec = api.RunSpec.fleet(2, "steady", n_ticks=4)
+    rebuilt = api.RunSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+    assert rebuilt.scheduler is None
+    assert rebuilt.contention is None
+    assert rebuilt.baselines == ()
+    assert rebuilt == spec
+
+
+def test_scheduler_spec_rejects_unknown_policy():
+    with pytest.raises(ValueError, match="unknown scheduler policy"):
+        api.SchedulerSpec(policy="fifo")
+
+
+def test_contention_spec_validates_background_range():
+    with pytest.raises(ValueError):
+        api.ContentionSpec(background=-1)
+    with pytest.raises(ValueError):
+        api.ContentionSpec(background=99)
+    with pytest.raises(ValueError):
+        api.ContentionSpec(background=2, size_mb=0.0)
+
+
+def test_run_spec_rejects_engine_estimator_as_baseline():
+    with pytest.raises(ValueError, match="RunSpec.estimator"):
+        api.RunSpec.fleet(1, "steady", n_ticks=2, baselines=("mcmc",))
+
+
+def test_estimator_spec_rejects_baseline_name():
+    with pytest.raises(ValueError, match="RunSpec.baselines"):
+        api.EstimatorSpec("linux").engine_kwargs()
+
+
+# -- registry split ----------------------------------------------------------
+
+
+def test_registry_separates_engines_from_baselines():
+    engines = set(engine_estimator_names())
+    baselines = set(baseline_names())
+    assert not engines & baselines
+    assert {"linux", "counterminer", "wm+pin"} <= baselines
+    for name in baselines:
+        assert get_estimator(name).baseline
+
+
+def test_engine_rejects_baseline_as_moment_estimator():
+    from repro.core.engine import BayesPerfEngine
+
+    catalog = catalog_for("x86")
+    with pytest.raises(ValueError, match="baseline correction method"):
+        BayesPerfEngine(catalog, EVENTS[:4], moment_estimator="counterminer")
+
+
+# -- schedule policies -------------------------------------------------------
+
+
+@pytest.mark.parametrize("kind", SCHEDULE_KINDS)
+def test_every_policy_covers_all_events_validly(kind):
+    catalog = catalog_for("x86")
+    schedule = build_schedule(catalog, EVENTS, kind=kind)
+    # Fixed counters are always-on and never occupy a programmable slot.
+    fixed = {spec.name for spec in catalog.fixed_events}
+    assert set(schedule.events) == set(EVENTS) - fixed
+    checker = ValidityChecker(catalog)
+    for configuration in schedule.configurations:
+        assert checker.can_schedule(list(configuration.events))
+
+
+@pytest.mark.parametrize("kind", SCHEDULE_KINDS)
+def test_every_policy_is_deterministic(kind):
+    catalog = catalog_for("x86")
+    first = build_schedule(catalog, EVENTS, kind=kind, seed=7)
+    second = build_schedule(catalog, EVENTS, kind=kind, seed=7)
+    assert [c.events for c in first.configurations] == [
+        c.events for c in second.configurations
+    ]
+
+
+def test_build_schedule_rejects_unknown_kind():
+    catalog = catalog_for("x86")
+    with pytest.raises(ValueError, match="unknown schedule kind"):
+        build_schedule(catalog, EVENTS, kind="fifo")
+
+
+def test_cached_schedule_keys_on_kind_and_seed():
+    catalog = catalog_for("x86")
+    overlap = cached_schedule(catalog, EVENTS, kind="overlap")
+    round_robin = cached_schedule(catalog, EVENTS, kind="round-robin")
+    assert overlap is cached_schedule(catalog, EVENTS, kind="overlap")
+    assert overlap is not round_robin
+    assert round_robin.name == "round-robin"
+
+
+# -- contention --------------------------------------------------------------
+
+
+def test_contention_slowdown_is_monotone_in_background_streams():
+    slowdowns = [contention_slowdown(background=n) for n in range(6)]
+    assert slowdowns[0] == 0.0
+    for before, after in zip(slowdowns, slowdowns[1:]):
+        assert after > before
+
+
+def test_contended_workload_throttles_and_renames_without_mutating():
+    base = get_workload("KMeans")
+    contended = contended_workload(base, background=2)
+    assert contended.name == "KMeans@pcie-bg2"
+    assert base.name == "KMeans"  # source spec untouched
+    assert len(contended.phases) == len(base.phases)
+    intensity = 1.0 / (1.0 + contention_slowdown(background=2))
+    for original, throttled in zip(base.phases, contended.phases):
+        assert throttled.duration_ticks == original.duration_ticks
+        assert throttled.profile.instructions_per_tick == pytest.approx(
+            original.profile.instructions_per_tick * intensity
+        )
+
+
+# -- end-to-end comparison ---------------------------------------------------
+
+
+def _grid_spec(tmp_path=None, **overrides):
+    kwargs = dict(
+        n_ticks=12,
+        estimator=api.EstimatorSpec("analytic"),
+        scheduler=api.SchedulerSpec(policy="round-robin"),
+        baselines=("linux", "counterminer"),
+        n_workers=2,
+    )
+    if tmp_path is not None:
+        kwargs["recorder"] = api.RecorderSpec(sink=str(tmp_path / "chains.jsonl"))
+    kwargs.update(overrides)
+    return api.RunSpec.fleet(2, "KMeans", **kwargs)
+
+
+def test_pipeline_comparison_scores_engine_and_baselines():
+    result = api.Pipeline.from_spec(_grid_spec()).run()
+    report = result.comparison
+    assert report is not None
+    assert report.methods == ("bayesperf", "linux", "counterminer")
+    assert report.scenario["scheduler"] == "round-robin"
+    assert len(report.hosts) == 2
+    for host in report.hosts:
+        assert set(host.reports) == set(report.methods)
+        for method in report.methods:
+            assert host.reports[method].mean_error_percent >= 0.0
+    table = report.render()
+    assert "bayesperf err%" in table and "fleet-mean" in table
+
+
+def test_pipeline_comparison_is_deterministic():
+    first = api.Pipeline.from_spec(_grid_spec()).run().comparison
+    second = api.Pipeline.from_spec(_grid_spec()).run().comparison
+    assert first.to_records() == second.to_records()
+
+
+def test_pipeline_without_baselines_has_no_comparison():
+    spec = api.RunSpec.fleet(1, "steady", n_ticks=4)
+    result = api.Pipeline.from_spec(spec).run()
+    assert result.comparison is None
+    assert result.comparison_path is None
+
+
+def test_comparison_jsonl_lands_next_to_the_trace_sink(tmp_path):
+    result = api.Pipeline.from_spec(_grid_spec(tmp_path)).run()
+    assert result.comparison_path == str(tmp_path / "chains.jsonl.comparison.jsonl")
+    lines = [
+        json.loads(line)
+        for line in open(result.comparison_path, encoding="utf-8")
+    ]
+    assert lines[0]["kind"] == "comparison-scenario"
+    assert lines[0]["baselines"] == ["linux", "counterminer"]
+    body = [record for record in lines[1:] if record["kind"] == "comparison"]
+    assert {record["method"] for record in body} == {
+        "bayesperf",
+        "linux",
+        "counterminer",
+    }
+    # The chain tracefile itself keeps its format: no comparison records.
+    with open(tmp_path / "chains.jsonl", encoding="utf-8") as handle:
+        kinds = {json.loads(line).get("kind") for line in handle if line.strip()}
+    assert "comparison" not in kinds and "comparison-scenario" not in kinds
+
+
+def test_contention_rides_through_the_pipeline_into_the_scenario():
+    spec = _grid_spec(
+        contention=api.ContentionSpec(background=2),
+        baselines=("linux",),
+    )
+    result = api.Pipeline.from_spec(spec).run()
+    report = result.comparison
+    assert report.scenario["contention_background"] == 2
+    assert report.scenario["contention_slowdown"] == pytest.approx(
+        contention_slowdown(background=2)
+    )
+    for host in report.hosts:
+        assert host.workload.endswith("@pcie-bg2")

@@ -1,0 +1,84 @@
+"""CI link checker for the repository's Markdown documentation.
+
+Usage::
+
+    python tools/check_docs_links.py README.md docs [more files or dirs...]
+
+Collects every Markdown file named on the command line (directories are
+walked for ``*.md``), extracts relative links — inline ``[text](target)``
+and reference-style ``[label]: target`` definitions — and fails when any
+target does not exist on disk, relative to the file containing the link.
+
+External links (``http(s)://``, ``mailto:``) and pure in-page anchors
+(``#section``) are skipped: this gate is about keeping the docs tree
+self-consistent as files move, not about probing the network.  A
+``path#anchor`` target is checked for the path part only.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+#: Inline links, ignoring images' leading ``!`` (image targets are checked
+#: the same way) and reference-style definitions at line start.
+_INLINE = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REFERENCE = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def markdown_files(arguments: Iterable[str]) -> List[Path]:
+    files: List[Path] = []
+    for argument in arguments:
+        path = Path(argument)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.md")))
+        elif path.exists():
+            files.append(path)
+        else:
+            raise SystemExit(f"no such file or directory: {argument}")
+    return files
+
+
+def relative_links(text: str) -> List[str]:
+    targets = _INLINE.findall(text) + _REFERENCE.findall(text)
+    return [
+        target
+        for target in targets
+        if not target.startswith(_SKIP_PREFIXES) and "://" not in target
+    ]
+
+
+def check(files: Iterable[Path]) -> List[Tuple[Path, str]]:
+    broken: List[Tuple[Path, str]] = []
+    for file in files:
+        for target in relative_links(file.read_text(encoding="utf-8")):
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            if not (file.parent / path_part).exists():
+                broken.append((file, target))
+    return broken
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print(__doc__.strip().splitlines()[0])
+        print("usage: python tools/check_docs_links.py FILE_OR_DIR [...]")
+        return 2
+    files = markdown_files(argv)
+    broken = check(files)
+    for file, target in broken:
+        print(f"BROKEN  {file}: {target}")
+    checked = len(files)
+    if broken:
+        print(f"\n{len(broken)} broken relative link(s) across {checked} file(s).")
+        return 1
+    print(f"All relative links resolve ({checked} Markdown file(s) checked).")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
