@@ -4,8 +4,8 @@ Usage::
 
     python benchmarks/check_regression.py BASELINE FRESH [--threshold 0.30]
 
-Compares every throughput key (any ``slices_per_second`` leaf, at any
-nesting depth) present in the *baseline* file against the freshly measured
+Compares every throughput key (any ``slices_per_second`` or
+``lines_per_second`` leaf, at any nesting depth) present in the *baseline* file against the freshly measured
 file and exits non-zero when any of them slowed down by more than the
 threshold (default 30%).  Keys that exist only in the fresh file are new
 benchmarks and are allowed; keys that *disappeared* fail the gate — a
@@ -31,14 +31,19 @@ from pathlib import Path
 from typing import Dict
 
 
+#: Leaf dicts holding gated throughput rates (higher is better for all).
+_RATE_KEYS = ("slices_per_second", "lines_per_second")
+
+
 def throughput_keys(payload, prefix: str = "") -> Dict[str, float]:
-    """Flatten every ``slices_per_second`` leaf into ``path -> rate``."""
+    """Flatten every rate leaf (``slices_per_second`` /
+    ``lines_per_second``) into ``path -> rate``."""
     rates: Dict[str, float] = {}
     if not isinstance(payload, dict):
         return rates
     for key, value in payload.items():
         path = f"{prefix}.{key}" if prefix else key
-        if key == "slices_per_second" and isinstance(value, dict):
+        if key in _RATE_KEYS and isinstance(value, dict):
             for mode, rate in value.items():
                 if isinstance(rate, (int, float)):
                     rates[f"{path}.{mode}"] = float(rate)

@@ -1,0 +1,133 @@
+"""Benchmark: real-trace ingestion throughput (lines/second).
+
+Synthesises a large ``perf stat -I -x,`` capture and an equivalent JSONL
+counter dump (deterministic content, written to tmp), then times the full
+:class:`repro.perfio.PerfTraceSource` construction — read, parse, schema
+mapping, lowering to :class:`SamplingRecord`s.  The best-of-rounds
+``lines_per_second`` rates merge into ``BENCH_ep.json`` under ``ingest``
+and are gated by ``check_regression.py`` exactly like the engine's
+``slices_per_second`` keys.
+"""
+
+import json
+import os
+import random
+import time
+
+import pytest
+
+from bench_io import merge_bench_entries
+from repro.perfio import PerfTraceSource
+
+_FULL = bool(os.environ.get("REPRO_FULL", ""))
+
+N_INTERVALS = 4000 if _FULL else 1500
+EVENTS = (
+    "cycles",
+    "instructions",
+    "branches",
+    "branch-misses",
+    "cache-references",
+    "cache-misses",
+    "L1-dcache-loads",
+    "L1-dcache-load-misses",
+)
+ROUNDS = 3
+
+_BASE = {
+    "cycles": 2.5e6,
+    "instructions": 1.8e6,
+    "branches": 3.2e5,
+    "branch-misses": 9e3,
+    "cache-references": 4.5e4,
+    "cache-misses": 1.1e4,
+    "L1-dcache-loads": 5.9e5,
+    "L1-dcache-load-misses": 2.3e4,
+}
+
+
+def _readings():
+    rng = random.Random(20260808)
+    for interval in range(N_INTERVALS):
+        ts = 0.100 * (interval + 1)
+        for event in EVENTS:
+            value = int(_BASE[event] * (1.0 + 0.08 * rng.uniform(-1, 1)))
+            pct = 50.0 + rng.uniform(-2.5, 2.5)
+            yield ts, event, value, pct
+
+
+def _write_stat_csv(path):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("# started on Thu Aug  6 09:14:02 2026\n")
+        for ts, event, value, pct in _readings():
+            run_ns = int(1e8 * pct / 100.0)
+            handle.write(f"{ts:.6f},{value},,{event},{run_ns},{pct:.2f},,\n")
+
+
+def _write_jsonl(path):
+    with open(path, "w", encoding="utf-8") as handle:
+        for ts, event, value, pct in _readings():
+            handle.write(
+                json.dumps(
+                    {
+                        "ts": ts,
+                        "event": event,
+                        "value": value,
+                        "enabled": 100000000,
+                        "running": int(1e8 * pct / 100.0),
+                    }
+                )
+                + "\n"
+            )
+
+
+def _ingest_rate(path, fmt):
+    """Best-of-ROUNDS full-ingestion throughput in source lines/second."""
+    best = 0.0
+    for _ in range(ROUNDS):
+        started = time.perf_counter()
+        source = PerfTraceSource("bench", path, format=fmt)
+        elapsed = time.perf_counter() - started
+        assert source.n_ticks == N_INTERVALS
+        assert source.stats.skipped_lines == 0
+        rate = source.stats.total_lines / elapsed if elapsed > 0 else 0.0
+        best = max(best, rate)
+    return best
+
+
+@pytest.mark.benchmark(group="ingest")
+def test_bench_ingest_lines_per_second(benchmark, tmp_path):
+    csv_path = tmp_path / "capture.csv"
+    jsonl_path = tmp_path / "capture.jsonl"
+    _write_stat_csv(csv_path)
+    _write_jsonl(jsonl_path)
+
+    rates = {}
+
+    def run():
+        rates["stat-csv"] = _ingest_rate(csv_path, "stat-csv")
+        rates["jsonl"] = _ingest_rate(jsonl_path, "jsonl")
+        return rates
+
+    benchmark.pedantic(run, iterations=1, rounds=1)
+
+    total_lines = N_INTERVALS * len(EVENTS)
+    print(f"\nIngest throughput — {N_INTERVALS} intervals x {len(EVENTS)} events")
+    for fmt, rate in rates.items():
+        print(f"  {fmt:8s}: {rate:10.0f} lines/s (best of {ROUNDS} rounds)")
+
+    merge_bench_entries(
+        {
+            "ingest": {
+                "benchmark": "perfio-ingest",
+                "workload": {
+                    "n_intervals": N_INTERVALS,
+                    "n_events": len(EVENTS),
+                    "total_lines": total_lines,
+                },
+                "lines_per_second": {
+                    fmt: round(rate, 2) for fmt, rate in rates.items()
+                },
+            }
+        }
+    )

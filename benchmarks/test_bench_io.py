@@ -89,6 +89,32 @@ class TestRegressionGate:
         assert rates["megabatch.solve.slices_per_second.fragmented"] == 234.5
         assert rates["megabatch.solve.slices_per_second.megabatch"] == 831.8
 
+    def test_ingest_lines_per_second_is_a_gated_rate(self):
+        payload = _homogeneous_payload()
+        deep_merge(
+            payload,
+            {
+                "ingest": {
+                    "workload": {"n_intervals": 1500},
+                    "lines_per_second": {"stat-csv": 51000.0, "jsonl": 38000.0},
+                }
+            },
+        )
+        rates = check_regression.throughput_keys(payload)
+        assert rates["ingest.lines_per_second.stat-csv"] == 51000.0
+        assert rates["ingest.lines_per_second.jsonl"] == 38000.0
+        # ...and it is gated like any other throughput key.
+        assert rates["slices_per_second.batched"] == 896.24
+
+    def test_ingest_regression_trips_the_gate(self, tmp_path):
+        baseline = _homogeneous_payload()
+        deep_merge(
+            baseline, {"ingest": {"lines_per_second": {"stat-csv": 51000.0}}}
+        )
+        fresh = json.loads(json.dumps(baseline))
+        fresh["ingest"]["lines_per_second"]["stat-csv"] = 10000.0
+        assert self._gate(tmp_path, baseline, fresh) == 1
+
     def _gate(self, tmp_path, baseline, fresh, threshold=0.30):
         base = tmp_path / "baseline.json"
         new = tmp_path / "fresh.json"

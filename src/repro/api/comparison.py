@@ -32,7 +32,7 @@ from repro.events.catalog import EventCatalog
 from repro.events.registry import catalog_for
 from repro.fg.registry import baseline_names, get_estimator
 from repro.metrics.error import ErrorReport, trace_error
-from repro.pmu.sampling import MultiplexedSampler, PollingReader
+from repro.pmu.sampling import MultiplexedSampler, PolledTrace, PollingReader
 from repro.pmu.traces import EstimateTrace
 from repro.scheduling.cache import cached_schedule
 from repro.uarch.machine import Machine, MachineConfig
@@ -168,6 +168,39 @@ def _read_interval(length: int, warmup: int) -> int:
     return 8 if (length - warmup) >= 16 else 1
 
 
+def _compare_perf_host(source, engine_trace, baselines) -> Optional[HostComparison]:
+    """Baseline divergence-from-BayesPerf rows for one real-trace host.
+
+    A perf capture carries no polled ground truth, so each baseline's
+    correction of the *measured* sampled stream is scored against the
+    engine's posterior means instead — the same DTW-aligned relative-error
+    metric, with the corrected estimate as the reference series.  The
+    engine itself gets no row (its divergence from itself is zero by
+    construction).
+    """
+    if engine_trace is None or len(engine_trace) == 0 or not baselines:
+        return None
+    catalog = catalog_for(source.arch)
+    sampled = source.sampled_trace()
+    reference = PolledTrace(
+        catalog_name=catalog.name,
+        events=tuple(engine_trace.events()),
+        values=[engine_trace.at(tick) for tick in range(len(engine_trace))],
+    )
+    events = tuple(name for name in source.events if name in reference.events)
+    if not events:
+        return None
+    interval = _read_interval(len(reference), 0)
+    host = HostComparison(host_id=source.host_id, workload=source.workload_name)
+    for name in baselines:
+        corrected = build_baseline(name, catalog).correct(sampled)
+        scored = trace_error(
+            corrected, reference, events=events, aggregate_ticks=interval
+        )
+        host.reports[name] = ErrorReport(method=name, per_event=scored.per_event)
+    return host
+
+
 def build_comparison(spec, service, slices) -> ComparisonReport:
     """Score BayesPerf against ``spec.baselines`` for every synthetic host.
 
@@ -199,6 +232,17 @@ def build_comparison(spec, service, slices) -> ComparisonReport:
         source = channel.source
         host_id = source.host_id
         if not hasattr(source, "spec"):
+            if hasattr(source, "sampled_trace"):
+                # Real-trace host: no ground truth exists, but the capture
+                # can still fan through every baseline — scored against the
+                # engine posterior, so "err%" reads as divergence from
+                # BayesPerf rather than error (the bayesperf column is
+                # blank for these rows; see docs/real-traces.md).
+                host = _compare_perf_host(
+                    source, engine_traces.get(host_id), spec.baselines
+                )
+                if host is not None:
+                    report.hosts.append(host)
             continue  # replay host: no synthetic ground truth
         catalog = catalog_for(source.arch)
         config = (

@@ -166,7 +166,16 @@ class Pipeline:
             chaos=chaos,
         )
         for host in spec.hosts:
-            if host.trace is not None:
+            if host.perf is not None:
+                service.add_perf(
+                    host.perf,
+                    format=host.format,
+                    host_id=host.host_id,
+                    arch=host.arch,
+                    events=host.events,
+                    on_unknown=host.on_unknown,
+                )
+            elif host.trace is not None:
                 service.add_trace(
                     host.trace, host_id=host.host_id, workload_name=host.workload
                 )

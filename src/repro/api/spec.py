@@ -227,11 +227,22 @@ class CheckpointSpec:
 
 @dataclass(frozen=True)
 class HostSpec:
-    """One fleet host: simulate a workload, or replay a recorded trace.
+    """One fleet host: a synthetic workload, a trace replay, or a real
+    perf capture.
 
     ``trace`` (a tracefile path) makes this a replay host, in which case
     the synthetic knobs (``seed``/``n_ticks``/``arch``/``events``) must be
     left unset — the recorded stream defines them.
+
+    ``perf`` (a perf capture path) makes this a real-trace host ingested
+    through :mod:`repro.perfio`: ``format`` names the capture format
+    (``"stat-csv"``/``"script"``/``"jsonl"``, or ``"auto"`` to sniff) and
+    ``on_unknown`` the schema mapper's unknown-event policy (``"raise"``
+    or ``"skip"``).  The captured stream defines the host, so the
+    synthetic knobs (``seed``/``n_ticks``/``workload``) and ``trace`` are
+    rejected — mirroring the replay-host rule — while ``arch`` (catalog
+    selection for schema mapping) and ``events`` (monitored subset) stay
+    meaningful.
     """
 
     workload: str = "steady"
@@ -241,11 +252,64 @@ class HostSpec:
     events: Optional[Tuple[str, ...]] = None
     host_id: Optional[str] = None
     trace: Optional[str] = None
+    perf: Optional[str] = None
+    format: str = "auto"
+    on_unknown: str = "raise"
 
     def __post_init__(self) -> None:
         _frozen_tuple(self, "events")
         if self.trace is not None and not isinstance(self.trace, str):
             object.__setattr__(self, "trace", str(self.trace))
+        if self.perf is not None and not isinstance(self.perf, str):
+            object.__setattr__(self, "perf", str(self.perf))
+        if self.perf is not None:
+            from repro.perfio.mapping import UNKNOWN_POLICIES
+            from repro.perfio.model import PERF_FORMATS
+
+            if self.trace is not None:
+                raise ValueError(
+                    "HostSpec.perf and HostSpec.trace are mutually exclusive: "
+                    "a host replays either a perf capture or a recorded "
+                    "tracefile; drop one of the two fields"
+                )
+            overridden = [
+                name
+                for name, value in (
+                    ("seed", self.seed),
+                    ("n_ticks", self.n_ticks),
+                    ("workload", None if self.workload == "steady" else self.workload),
+                )
+                if value is not None
+            ]
+            if overridden:
+                raise ValueError(
+                    f"real-trace host (perf={self.perf!r}) streams its captured "
+                    f"records; {', '.join(overridden)} cannot be overridden — "
+                    f"drop the field(s), or drop perf= to simulate a synthetic "
+                    f"host instead"
+                )
+            if self.format not in ("auto",) + PERF_FORMATS:
+                raise ValueError(
+                    f"unknown perf capture format {self.format!r}; expected "
+                    f"'auto' or one of {PERF_FORMATS}"
+                )
+            if self.on_unknown not in UNKNOWN_POLICIES:
+                raise ValueError(
+                    f"unknown on_unknown policy {self.on_unknown!r}; expected "
+                    f"one of {UNKNOWN_POLICIES}"
+                )
+        else:
+            if self.format != "auto":
+                raise ValueError(
+                    "HostSpec.format applies to real-trace hosts only; set "
+                    "HostSpec.perf to the capture path (or drop format)"
+                )
+            if self.on_unknown != "raise":
+                raise ValueError(
+                    "HostSpec.on_unknown applies to real-trace hosts only; "
+                    "set HostSpec.perf to the capture path (or drop "
+                    "on_unknown)"
+                )
 
 
 @dataclass(frozen=True)

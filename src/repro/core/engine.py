@@ -444,6 +444,17 @@ class BayesPerfEngine:
                     std / math.sqrt(count), abs(total) * self.min_relative_sigma, 1e-9
                 )
                 dfs[i] = float(max(count - 1, 1))
+        if record.mux_fraction:
+            # Real traces carry perf's t_running/t_enabled bookkeeping: an
+            # event that counted only a fraction f of the quantum reports a
+            # linearly-scaled total whose sampling noise grows like
+            # 1/sqrt(f), so its observation scale widens accordingly.  The
+            # simulator leaves mux_fraction empty — synthetic streams take
+            # this branch never and keep bit-identical scales.
+            for i, event in enumerate(events):
+                fraction = record.mux_fraction.get(event)
+                if fraction is not None and 0.0 < fraction < 1.0:
+                    scales[i] /= math.sqrt(fraction)
         return ObservationSummaries(tuple(events), totals, scales, dfs)
 
     def _ensure_scales(self, summaries: ObservationSummaries) -> None:

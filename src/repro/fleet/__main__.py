@@ -1,6 +1,6 @@
 """Command-line front end for the fleet service (``python -m repro.fleet``).
 
-Five subcommands:
+Six subcommands:
 
 * ``demo`` — run a synthetic fleet and report throughput for the serial
   baseline vs. the sharded worker pool; ``--estimator`` selects any
@@ -15,7 +15,11 @@ Five subcommands:
 * ``report`` — chain-health (mixing) analysis and run-log summary of a
   recorded trace file, without re-running inference;
 * ``resume`` — continue a crashed checkpointed run from its write-ahead
-  log (format version 4) to completion.
+  log (format version 4) to completion;
+* ``ingest`` — preview a real ``perf`` capture (``perf stat -I -x,`` CSV,
+  ``perf script`` text, or JSONL counter dumps): the schema mapping onto
+  the event catalog, skip-and-account totals, and the first few lowered
+  quanta; ``--convert`` writes the capture as a replayable trace file.
 """
 
 from __future__ import annotations
@@ -36,9 +40,17 @@ from repro.api import (
 )
 from repro.fg.registry import engine_estimator_names, get_estimator
 from repro.fleet.service import FleetService
-from repro.fleet.tracefile import TraceFormatError, read_trace, record_session_trace
+from repro.fleet.tracefile import (
+    TraceFile,
+    TraceFormatError,
+    read_trace,
+    record_session_trace,
+    write_trace,
+)
 from repro.obs.mixing import analyze_chain
+from repro.perfio import PERF_FORMATS, UNKNOWN_POLICIES
 from repro.scheduling import SCHEDULE_KINDS
+from repro.workloads.registry import available_workloads, get_workload
 
 
 def _estimator_name(value: str) -> str:
@@ -59,6 +71,23 @@ def _estimator_name(value: str) -> str:
             f"estimator; pass it to --baselines to compare it against the "
             f"engine (engine estimators: {', '.join(engine_estimator_names())})"
         )
+    return value
+
+
+def _workload_name(value: str) -> str:
+    """argparse type for ``--workload``: resolves through the registry.
+
+    Unknown names list :func:`~repro.workloads.registry.available_workloads`
+    — the same contract unknown estimators get from ``--estimator`` — so a
+    typo fails as a clean usage error instead of a mid-run traceback.
+    """
+    try:
+        get_workload(value)
+    except KeyError:
+        raise argparse.ArgumentTypeError(
+            f"unknown workload {value!r} "
+            f"(available: {', '.join(sorted(available_workloads()))})"
+        ) from None
     return value
 
 
@@ -85,7 +114,10 @@ def _add_demo_parser(subparsers) -> None:
     parser.add_argument("--workers", type=int, default=4, help="inference workers")
     parser.add_argument("--arch", default="x86", help="microarchitecture")
     parser.add_argument(
-        "--workload", default="steady", help="workload driven on every host"
+        "--workload",
+        type=_workload_name,
+        default="steady",
+        help="workload driven on every host",
     )
     parser.add_argument(
         "--derived-metrics",
@@ -333,6 +365,72 @@ def _run_resume(args) -> int:
     return 0
 
 
+def _run_ingest(args) -> int:
+    """Preview (and optionally convert) a real perf capture."""
+    from repro.perfio import PerfTraceSource
+
+    try:
+        source = PerfTraceSource(
+            "ingest-preview",
+            args.file,
+            format=args.format,
+            arch=args.arch,
+            on_unknown=args.on_unknown,
+        )
+    except (OSError, KeyError, ValueError) as error:
+        print(f"Cannot ingest {args.file}: {error}")
+        return 1
+    stats = source.stats
+    print(
+        f"Ingested {args.file} ({stats.format}, {args.arch}): "
+        f"{stats.n_ticks} quanta over {len(source.events)} events"
+    )
+    print("  schema mapping (raw perf name -> catalog event):")
+    for raw in sorted(source.mapping):
+        print(f"    {raw:32s} -> {source.mapping[raw]}")
+    print(
+        f"  lines: {stats.total_lines} total, {stats.parsed_samples} parsed, "
+        f"{stats.skipped_lines} malformed skipped"
+    )
+    if stats.unknown_events:
+        dropped = ", ".join(
+            f"{raw} x{count}" for raw, count in sorted(stats.unknown_events.items())
+        )
+        print(f"  unknown events skipped: {dropped}")
+    if stats.not_counted:
+        print(f"  <not counted> readings: {stats.not_counted}")
+    if stats.empty_ticks:
+        print(f"  empty quanta skipped: {stats.empty_ticks}")
+    if stats.torn_tail:
+        print("  torn tail: final line truncated mid-write (recoverable)")
+    for record in list(source.records())[: args.limit]:
+        head = ", ".join(
+            f"{event}={record.total(event):.4g}"
+            for event in list(record.samples)[:4]
+        )
+        mux = (
+            " (mux " + ", ".join(
+                f"{event}={fraction:.0%}"
+                for event, fraction in list(record.mux_fraction.items())[:4]
+            ) + ")"
+            if record.mux_fraction
+            else ""
+        )
+        print(f"    quantum {record.tick}: {head}{mux}")
+    if args.convert is not None:
+        trace = TraceFile(
+            arch=source.arch,
+            events=source.events,
+            workload=source.workload_name,
+            samples_per_tick=source.samples_per_tick,
+            metadata={"source": str(args.file), "format": stats.format},
+            sampled=source.sampled_trace(),
+        )
+        write_trace(args.convert, trace)
+        print(f"  wrote replayable tracefile -> {args.convert}")
+    return 0
+
+
 def _run_report(args) -> int:
     """Summarise a trace file's run log and analyse its chain health."""
     trace = read_trace(args.trace, strict=False)
@@ -404,6 +502,34 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     resume.add_argument("trace", help="write-ahead log (version 4 trace file)")
 
+    ingest = subparsers.add_parser(
+        "ingest", help="preview a real perf capture (stat-csv / script / jsonl)"
+    )
+    ingest.add_argument("file", help="perf output file to ingest")
+    ingest.add_argument(
+        "--format",
+        choices=("auto",) + PERF_FORMATS,
+        default="auto",
+        help="capture format (auto-detected from the first parseable line)",
+    )
+    ingest.add_argument("--arch", default="x86", help="catalog to map events onto")
+    ingest.add_argument(
+        "--on-unknown",
+        dest="on_unknown",
+        choices=UNKNOWN_POLICIES,
+        default="raise",
+        help="what to do with perf events the catalog cannot resolve",
+    )
+    ingest.add_argument(
+        "--limit", type=int, default=5, help="scheduling quanta to preview"
+    )
+    ingest.add_argument(
+        "--convert",
+        default=None,
+        metavar="OUT",
+        help="also write the capture as a replayable repro tracefile",
+    )
+
     args = parser.parse_args(argv)
     if args.command == "demo":
         return _run_demo(args)
@@ -413,6 +539,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_report(args)
     if args.command == "resume":
         return _run_resume(args)
+    if args.command == "ingest":
+        return _run_ingest(args)
     return _run_replay(args)
 
 

@@ -321,6 +321,45 @@ class FleetService:
         self._hosts[host_id] = (source.arch or self.arch, source.events)
         return host_id
 
+    def add_perf(
+        self,
+        path: Union[str, Path],
+        *,
+        format: str = "auto",
+        host_id: Optional[str] = None,
+        arch: Optional[str] = None,
+        events: Optional[Sequence[str]] = None,
+        on_unknown: str = "raise",
+    ) -> str:
+        """Register a host that replays a real perf capture.
+
+        *path* names a ``perf stat -I ... -x,`` CSV, ``perf script``
+        output, or JSONL counter dump (*format* selects, ``"auto"``
+        sniffs); the capture is parsed, schema-mapped onto *arch*'s event
+        catalog and lowered to a deterministic record stream at
+        registration time (:class:`~repro.perfio.PerfTraceSource`), so a
+        bad capture fails here, not mid-run.  *events* optionally
+        restricts monitoring to a canonical-event subset; *on_unknown*
+        is the mapper's unknown-event policy (``"raise"``/``"skip"``).
+        """
+        from repro.perfio.source import PerfTraceSource
+
+        if self._ran:
+            raise RuntimeError("cannot add hosts after run()")
+        host_id = host_id if host_id is not None else self._next_host_id()
+        host_arch = canonical_arch(arch) if arch is not None else self.arch
+        source = PerfTraceSource(
+            host_id,
+            path,
+            format=format,
+            arch=host_arch,
+            events=tuple(events) if events is not None else None,
+            on_unknown=on_unknown,
+        )
+        self.ingest.add(source)
+        self._hosts[host_id] = (host_arch, source.events)
+        return host_id
+
     @property
     def n_hosts(self) -> int:
         return len(self._hosts)

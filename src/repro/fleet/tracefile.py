@@ -172,7 +172,7 @@ def _header(trace: TraceFile) -> Dict:
 def sample_line(record: SamplingRecord) -> Dict:
     """The JSON shape of one sampled quantum (shared with WAL checkpoints,
     which serialise a channel's buffered records in exactly this form)."""
-    return {
+    line = {
         "type": "sample",
         "tick": record.tick,
         "config": list(record.configuration.events),
@@ -181,6 +181,14 @@ def sample_line(record: SamplingRecord) -> Dict:
             for event, samples in record.samples.items()
         },
     }
+    if record.mux_fraction:
+        # Real-trace multiplexing fractions; omitted when absent so files
+        # written from synthetic streams stay byte-stable.
+        line["mux"] = {
+            event: float(fraction)
+            for event, fraction in record.mux_fraction.items()
+        }
+    return line
 
 
 def parse_sample(payload: Dict) -> SamplingRecord:
@@ -191,6 +199,8 @@ def parse_sample(payload: Dict) -> SamplingRecord:
     )
     for event, values in payload["samples"].items():
         record.samples[event] = np.asarray(values, dtype=float)
+    for event, fraction in (payload.get("mux") or {}).items():
+        record.mux_fraction[event] = float(fraction)
     return record
 
 

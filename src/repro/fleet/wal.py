@@ -107,6 +107,11 @@ def checkpoint_host(run: HostRun) -> Tuple[Optional[Dict], Dict]:
         "exhausted": channel.exhausted,
         "buffered": [sample_line(record) for record in channel.buffer.snapshot()],
     }
+    if hasattr(channel.source, "byte_offset"):
+        # Real-trace hosts: pin the ingest position as a file offset into
+        # the capture too (informational — restore fast-forwards by pulled
+        # count, which is exact for any deterministic source).
+        progress["file_offset"] = channel.source.byte_offset(channel.pulled)
     return engine_state_to_json(run.engine_state), progress
 
 

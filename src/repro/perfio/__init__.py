@@ -1,0 +1,62 @@
+"""Real-trace ingestion: replay a machine's PMU samples through the pipeline.
+
+``repro.perfio`` turns real perf captures — ``perf stat -I ... -x,``
+interval CSV, ``perf script`` sample lines, or generic JSONL counter
+dumps — into the same deterministic record streams the synthetic fleet
+produces, so a real machine's multiplexed counters flow through the
+corrected-estimate pipeline (engine, worker pool, WAL crash-resume,
+baselines, chain capture) unchanged.
+
+The layers, bottom to top:
+
+* :mod:`~repro.perfio.parsers` — format parsers lowering raw lines to a
+  common :class:`~repro.perfio.model.CounterSample` stream
+  (skip-and-account on malformed input, never raise);
+* :mod:`~repro.perfio.mapping` — the schema mapper resolving raw perf
+  event names onto the event catalog (alias canonicalisation via
+  semantics, unknown-event policy);
+* :mod:`~repro.perfio.lower` — grouping samples into per-quantum
+  :class:`~repro.pmu.sampling.SamplingRecord`s, carrying perf's
+  enabled-vs-running bookkeeping as per-event multiplexing fractions;
+* :mod:`~repro.perfio.source` — :class:`PerfTraceSource`, the fleet host
+  source (``HostSpec(perf="capture.csv", format="stat-csv")`` registers
+  one next to synthetic/replay hosts).
+
+See ``docs/real-traces.md`` for the capture recipe and schema-mapping
+table.
+"""
+
+from repro.perfio.lower import LoweredCapture, lower_capture
+from repro.perfio.mapping import (
+    ALIAS_SEMANTICS,
+    SchemaMapper,
+    UnknownEventError,
+    UNKNOWN_POLICIES,
+)
+from repro.perfio.model import PERF_FORMATS, CounterSample, IngestStats
+from repro.perfio.parsers import (
+    detect_format,
+    iter_jsonl,
+    iter_script,
+    iter_stat_csv,
+    parser_for,
+)
+from repro.perfio.source import PerfTraceSource
+
+__all__ = [
+    "ALIAS_SEMANTICS",
+    "CounterSample",
+    "IngestStats",
+    "LoweredCapture",
+    "PERF_FORMATS",
+    "PerfTraceSource",
+    "SchemaMapper",
+    "UNKNOWN_POLICIES",
+    "UnknownEventError",
+    "detect_format",
+    "iter_jsonl",
+    "iter_script",
+    "iter_stat_csv",
+    "lower_capture",
+    "parser_for",
+]

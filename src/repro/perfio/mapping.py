@@ -1,0 +1,159 @@
+"""Schema mapping: raw perf event names onto the repository's catalogs.
+
+perf spells events three ways — generic aliases (``cycles``,
+``cache-misses``), vendor names (``INST_RETIRED.ANY``) and raw descriptors
+(``cpu/umask=0x1,event=0xc0/``) — and decorates all of them with privilege
+modifiers (``:u``, ``:kHG``).  :class:`SchemaMapper` canonicalises each
+raw name onto one :class:`~repro.events.catalog.EventCatalog` entry:
+
+1. modifiers and ``cpu/.../`` wrappers are stripped;
+2. an exact (case-insensitive) catalog name wins;
+3. otherwise the generic-alias table maps the name to a canonical
+   *semantic* (:mod:`repro.events.semantics`) and the catalog's preferred
+   event for that semantic is used — which is what makes the same capture
+   ingest against any architecture's catalog.
+
+Unknown names follow the ``on_unknown`` policy: ``"raise"`` (the default)
+fails with the catalog's nearest aliases listed, ``"skip"`` accounts the
+reading like a malformed line and drops it.
+"""
+
+from __future__ import annotations
+
+import difflib
+import re
+from typing import Dict, Optional, Tuple
+
+import repro.events.semantics as sem
+from repro.events.catalog import EventCatalog
+
+__all__ = ["ALIAS_SEMANTICS", "SchemaMapper", "UnknownEventError", "UNKNOWN_POLICIES"]
+
+UNKNOWN_POLICIES = ("raise", "skip")
+
+#: Generic perf event aliases -> canonical semantic quantities.  Keys are
+#: normalised (casefolded, ``_`` -> ``-``); the catalog's preferred event
+#: for the semantic is the mapping target, so the table is vendor-neutral.
+ALIAS_SEMANTICS: Dict[str, str] = {
+    "cycles": sem.CYCLES,
+    "cpu-cycles": sem.CYCLES,
+    "ref-cycles": sem.CYCLES,
+    "instructions": sem.INSTRUCTIONS,
+    "inst-retired": sem.INSTRUCTIONS,
+    "branches": sem.BRANCHES,
+    "branch-instructions": sem.BRANCHES,
+    "branch-misses": sem.BRANCH_MISSES,
+    "cache-references": sem.LLC_ACCESS,
+    "cache-misses": sem.LLC_MISS,
+    "llc-loads": sem.LLC_ACCESS,
+    "llc-load-misses": sem.LLC_MISS,
+    "l1-dcache-loads": sem.L1D_ACCESS,
+    "l1-dcache-load-misses": sem.L1D_MISS,
+    "l1-icache-loads": sem.L1I_ACCESS,
+    "l1-icache-load-misses": sem.L1I_MISS,
+    "dtlb-load-misses": sem.DTLB_MISS,
+    "itlb-load-misses": sem.ITLB_MISS,
+    "mem-loads": sem.LOADS_RETIRED,
+    "mem-stores": sem.STORES_RETIRED,
+    "stalled-cycles-frontend": sem.STALL_FRONTEND,
+    "stalled-cycles-backend": sem.STALL_BACKEND,
+    "context-switches": sem.CONTEXT_SWITCHES,
+    "cs": sem.CONTEXT_SWITCHES,
+    "uops-issued": sem.UOPS_ISSUED,
+    "uops-retired": sem.UOPS_RETIRED,
+}
+
+#: perf privilege/precision modifier suffix (":u", ":kHG", ":upp", ...).
+_MODIFIER_RE = re.compile(r":[ukhIHGSDWePp]+$")
+
+
+class UnknownEventError(KeyError):
+    """A raw perf event name resolved onto nothing in the catalog."""
+
+    def __init__(self, raw: str, catalog: str, suggestions: Tuple[str, ...]) -> None:
+        self.raw = raw
+        self.catalog = catalog
+        self.suggestions = suggestions
+        hint = (
+            f"nearest aliases: {', '.join(suggestions)}"
+            if suggestions
+            else "no close alias"
+        )
+        super().__init__(
+            f"unknown perf event {raw!r} for catalog {catalog!r} ({hint}); "
+            f"map it onto a catalog event name, or ingest with "
+            f"on_unknown='skip' to account and drop it"
+        )
+
+    def __str__(self) -> str:  # KeyError quotes its payload; keep it readable
+        return self.args[0]
+
+
+def normalize_event_name(raw: str) -> str:
+    """Strip perf decorations: modifiers, PMU wrappers, surrounding noise."""
+    name = raw.strip()
+    if name.startswith("cpu/") and name.endswith("/"):
+        name = name[len("cpu/") : -1]
+    elif name.endswith("/") and "/" in name[:-1]:
+        # Other PMU prefixes ("uncore_imc/cas_count_read/").
+        name = name.split("/", 1)[1][:-1]
+    name = _MODIFIER_RE.sub("", name)
+    return name
+
+
+class SchemaMapper:
+    """Resolve raw perf event names onto one catalog's canonical names."""
+
+    def __init__(self, catalog: EventCatalog, *, on_unknown: str = "raise") -> None:
+        if on_unknown not in UNKNOWN_POLICIES:
+            raise ValueError(
+                f"unknown on_unknown policy {on_unknown!r}; expected one of "
+                f"{UNKNOWN_POLICIES}"
+            )
+        self.catalog = catalog
+        self.on_unknown = on_unknown
+        self._by_folded = {name.casefold(): name for name in catalog.names()}
+        self._cache: Dict[str, Optional[str]] = {}
+        #: raw name -> canonical name, for every successful resolution.
+        self.mapped: Dict[str, str] = {}
+
+    def _aliases(self) -> Tuple[str, ...]:
+        """Everything a raw name may legally spell (for suggestions)."""
+        return tuple(ALIAS_SEMANTICS) + self.catalog.names()
+
+    def suggestions(self, raw: str) -> Tuple[str, ...]:
+        """The catalog's nearest aliases for an unknown raw name."""
+        folded = normalize_event_name(raw).casefold().replace("_", "-")
+        return tuple(
+            difflib.get_close_matches(folded, self._aliases(), n=3, cutoff=0.4)
+        )
+
+    def _lookup(self, raw: str) -> Optional[str]:
+        name = normalize_event_name(raw)
+        exact = self._by_folded.get(name.casefold())
+        if exact is not None:
+            return exact
+        semantic = ALIAS_SEMANTICS.get(name.casefold().replace("_", "-"))
+        if semantic is not None:
+            try:
+                return self.catalog.event_for_semantic(semantic).name
+            except KeyError:
+                return None
+        return None
+
+    def resolve(self, raw: str) -> Optional[str]:
+        """Canonical catalog name for *raw*.
+
+        Returns ``None`` (caller accounts the drop) under
+        ``on_unknown="skip"``; raises :class:`UnknownEventError` with the
+        nearest aliases under ``on_unknown="raise"``.
+        """
+        if raw in self._cache:
+            return self._cache[raw]
+        canonical = self._lookup(raw)
+        if canonical is None and self.on_unknown == "raise":
+            raise UnknownEventError(raw, self.catalog.name, self.suggestions(raw))
+        self._cache[raw] = canonical
+        if canonical is not None:
+            self.mapped[raw] = canonical
+        return canonical

@@ -31,6 +31,13 @@ class SamplingRecord:
     tick: int
     configuration: CounterConfiguration
     samples: Dict[str, np.ndarray] = field(default_factory=dict)
+    #: Fraction of the quantum each event actually spent counting (perf's
+    #: ``t_running / t_enabled`` bookkeeping), for events that were
+    #: multiplexed *within* the quantum — real-trace ingestion fills this.
+    #: Absent entries mean fully counted; the simulator's quantum-level
+    #: multiplexing never partially counts, so it leaves the dict empty and
+    #: the engine's arithmetic is unchanged for synthetic streams.
+    mux_fraction: Dict[str, float] = field(default_factory=dict)
 
     @property
     def measured_events(self) -> Tuple[str, ...]:

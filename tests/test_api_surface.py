@@ -106,6 +106,9 @@ def test_host_spec_fields_are_pinned():
         "events",
         "host_id",
         "trace",
+        "perf",
+        "format",
+        "on_unknown",
     )
 
 
